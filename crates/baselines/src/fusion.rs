@@ -1,0 +1,67 @@
+//! Fused-layer line-buffer flow (Alwani et al. [4]) — the alternative the
+//! paper rejects: it avoids DRAM traffic like the block flow but its SRAM
+//! grows linearly with depth × image width × channels.
+
+use ecnn_model::layer::Op;
+use ecnn_model::Model;
+
+/// SRAM bytes to fuse all layers of `model` over a frame of `width` pixels
+/// with `feature_bits`-wide features: every CONV3×3 boundary buffers two
+/// rows of its input feature map (the sliding-window reuse set).
+pub fn fused_line_buffer_bytes(model: &Model, width: usize, feature_bits: u32) -> f64 {
+    let channels = model.channel_walk();
+    let scales = model.scale_walk();
+    let mut bytes = 0.0;
+    for (i, layer) in model.layers().iter().enumerate() {
+        if matches!(layer.op, Op::Conv3x3 { .. } | Op::ErModule { .. }) && i > 0 {
+            // Two rows of the layer's input at that stage's resolution.
+            let w = width as f64 * scales[i];
+            bytes += 2.0 * w * channels[i] as f64 * (feature_bits as f64 / 8.0);
+        }
+    }
+    bytes
+}
+
+/// Depth at which fusion SRAM exceeds the block flow's fixed buffers.
+pub fn crossover_depth(
+    width: usize,
+    channels: usize,
+    feature_bits: u32,
+    block_buffer_bytes: f64,
+) -> usize {
+    let per_layer = 2.0 * width as f64 * channels as f64 * (feature_bits as f64 / 8.0);
+    (block_buffer_bytes / per_layer).ceil() as usize + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecnn_model::zoo;
+
+    #[test]
+    fn vdsr_fusion_needs_9_3mb_at_full_hd() {
+        // Section 1: "9.3MB of SRAM will be required for supporting VDSR in
+        // Full HD resolution" (64ch, 16-bit features, 1920 wide).
+        let bytes = fused_line_buffer_bytes(&zoo::vdsr(), 1920, 16);
+        assert!(
+            (bytes / 1e6 - 9.3).abs() < 0.4,
+            "{} MB",
+            bytes / 1e6
+        );
+    }
+
+    #[test]
+    fn fusion_sram_grows_linearly_with_depth() {
+        let a = fused_line_buffer_bytes(&zoo::vdsr(), 1920, 16);
+        let b = fused_line_buffer_bytes(&zoo::vdsr(), 3840, 16);
+        assert!((b / a - 2.0).abs() < 0.01, "width-linear");
+    }
+
+    #[test]
+    fn block_flow_wins_beyond_shallow_depths() {
+        // eCNN's 1536 KB of block buffers beat fusion once a Full HD 64ch
+        // model exceeds a handful of layers.
+        let d = crossover_depth(1920, 64, 16, 1536.0 * 1024.0);
+        assert!(d < 6, "crossover depth {d}");
+    }
+}

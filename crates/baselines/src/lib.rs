@@ -1,0 +1,20 @@
+//! Baseline inference flows and comparison accelerators.
+//!
+//! * [`framebased`] — the conventional layer-by-layer flow whose feature
+//!   traffic Eq. (1) quantifies (the Section 2 motivation).
+//! * [`fusion`] — the fused-layer line-buffer alternative (Alwani et al.):
+//!   SRAM grows linearly with depth × width × channels.
+//! * [`tpu`] — a SCALE-Sim-style output-stationary systolic-array model in
+//!   the classical TPU configuration (Section 7.2's comparison).
+//! * [`diffy`] — Diffy's activation-difference bit-sparsity compression
+//!   applied to the frame-based flow, plus the published IDEAL/Diffy
+//!   operating points used in Table 7.
+
+pub mod diffy;
+pub mod framebased;
+pub mod fusion;
+pub mod tpu;
+
+pub use framebased::frame_based_feature_bandwidth;
+pub use fusion::fused_line_buffer_bytes;
+pub use tpu::{TpuConfig, TpuReport};

@@ -1,0 +1,21 @@
+//! Ablation (Fig. 17): eight-bank block-buffer mapping — normal vs
+//! interleaved under pixel-shuffle writes.
+
+use ecnn_bench::section;
+use ecnn_sim::banking::{shuffle_write_stalls, BankMapping};
+
+fn main() {
+    section("Fig. 17 ablation: bank conflicts for pixel-shuffle writes");
+    println!("{:>14} {:>12} {:>14}", "block (tiles)", "normal", "interleaved");
+    for (w, h) in [(16, 16), (24, 24), (29, 29), (32, 32), (32, 63), (48, 48)] {
+        println!(
+            "{:>10}x{:<3} {:>12} {:>14}",
+            w,
+            h,
+            shuffle_write_stalls(w, h, BankMapping::Normal),
+            shuffle_write_stalls(w, h, BankMapping::Interleaved)
+        );
+    }
+    println!("\n(normal mapping conflicts exactly when the row length in tiles is a");
+    println!(" multiple of 8 — the 128-pixel block case; interleaved is conflict-free)");
+}

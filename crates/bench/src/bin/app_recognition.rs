@@ -1,0 +1,61 @@
+//! Section 7.3: the object-recognition case study — the 40-layer residual
+//! classifier: fps, DRAM traffic, energy per image, and a small synthetic
+//! training run demonstrating the classification path.
+
+use ecnn_bench::{bench_scale, section};
+use ecnn_isa::compile::compile;
+use ecnn_isa::params::QuantizedModel;
+use ecnn_model::zoo;
+use ecnn_sim::cost::{AreaReport, PowerModel};
+use ecnn_sim::timing::simulate_frame;
+use ecnn_sim::EcnnConfig;
+use ecnn_nn::data::make_classification_dataset;
+use ecnn_nn::float_model::FloatModel;
+use ecnn_nn::train::{eval_accuracy, train_classifier, TrainConfig};
+
+fn main() {
+    section("Section 7.3: object recognition on eCNN (Fig. 22b)");
+    let model = zoo::recognition(1000);
+    println!(
+        "{}: {} CONV3x3 layers, {:.1}M parameters (paper: 40 layers, ~5M)",
+        model.name(),
+        model.depth_conv3x3(),
+        model.param_count() as f64 / 1e6
+    );
+    let qm = QuantizedModel::uniform(&model);
+    let c = compile(&qm, 224).expect("compiles");
+    let cfg = EcnnConfig::paper().with_param_memory_scale(3);
+    let f = simulate_frame(&c, &model, &cfg, 1, 1); // one block = one image
+    let fps = 1.0 / f.seconds_per_frame;
+    let power = PowerModel::paper_40nm().evaluate(&f);
+    println!("throughput: {fps:.0} images/s (paper: 1344 fps, 0.74 ms/image)");
+    println!(
+        "DRAM: {:.0} KB/image, {:.0} MB/s (paper: 231 KB, 308 MB/s)",
+        (f.di_bytes_per_frame + f.do_bytes_per_frame) as f64 / 1024.0,
+        (f.di_bytes_per_frame + f.do_bytes_per_frame) as f64 * fps / 1e6
+    );
+    println!(
+        "energy: {:.2} mJ/image (paper: 5.25 mJ; Eyeriss VGG-16: 337 mJ)",
+        power.total_w() * f.seconds_per_frame * 1e3
+    );
+    println!(
+        "parameter memory: {} KB of {} KB (3x scaled; area {:.2} mm2, paper 63.99)",
+        c.packed.total_bytes() / 1024,
+        cfg.param_memory_bytes / 1024,
+        AreaReport::paper_40nm(3.0).total_mm2()
+    );
+
+    section("synthetic classification demo (scaled-down trainer)");
+    // A thin stand-in trained on 32x32 4-class textures to exercise the
+    // classification path end to end.
+    let tiny = zoo::recognition_tiny(4);
+    let mut fm = FloatModel::from_model(&tiny, 3);
+    let data = make_classification_dataset(32, 32, 4, 5);
+    let val = make_classification_dataset(16, 32, 4, 9999);
+    let steps = 60 * bench_scale();
+    train_classifier(&mut fm, &data, TrainConfig { steps, batch: 4, lr: 1e-3, seed: 2, threads: 2 });
+    println!(
+        "tiny classifier top-1 on synthetic 4-class: {:.0}% (chance 25%)",
+        eval_accuracy(&fm, &val) * 100.0
+    );
+}

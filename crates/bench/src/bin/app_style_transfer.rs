@@ -1,0 +1,31 @@
+//! Section 7.3: the style-transfer case study — two sub-models, Full HD
+//! frame rate and DRAM traffic including the inter-sub-model exchange.
+
+use ecnn_bench::section;
+use ecnn_isa::compile::compile;
+use ecnn_isa::params::QuantizedModel;
+use ecnn_model::zoo;
+use ecnn_sim::timing::simulate_frame;
+use ecnn_sim::EcnnConfig;
+
+fn main() {
+    section("Section 7.3: style transfer on eCNN (Fig. 22a)");
+    let (enc, dec) = zoo::style_transfer();
+    let cfg = EcnnConfig::paper();
+    let ce = compile(&QuantizedModel::uniform(&enc), 256).expect("encoder compiles");
+    let cd = compile(&QuantizedModel::uniform(&dec), ce.program.do_side).expect("decoder compiles");
+    println!(
+        "encoder: {} instructions, {} leafs; decoder: {} instructions, {} leafs",
+        ce.program.instructions.len(),
+        ce.program.total_leaf_modules(),
+        cd.program.instructions.len(),
+        cd.program.total_leaf_modules()
+    );
+    let fe = simulate_frame(&ce, &enc, &cfg, 1920 / 4, 1080 / 4);
+    let fd = simulate_frame(&cd, &dec, &cfg, 1920, 1080);
+    let secs = fe.seconds_per_frame + fd.seconds_per_frame;
+    let fps = 1.0 / secs;
+    let bytes = fe.di_bytes_per_frame + fe.do_bytes_per_frame + fd.di_bytes_per_frame + fd.do_bytes_per_frame;
+    println!("Full HD: {fps:.1} fps (paper: 29.5 fps; Titan X GPU: 512x512 @ 20 fps)");
+    println!("DRAM: {:.2} GB/s at that rate (paper: 1.91 GB/s)", bytes as f64 * fps / 1e9);
+}

@@ -1,0 +1,48 @@
+//! Runs every table/figure regeneration binary in sequence (the full
+//! evaluation suite). Equivalent to invoking each `--bin` by hand.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "motivation_bandwidth",
+        "fig2_sparsity",
+        "fig5_overheads",
+        "fig8_model_scan",
+        "table1_isa",
+        "table2_config",
+        "table3_training",
+        "table4_psnr",
+        "table5_quant",
+        "fig18_program",
+        "table6_area_power",
+        "fig19_inference",
+        "fig20_power",
+        "fig21_dram",
+        "table7_comparison",
+        "tableA1_dn12",
+        "app_style_transfer",
+        "app_recognition",
+        "ablation_banking",
+        "ablation_recompute",
+    ];
+    let exe = std::env::current_exe().expect("self path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for bin in bins {
+        println!("\n################ {bin} ################");
+        let status = Command::new(dir.join(bin)).status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("{bin} failed: {other:?}");
+                failures.push(bin);
+            }
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("\nFAILED: {failures:?}");
+        std::process::exit(1);
+    }
+    println!("\nall {} experiments regenerated", bins.len());
+}

@@ -1,0 +1,24 @@
+//! Fig. 19: inference time (left) and NCR (right) for every polished ERNet.
+
+use ecnn_bench::{model_matrix, report_row, section};
+
+fn main() {
+    section("Fig. 19: inference time and NCR per (model, spec)");
+    println!(
+        "{:<24} {:>6} {:>10} {:>8} {:>6} {:>6}",
+        "model", "spec", "ms/frame", "fps", "NCR", "RT?"
+    );
+    for (rt, spec, xi) in model_matrix() {
+        let r = report_row(spec, xi, rt);
+        println!(
+            "{:<24} {:>6} {:>10.2} {:>8.1} {:>6.2} {:>6}",
+            spec.name(),
+            rt.name,
+            r.frame.seconds_per_frame * 1e3,
+            r.frame.fps,
+            r.frame.ncr,
+            if r.meets_realtime { "yes" } else { "NO" }
+        );
+    }
+    println!("(paper: every pick meets its spec; NCR grows with depth/spec)");
+}

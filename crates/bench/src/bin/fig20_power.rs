@@ -1,0 +1,39 @@
+//! Fig. 20: power per model (left) and per circuit type (right).
+
+use ecnn_bench::{model_matrix, report_row, section};
+
+fn main() {
+    section("Fig. 20 (left): power per (model, spec)");
+    println!("{:<24} {:>6} {:>8} {:>8} {:>8} {:>8}", "model", "spec", "total W", "3x3 W", "1x1 W", "SRAM W");
+    let mut total = 0.0;
+    let mut n = 0;
+    for (rt, spec, xi) in model_matrix() {
+        let r = report_row(spec, xi, rt);
+        println!(
+            "{:<24} {:>6} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            spec.name(),
+            rt.name,
+            r.power.total_w(),
+            r.power.lconv3_w,
+            r.power.lconv1_w,
+            r.power.sram_w
+        );
+        total += r.power.total_w();
+        n += 1;
+    }
+    println!("average: {:.2} W (paper: 6.94 W)", total / n as f64);
+
+    section("Fig. 20 (right): circuit-type breakdown");
+    for (rt, spec, xi) in model_matrix().into_iter().take(3) {
+        let r = report_row(spec, xi, rt);
+        let (comb, seq, sram) = r.power.circuit_fractions();
+        println!(
+            "{:<24} comb {:>5.1}%  seq {:>5.1}%  SRAM {:>4.1}%",
+            spec.name(),
+            comb * 100.0,
+            seq * 100.0,
+            sram * 100.0
+        );
+    }
+    println!("(paper: combinational 82-87%, sequential ~10%, SRAM 3-7%)");
+}

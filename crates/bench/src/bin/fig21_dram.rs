@@ -1,0 +1,24 @@
+//! Fig. 21: DRAM bandwidth and dynamic power per (model, spec).
+
+use ecnn_bench::{model_matrix, report_row, section};
+
+fn main() {
+    section("Fig. 21: DRAM bandwidth / power per (model, spec)");
+    println!(
+        "{:<24} {:>6} {:>10} {:>6} {:>12} {:>12}",
+        "model", "spec", "GB/s", "NBR", "interface", "dyn mW"
+    );
+    for (rt, spec, xi) in model_matrix() {
+        let r = report_row(spec, xi, rt);
+        println!(
+            "{:<24} {:>6} {:>10.2} {:>6.2} {:>12} {:>12.0}",
+            spec.name(),
+            rt.name,
+            r.dram_bandwidth_bps() / 1e9,
+            r.frame.nbr,
+            r.dram_config.map_or("(none)", |c| c.name),
+            r.dram_power.dynamic_mw()
+        );
+    }
+    println!("(paper anchors: DnERNet 1.66 / 0.94 / 0.50 GB/s; <120 mW dynamic, 267 mW leakage)");
+}

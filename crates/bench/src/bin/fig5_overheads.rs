@@ -1,0 +1,34 @@
+//! Fig. 5: block-based inference overheads.
+//! (a) NBR and NCR vs the depth-input ratio β (Eq. 2/3).
+//! (b) NCR vs block-buffer size for VDSR (20 layers) and SRResNet (37), L=16.
+
+use ecnn_bench::section;
+use ecnn_model::blockflow::{ncr_vs_buffer, plain_nbr, plain_ncr};
+use ecnn_model::{zoo, ChannelMode};
+
+fn main() {
+    section("Fig. 5(a): NBR / NCR vs beta (plain CONV3x3 network)");
+    println!("{:>6} {:>10} {:>10}", "beta", "NBR", "NCR");
+    for i in 0..=9 {
+        let beta = 0.05 * i as f64;
+        println!("{beta:>6.2} {:>10.2} {:>10.2}", plain_nbr(beta), plain_ncr(beta));
+    }
+    println!("(paper anchors: NBR=26x at beta=0.4; ~90% recompute as beta->0.4)");
+
+    section("Fig. 5(b): NCR vs block-buffer size (64ch, 16-bit features)");
+    let vdsr = zoo::vdsr();
+    let srresnet = zoo::srresnet();
+    println!("{:>10} {:>12} {:>12}", "buffer", "VDSR(D=20)", "SRResNet(D=37)");
+    for kb in [256, 512, 768, 1024, 1536, 2048, 3072, 4096] {
+        let bytes = kb as f64 * 1024.0;
+        let v = ncr_vs_buffer(&vdsr, bytes, 64, 16, ChannelMode::Algorithmic);
+        let s = ncr_vs_buffer(&srresnet, bytes, 64, 16, ChannelMode::Algorithmic);
+        println!(
+            "{:>8}KB {:>12} {:>12}",
+            kb,
+            v.map_or("collapse".into(), |x| format!("{x:.2}")),
+            s.map_or("collapse".into(), |x| format!("{x:.2}")),
+        );
+    }
+    println!("(paper anchors: VDSR ~2x at 1MB; SRResNet needs ~2MB for similar NCR)");
+}

@@ -1,0 +1,69 @@
+//! Fig. 8: SR4ERNet model scan under the three computation constraints
+//! (xi = 128). Top panel: the RE-vs-B feasibility frontier. Bottom panel:
+//! lightweight-training PSNR of (a subsample of) the candidates.
+
+use ecnn_bench::{bench_scale, section, ECNN_TOPS};
+use ecnn_model::ernet::ErNetTask;
+use ecnn_model::scan::scan_candidates;
+use ecnn_model::RealTimeSpec;
+use ecnn_nn::data::TaskKind;
+use ecnn_nn::pipeline::{pick_best, scan_stage};
+use ecnn_nn::schedule::repro_stages;
+
+fn main() {
+    section("Fig. 8 (top): largest feasible RE per B, xi=128");
+    println!("{:>4} {:>12} {:>12} {:>12}", "B", "UHD30(164)", "HD60(328)", "HD30(655)");
+    let frontiers: Vec<Vec<_>> = RealTimeSpec::ALL
+        .iter()
+        .map(|s| scan_candidates(ErNetTask::Sr4, s.kop_budget(ECNN_TOPS), 128.0, 45))
+        .collect();
+    for b in (1..=45).step_by(2) {
+        let cell = |f: &Vec<ecnn_model::Candidate>| {
+            f.iter()
+                .find(|c| c.spec.b == b)
+                .map_or("-".to_string(), |c| format!("{:.2}", c.re))
+        };
+        println!(
+            "{b:>4} {:>12} {:>12} {:>12}",
+            cell(&frontiers[0]),
+            cell(&frontiers[1]),
+            cell(&frontiers[2])
+        );
+    }
+    for (s, f) in RealTimeSpec::ALL.iter().zip(&frontiers) {
+        let max_int = f.iter().map(|c| c.intrinsic_kop).fold(0.0, f64::max);
+        let min_int = f.iter().map(|c| c.intrinsic_kop).fold(f64::MAX, f64::min);
+        println!(
+            "{}: NCR {:.1}-{:.1}x, intrinsic {:.0}-{:.0} KOP/px",
+            s.name,
+            f.first().map_or(0.0, |c| c.ncr),
+            f.last().map_or(0.0, |c| c.ncr),
+            max_int,
+            min_int
+        );
+    }
+
+    section("Fig. 8 (bottom): lightweight-training PSNR of scan candidates");
+    let stage = &repro_stages(bench_scale())[0];
+    // Subsample the frontier (every 8th B) to keep CPU cost bounded; the
+    // denoising task trains fastest and exposes the same capacity ordering.
+    let scored = scan_stage(
+        ErNetTask::Sr4,
+        TaskKind::Sr { scale: 4 },
+        RealTimeSpec::HD30.kop_budget(ECNN_TOPS),
+        128.0,
+        17,
+        8,
+        stage,
+        7,
+    );
+    for s in &scored {
+        println!(
+            "  {}: RE={:.2} intrinsic={:.0} KOP/px -> {:.2} dB",
+            s.candidate.spec, s.candidate.re, s.candidate.intrinsic_kop, s.psnr
+        );
+    }
+    if let Some(best) = pick_best(&scored) {
+        println!("picked: {}", best.candidate.spec);
+    }
+}

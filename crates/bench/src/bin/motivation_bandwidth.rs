@@ -1,0 +1,39 @@
+//! Section 2 motivation: frame-based DRAM bandwidth (Eq. 1), the fused-layer
+//! SRAM alternative, and the compute wall.
+
+use ecnn_baselines::framebased::{eq1_plain_bandwidth, frame_vs_block_ratio, required_tops};
+use ecnn_baselines::fusion::fused_line_buffer_bytes;
+use ecnn_bench::section;
+use ecnn_model::zoo;
+
+fn main() {
+    section("Eq. 1: frame-based feature bandwidth for VDSR (64ch, D=20, L=16)");
+    for (name, w, h) in [("Full HD 30fps", 1920, 1080), ("4K UHD 30fps", 3840, 2160)] {
+        let bw = eq1_plain_bandwidth(h, w, 64, 20, 30.0, 16);
+        println!("  {name:<14}: {:>7.1} GB/s", bw / 1e9);
+    }
+    println!("(paper: 303 GB/s at Full HD; 4x at UHD — unaffordable at the edge)");
+
+    section("compute wall");
+    println!(
+        "  VDSR @HD30 : {:>6.1} TOPS   VDSR @UHD30: {:>6.1} TOPS",
+        required_tops(&zoo::vdsr(), 1920, 1080, 30.0),
+        required_tops(&zoo::vdsr(), 3840, 2160, 30.0)
+    );
+
+    section("fused-layer alternative (line buffers)");
+    println!(
+        "  VDSR @Full HD: {:.1} MB of SRAM (paper: 9.3 MB)",
+        fused_line_buffer_bytes(&zoo::vdsr(), 1920, 16) / 1e6
+    );
+    println!(
+        "  SRResNet     : {:.1} MB",
+        fused_line_buffer_bytes(&zoo::srresnet(), 1920 / 4, 16) / 1e6
+    );
+
+    section("frame-based vs block-based traffic ratio (plain nets)");
+    println!(
+        "  VDSR at NBR=26 (beta=0.4): {:.0}x more DRAM traffic frame-based",
+        frame_vs_block_ratio(64, 20, 26.0)
+    );
+}

@@ -1,0 +1,31 @@
+//! Table 1: FBISA instruction overview.
+
+use ecnn_bench::section;
+use ecnn_isa::instr::{Opcode, MAX_LEAF_MODULES};
+
+fn main() {
+    section("Table 1: FBISA instruction overview");
+    println!(
+        "{:<7} {:<10} {:<9} {:<52}",
+        "opcode", "3x3 stage", "1x1 stage", "purpose"
+    );
+    let rows: [(Opcode, &str); 5] = [
+        (Opcode::Conv, "plain CONV3x3; partial sums accumulate across leaf-modules"),
+        (Opcode::Er, "ERModule: expand 3x3 + reduce 1x1 + self residual via srcS"),
+        (Opcode::Upx2, "CONV3x3 with pixel-shuffle write order (x2 upsampling)"),
+        (Opcode::Dnx2, "CONV3x3 with strided/max-pooled write (x2 downsampling)"),
+        (Opcode::Conv1, "CONV1x1 only (classifier heads on the LCONV1x1 engine)"),
+    ];
+    for (op, why) in rows {
+        println!(
+            "{:<7} {:<10} {:<9} {:<52}",
+            op.mnemonic(),
+            if op.has_conv3x3() { "yes" } else { "-" },
+            if op.has_conv1x1() { "yes" } else { "-" },
+            why
+        );
+    }
+    println!("\nup to {MAX_LEAF_MODULES} leaf-modules per instruction (32ch-to-32ch each)");
+    println!("feature operands: src, dst, srcS, dstS over BB0-BB2 + virtual DI/DO FIFOs");
+    println!("parameter operand: byte-aligned restart index into the 21 bitstreams");
+}

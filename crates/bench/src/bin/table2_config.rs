@@ -1,0 +1,27 @@
+//! Table 2: eCNN configurations.
+
+use ecnn_bench::{section, ECNN_TOPS};
+use ecnn_model::RealTimeSpec;
+use ecnn_sim::EcnnConfig;
+
+fn main() {
+    section("Table 2: eCNN configuration");
+    let c = EcnnConfig::paper();
+    println!("clock                 : {} MHz", c.clock_hz / 1e6);
+    println!("LCONV3x3 multipliers  : {}", c.lconv3_multipliers);
+    println!("LCONV1x1 multipliers  : {}", c.lconv1_multipliers);
+    println!("total multipliers     : {}", c.total_multipliers());
+    println!("peak throughput       : {:.2} TOPS", c.peak_tops());
+    println!(
+        "block buffers         : {} x {} KB ({} banks each)",
+        c.block_buffers,
+        c.block_buffer_bytes / 1024,
+        c.banks_per_buffer
+    );
+    println!("parameter memory      : {} KB (21 streams)", c.param_memory_bytes / 1024);
+    println!("IDU decode            : {} cycles per leaf-module", c.idu_cycles_per_leaf);
+    println!("\ncomputation constraints (41 TOPS / pixel rate):");
+    for s in RealTimeSpec::ALL {
+        println!("  {:>6}: {:>5.0} KOP/pixel", s.name, s.kop_budget(ECNN_TOPS));
+    }
+}

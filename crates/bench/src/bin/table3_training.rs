@@ -1,0 +1,23 @@
+//! Table 3: ERNet training settings — the paper's GPU-scale stages and this
+//! reproduction's CPU-scale equivalents.
+
+use ecnn_bench::{bench_scale, section};
+use ecnn_nn::schedule::{paper_stages, repro_stages};
+
+fn main() {
+    section("Table 3: training settings");
+    println!("paper (GPU, DIV2K/Waterloo):");
+    for s in paper_stages() {
+        println!(
+            "  {:<26} patch {:>3}  batch {:>3}  steps {:>7}  lr {:.0e}",
+            s.name, s.patch, s.batch, s.steps, s.lr
+        );
+    }
+    println!("\nthis reproduction (CPU, synthetic textures, scale={}):", bench_scale());
+    for s in repro_stages(bench_scale()) {
+        println!(
+            "  {:<26} patch {:>3}  batch {:>3}  steps {:>7}  lr {:.0e}",
+            s.name, s.patch, s.batch, s.steps, s.lr
+        );
+    }
+}

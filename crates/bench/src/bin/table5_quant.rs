@@ -1,0 +1,59 @@
+//! Table 5: model quantization and entropy coding — L1 vs L2 Q-format
+//! search, fine-tuning recovery, compression ratio and parameter memory.
+
+use ecnn_bench::{bench_scale, section};
+use ecnn_isa::compile::compile;
+use ecnn_model::ernet::{ErNetSpec, ErNetTask};
+use ecnn_nn::data::TaskKind;
+use ecnn_nn::pipeline::{polish, quantize_only, quantize_stage};
+use ecnn_nn::quant::QuantConfig;
+use ecnn_nn::schedule::repro_stages;
+use ecnn_tensor::qformat::NormOrder;
+
+fn main() {
+    let stages = repro_stages(bench_scale());
+    let spec = ErNetSpec::new(ErNetTask::Dn, 2, 1, 0);
+    let task = TaskKind::denoise25();
+
+    section("Table 5: quantization and entropy coding (DnERNet-B2R1N0)");
+    let (mut fm, float_psnr) = polish(spec, task, &stages[1], 21);
+    println!("float model: {float_psnr:.2} dB");
+
+    for norm in [NormOrder::L1, NormOrder::L2] {
+        let (_, p) = quantize_only(
+            &fm,
+            spec,
+            task,
+            stages[1].patch,
+            QuantConfig { norm, ..Default::default() },
+            21,
+        );
+        println!("  {norm:?}-norm 8-bit, no fine-tune: {p:.2} dB (drop {:.2})", float_psnr - p);
+    }
+
+    let (qm, tuned) = quantize_stage(&mut fm, spec, task, &stages[2], QuantConfig::default(), 21);
+    println!("  L1-norm 8-bit + fine-tune:   {tuned:.2} dB (drop {:.2})", float_psnr - tuned);
+    println!("(paper: up to 3.69 dB initial loss; 0.05-0.14 dB after fine-tuning)");
+
+    let c = compile(&qm, 128).expect("compiles");
+    println!("\nentropy coding (trained weights):");
+    println!("  shannon limit : {:.2} bits/coeff", c.packed.stats.shannon_bits);
+    println!("  encoded       : {:.2} bits/coeff", c.packed.stats.encoded_bits);
+    println!("  compression   : {:.2}x (paper: 1.1-1.5x)", c.packed.stats.compression_ratio);
+    println!(
+        "  parameter mem : {} KB of 1288 KB {}",
+        c.packed.total_bytes() / 1024,
+        if c.packed.total_bytes() <= 1288 * 1024 { "(fits)" } else { "(OVERFLOW)" }
+    );
+
+    // Per-layer Q-formats, as Table 5 lists.
+    println!("\nfitted Q-formats per layer:");
+    for (i, p) in qm.layers.iter().enumerate() {
+        if let Some(p) = p {
+            println!(
+                "  layer {i}: w={} b={} out={} mid={}",
+                p.w3_q, p.b3_q, p.out_q, p.mid_q
+            );
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! High-level eCNN system API: the block-based inference pipeline end to
+//! end (paper Fig. 3 / Fig. 12).
+//!
+//! [`Accelerator`] owns a machine configuration; [`Accelerator::deploy`]
+//! compiles a quantized model into a [`Deployment`], which can:
+//!
+//! * run real images through the bit-exact simulator with block
+//!   partitioning, overlap recomputation and stitching
+//!   ([`Deployment::run_image`]);
+//! * produce frame-rate / bandwidth / power reports for any output
+//!   resolution ([`Deployment::system_report`]).
+//!
+//! # Example
+//!
+//! ```
+//! use ecnn_core::Accelerator;
+//! use ecnn_isa::params::QuantizedModel;
+//! use ecnn_model::ernet::{ErNetSpec, ErNetTask};
+//! use ecnn_model::RealTimeSpec;
+//!
+//! let model = ErNetSpec::new(ErNetTask::Dn, 3, 1, 0).build().unwrap();
+//! let qm = QuantizedModel::uniform(&model);
+//! let acc = Accelerator::paper();
+//! let dep = acc.deploy(&qm, 128).unwrap();
+//! let report = dep.system_report(RealTimeSpec::UHD30);
+//! assert!(report.frame.fps >= 30.0);
+//! ```
+
+pub mod pipeline;
+pub mod report;
+
+pub use pipeline::{Accelerator, Deployment, PipelineError};
+pub use report::SystemReport;

@@ -1,0 +1,304 @@
+//! The block-based inference pipeline: partition → recompute → stitch.
+
+use crate::report::SystemReport;
+use ecnn_dram::{DramConfig, DramPowerModel};
+use ecnn_isa::compile::{compile, CompileError, CompiledProgram};
+use ecnn_isa::params::QuantizedModel;
+use ecnn_model::{Model, RealTimeSpec};
+use ecnn_sim::cost::PowerModel;
+use ecnn_sim::exec::{BlockExecutor, ExecError, ExecStats};
+use ecnn_sim::timing::simulate_frame;
+use ecnn_sim::EcnnConfig;
+use ecnn_tensor::Tensor;
+use std::fmt;
+
+/// Pipeline errors.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Compilation failed.
+    Compile(CompileError),
+    /// Block execution failed (simulator invariant violation).
+    Exec(ExecError),
+    /// The image cannot be processed by this deployment.
+    Image(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Compile(e) => write!(f, "compile: {e}"),
+            PipelineError::Exec(e) => write!(f, "execute: {e}"),
+            PipelineError::Image(m) => write!(f, "image: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<CompileError> for PipelineError {
+    fn from(e: CompileError) -> Self {
+        PipelineError::Compile(e)
+    }
+}
+
+impl From<ExecError> for PipelineError {
+    fn from(e: ExecError) -> Self {
+        PipelineError::Exec(e)
+    }
+}
+
+/// An eCNN machine instance.
+#[derive(Clone, Debug)]
+pub struct Accelerator {
+    config: EcnnConfig,
+    power: PowerModel,
+    dram_power: DramPowerModel,
+}
+
+impl Accelerator {
+    /// The paper's configuration (Table 2 + Table 6 calibration).
+    pub fn paper() -> Self {
+        Self {
+            config: EcnnConfig::paper(),
+            power: PowerModel::paper_40nm(),
+            dram_power: DramPowerModel::DDR4_3200,
+        }
+    }
+
+    /// Custom configuration.
+    pub fn new(config: EcnnConfig, power: PowerModel, dram_power: DramPowerModel) -> Self {
+        Self { config, power, dram_power }
+    }
+
+    /// Machine configuration.
+    pub fn config(&self) -> &EcnnConfig {
+        &self.config
+    }
+
+    /// Compiles `qm` for input blocks of side `xi` and returns a runnable
+    /// deployment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] for infeasible geometry.
+    pub fn deploy(&self, qm: &QuantizedModel, xi: usize) -> Result<Deployment, PipelineError> {
+        let compiled = compile(qm, xi)?;
+        Ok(Deployment {
+            accelerator: self.clone(),
+            model: qm.model.clone(),
+            qm: qm.clone(),
+            compiled,
+        })
+    }
+}
+
+/// Per-image execution statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ImageRunStats {
+    /// Blocks executed.
+    pub blocks: usize,
+    /// Aggregated executor counters.
+    pub exec: ExecStats,
+}
+
+/// A compiled model bound to a machine.
+#[derive(Clone, Debug)]
+pub struct Deployment {
+    accelerator: Accelerator,
+    model: Model,
+    qm: QuantizedModel,
+    compiled: CompiledProgram,
+}
+
+impl Deployment {
+    /// The compiled program.
+    pub fn compiled(&self) -> &CompiledProgram {
+        &self.compiled
+    }
+
+    /// The source model.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Runs a whole image through the block pipeline: partitions the output
+    /// plane into `xo × xo` blocks, gathers each block's receptive field
+    /// from the input (zero-padded beyond the frame), executes the program
+    /// per block on the bit-exact simulator, and stitches the outputs.
+    ///
+    /// The input is an RGB (or model-channel) image in `[0,1]`; returns the
+    /// output image in `[0,1]` plus run statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Image`] for channel mismatches and
+    /// propagates simulator errors.
+    pub fn run_image(&self, image: &Tensor<f32>) -> Result<(Tensor<f32>, ImageRunStats), PipelineError> {
+        let p = &self.compiled.program;
+        if image.channels() != p.di_channels {
+            return Err(PipelineError::Image(format!(
+                "image has {} channels, model wants {}",
+                image.channels(),
+                p.di_channels
+            )));
+        }
+        let scale = self.model.output_scale();
+        let out_w = (image.width() as f64 * scale) as usize;
+        let out_h = (image.height() as f64 * scale) as usize;
+        let xo = p.do_side;
+        let xi = p.di_side;
+        // Border of the receptive field, in input-image pixels.
+        let border = (xi as f64 - xo as f64 / scale) / 2.0;
+        let mut out = Tensor::zeros(p.do_channels, out_h, out_w);
+        let mut stats = ImageRunStats::default();
+        let mut by = 0usize;
+        while by < out_h {
+            let mut bx = 0usize;
+            while bx < out_w {
+                // Input-block origin for this output block.
+                let iy = (by as f64 / scale - border).round() as isize;
+                let ix = (bx as f64 / scale - border).round() as isize;
+                let block = image.crop_padded(iy, ix, xi, xi);
+                let codes = block.map(|v| p.di_q.quantize(v));
+                let mut ex = BlockExecutor::new(p, &self.compiled.leafs);
+                let out_codes = ex.run(&codes)?;
+                let s = ex.stats();
+                stats.exec.mac3 += s.mac3;
+                stats.exec.mac1 += s.mac1;
+                stats.exec.bb_read_bytes += s.bb_read_bytes;
+                stats.exec.bb_write_bytes += s.bb_write_bytes;
+                stats.exec.di_bytes += s.di_bytes;
+                stats.exec.do_bytes += s.do_bytes;
+                stats.exec.instructions += s.instructions;
+                stats.blocks += 1;
+                let block_f = out_codes.map(|c| p.do_q.dequantize(c).clamp(0.0, 1.0));
+                out.paste(&block_f, by, bx);
+                bx += xo;
+            }
+            by += xo;
+        }
+        Ok((out, stats))
+    }
+
+    /// Frame-level timing / traffic / power report at a real-time spec's
+    /// resolution.
+    pub fn system_report(&self, spec: RealTimeSpec) -> SystemReport {
+        let frame = simulate_frame(
+            &self.compiled,
+            &self.model,
+            &self.accelerator.config,
+            spec.width,
+            spec.height,
+        );
+        let power = self.accelerator.power.evaluate(&frame);
+        // DRAM power at the *spec* rate (the processor idles once real-time
+        // is met), split read/write by DI/DO shares.
+        let target_fps = spec.fps.min(frame.fps);
+        let rd = frame.di_bytes_per_frame as f64 * target_fps;
+        let wr = frame.do_bytes_per_frame as f64 * target_fps;
+        let dram_power = self.accelerator.dram_power.power(rd, wr);
+        let dram_config = DramConfig::minimal_for(rd + wr, 0.55);
+        SystemReport {
+            spec,
+            frame,
+            power,
+            dram_power,
+            dram_config,
+            meets_realtime: false, // fixed below
+        }
+        .finalize()
+    }
+
+    /// The quantized model this deployment was built from.
+    pub fn quantized_model(&self) -> &QuantizedModel {
+        &self.qm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecnn_model::ernet::{ErNetSpec, ErNetTask};
+    use ecnn_model::model::InferenceKind;
+    use ecnn_nn::quant::fixed_forward;
+    use ecnn_tensor::{ImageKind, SyntheticImage};
+
+    fn deploy(task: ErNetTask, b: usize, r: usize, n: usize, xi: usize) -> Deployment {
+        let m = ErNetSpec::new(task, b, r, n).build().unwrap();
+        let qm = QuantizedModel::uniform(&m);
+        Accelerator::paper().deploy(&qm, xi).unwrap()
+    }
+
+    #[test]
+    fn stitched_image_matches_whole_frame_reference_bit_exactly() {
+        // The block flow with recomputed overlaps must equal running the
+        // fixed-point reference on the zero-extended whole frame (valid
+        // convolutions) — the paper's equivalence claim for block-based
+        // inference.
+        let dep = deploy(ErNetTask::Dn, 2, 1, 0, 40);
+        let img = SyntheticImage::new(ImageKind::Mixed, 31).rgb(56, 56);
+        let (out, stats) = dep.run_image(&img).unwrap();
+        assert_eq!(out.shape(), (3, 56, 56));
+        assert!(stats.blocks > 1, "must exercise stitching");
+
+        // Reference: zero-extend by the receptive border (5 convs -> 5 px),
+        // then valid fixed-point forward.
+        let p = &dep.compiled().program;
+        let border = (p.di_side - p.do_side) / 2;
+        let qm = dep.quantized_model();
+        let ext = img.crop_padded(-(border as isize), -(border as isize), 56 + 2 * border, 56 + 2 * border);
+        let codes = ext.map(|v| qm.input_q.quantize(v));
+        let ref_out = fixed_forward(qm, &codes);
+        assert_eq!(ref_out.shape(), (3, 56, 56));
+        let out_q = qm.layers.iter().rev().flatten().next().unwrap().out_q;
+        let ref_f = ref_out.map(|c| out_q.dequantize(c).clamp(0.0, 1.0));
+        for c in 0..3 {
+            for y in 0..56 {
+                for x in 0..56 {
+                    assert_eq!(
+                        out.at(c, y, x),
+                        ref_f.at(c, y, x),
+                        "mismatch at ({c},{y},{x})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sr_image_is_upscaled() {
+        let dep = deploy(ErNetTask::Sr2, 2, 1, 0, 32);
+        let img = SyntheticImage::new(ImageKind::Smooth, 5).rgb(48, 48);
+        let (out, _) = dep.run_image(&img).unwrap();
+        assert_eq!(out.shape(), (3, 96, 96));
+    }
+
+    #[test]
+    fn system_report_dnernet_uhd30() {
+        let dep = deploy(ErNetTask::Dn, 3, 1, 0, 128);
+        let r = dep.system_report(RealTimeSpec::UHD30);
+        assert!(r.meets_realtime, "fps {}", r.frame.fps);
+        assert_eq!(r.dram_config.unwrap().name, "DDR-400");
+        assert!(r.power.total_w() > 5.0 && r.power.total_w() < 8.5);
+        assert!(r.dram_power.dynamic_mw() < 150.0);
+    }
+
+    #[test]
+    fn channel_mismatch_is_reported() {
+        let dep = deploy(ErNetTask::Dn, 1, 1, 0, 32);
+        let gray = Tensor::<f32>::zeros(1, 32, 32);
+        assert!(matches!(dep.run_image(&gray), Err(PipelineError::Image(_))));
+    }
+
+    #[test]
+    fn zero_padded_models_deploy_at_frame_size() {
+        let m = ecnn_model::zoo::recognition(10);
+        let qm = QuantizedModel::uniform(&m);
+        let dep = Accelerator::paper().deploy(&qm, 224).unwrap();
+        assert_eq!(dep.compiled().program.inference, InferenceKind::ZeroPadded);
+        assert_eq!(dep.compiled().program.do_side, 1);
+        // Wide features exceed the strict 3x512KB buffers: recorded, not
+        // fatal (DESIGN.md §4).
+        assert!(dep.compiled().program.bb_overflow);
+    }
+}

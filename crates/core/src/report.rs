@@ -1,0 +1,86 @@
+//! Combined system reports: compute + on-chip power + DRAM.
+
+use ecnn_dram::{DramConfig, DramPower};
+use ecnn_model::RealTimeSpec;
+use ecnn_sim::cost::PowerReport;
+use ecnn_sim::timing::FrameReport;
+use std::fmt;
+
+/// Everything the evaluation section reports about one (model, spec) pair.
+#[derive(Clone, Debug)]
+pub struct SystemReport {
+    /// The real-time target.
+    pub spec: RealTimeSpec,
+    /// Cycle-model results.
+    pub frame: FrameReport,
+    /// On-chip power breakdown.
+    pub power: PowerReport,
+    /// DRAM power at the spec rate.
+    pub dram_power: DramPower,
+    /// Smallest sufficient DRAM interface, if any.
+    pub dram_config: Option<DramConfig>,
+    /// Whether the achievable fps meets the spec.
+    pub meets_realtime: bool,
+}
+
+impl SystemReport {
+    pub(crate) fn finalize(mut self) -> Self {
+        self.meets_realtime = self.frame.fps >= self.spec.fps;
+        self
+    }
+
+    /// DRAM bandwidth at the (capped) spec rate, bytes per second.
+    pub fn dram_bandwidth_bps(&self) -> f64 {
+        self.frame.dram_total_bps_at(self.spec.fps.min(self.frame.fps))
+    }
+
+    /// Energy per output frame in millijoules (core + DRAM).
+    pub fn energy_per_frame_mj(&self) -> f64 {
+        let fps = self.spec.fps.min(self.frame.fps);
+        (self.power.total_w() + self.dram_power.total_mw() / 1e3) / fps * 1e3
+    }
+}
+
+impl fmt::Display for SystemReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} @ {}", self.frame.model, self.spec)?;
+        writeln!(
+            f,
+            "  fps {:.1} ({}) | {:.1} ms/frame | NCR {:.2} | NBR {:.2}",
+            self.frame.fps,
+            if self.meets_realtime { "real-time" } else { "below target" },
+            self.frame.seconds_per_frame * 1e3,
+            self.frame.ncr,
+            self.frame.nbr,
+        )?;
+        writeln!(
+            f,
+            "  power {:.2} W | DRAM {:.2} GB/s on {} ({:.0} mW dynamic)",
+            self.power.total_w(),
+            self.dram_bandwidth_bps() / 1e9,
+            self.dram_config.map_or("(none fits)", |c| c.name),
+            self.dram_power.dynamic_mw(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Accelerator;
+    use ecnn_isa::params::QuantizedModel;
+    use ecnn_model::ernet::{ErNetSpec, ErNetTask};
+
+    #[test]
+    fn display_summarizes_all_quantities() {
+        let m = ErNetSpec::new(ErNetTask::Dn, 3, 1, 0).build().unwrap();
+        let qm = QuantizedModel::uniform(&m);
+        let dep = Accelerator::paper().deploy(&qm, 128).unwrap();
+        let r = dep.system_report(RealTimeSpec::UHD30);
+        let s = r.to_string();
+        assert!(s.contains("DnERNet-B3R1N0"));
+        assert!(s.contains("fps"));
+        assert!(s.contains("DDR-400"));
+        assert!(r.energy_per_frame_mj() > 0.0);
+    }
+}

@@ -1,0 +1,575 @@
+//! Bit-level I/O and the JPEG DC Huffman parameter coder (Section 5.2).
+//!
+//! The paper compresses the 8-bit quantized parameters with "the DC Huffman
+//! coding in JPEG": each value is split into a *category* (the bit length of
+//! its magnitude) which is Huffman-coded, followed by that many raw
+//! magnitude bits (one's-complement for negative values). One Huffman table
+//! per restart segment is sufficient because quantized parameter
+//! distributions are similar (Table 5 shows cross-entropies close to the
+//! Shannon limit); tables are serialized JPEG-DHT-style (16 length counts +
+//! symbols) at the head of each segment.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum category: 8-bit codes span [-255, 255] after no operation we do,
+/// but we allow the full JPEG DC range for robustness.
+pub const MAX_CATEGORY: usize = 11;
+
+/// MSB-first bit writer.
+#[derive(Clone, Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already used in the final byte (0..8).
+    bit_pos: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the `count` low bits of `value`, MSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 32`.
+    pub fn put(&mut self, value: u32, count: u8) {
+        assert!(count <= 32);
+        for i in (0..count).rev() {
+            let bit = (value >> i) & 1;
+            if self.bit_pos == 0 {
+                self.bytes.push(0);
+            }
+            let last = self.bytes.last_mut().expect("pushed above");
+            *last |= (bit as u8) << (7 - self.bit_pos);
+            self.bit_pos = (self.bit_pos + 1) % 8;
+        }
+    }
+
+    /// Pads with zero bits to the next byte boundary.
+    pub fn byte_align(&mut self) {
+        self.bit_pos = 0;
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.bit_pos == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.bit_pos as usize
+        }
+    }
+
+    /// Finishes (byte-aligning) and returns the bytes.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        self.byte_align();
+        self.bytes
+    }
+}
+
+/// MSB-first bit reader.
+#[derive(Clone, Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize, // bit position
+}
+
+impl<'a> BitReader<'a> {
+    /// Reads from the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::OutOfBits`] at end of input.
+    pub fn bit(&mut self) -> Result<u32, CodingError> {
+        let byte = self.pos / 8;
+        if byte >= self.bytes.len() {
+            return Err(CodingError::OutOfBits);
+        }
+        let bit = (self.bytes[byte] >> (7 - (self.pos % 8))) & 1;
+        self.pos += 1;
+        Ok(bit as u32)
+    }
+
+    /// Reads `count` bits MSB-first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::OutOfBits`] at end of input.
+    pub fn bits(&mut self, count: u8) -> Result<u32, CodingError> {
+        let mut v = 0;
+        for _ in 0..count {
+            v = (v << 1) | self.bit()?;
+        }
+        Ok(v)
+    }
+
+    /// Skips to the next byte boundary.
+    pub fn byte_align(&mut self) {
+        self.pos = self.pos.div_ceil(8) * 8;
+    }
+
+    /// Current bit position.
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+}
+
+/// Errors from the entropy codec.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodingError {
+    /// Ran out of input bits.
+    OutOfBits,
+    /// Encountered a Huffman code with no assigned symbol.
+    BadCode,
+    /// A serialized table was malformed.
+    BadTable,
+}
+
+impl fmt::Display for CodingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodingError::OutOfBits => write!(f, "bitstream exhausted"),
+            CodingError::BadCode => write!(f, "invalid huffman code"),
+            CodingError::BadTable => write!(f, "malformed huffman table"),
+        }
+    }
+}
+
+impl std::error::Error for CodingError {}
+
+/// JPEG DC category of a value: 0 for 0, otherwise `bit_length(|v|)`.
+#[inline]
+pub fn category(v: i32) -> u8 {
+    let mag = v.unsigned_abs();
+    (32 - mag.leading_zeros()) as u8
+}
+
+/// The `cat` magnitude bits of `v` (one's complement for negatives).
+#[inline]
+pub fn magnitude_bits(v: i32, cat: u8) -> u32 {
+    if v >= 0 {
+        v as u32
+    } else {
+        (v + (1 << cat) - 1) as u32
+    }
+}
+
+/// Inverse of [`magnitude_bits`].
+#[inline]
+pub fn value_from_bits(bits: u32, cat: u8) -> i32 {
+    if cat == 0 {
+        0
+    } else if bits >> (cat - 1) != 0 {
+        bits as i32
+    } else {
+        bits as i32 - (1 << cat) + 1
+    }
+}
+
+/// A canonical Huffman table over category symbols.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HuffTable {
+    /// Code length per symbol (0 = unused symbol).
+    pub lengths: Vec<u8>,
+    /// Canonical code per symbol.
+    pub codes: Vec<u16>,
+}
+
+impl HuffTable {
+    /// Builds a length-limited (≤16) canonical Huffman table from symbol
+    /// frequencies. Symbols with zero frequency get no code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all frequencies are zero.
+    pub fn build(freqs: &[u64]) -> Self {
+        assert!(freqs.iter().any(|&f| f > 0), "empty frequency table");
+        let n = freqs.len();
+        // Huffman via pairwise merge over (weight, node) heaps; then extract
+        // depths. Simple O(n^2) is fine for ≤ MAX_CATEGORY+1 symbols.
+        #[derive(Clone)]
+        enum Node {
+            Leaf(usize),
+            Internal(Box<Node>, Box<Node>),
+        }
+        let mut heap: Vec<(u64, Node)> = freqs
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f > 0)
+            .map(|(i, &f)| (f, Node::Leaf(i)))
+            .collect();
+        let mut lengths = vec![0u8; n];
+        if heap.len() == 1 {
+            // Single symbol: JPEG assigns it a 1-bit code.
+            if let Node::Leaf(i) = heap[0].1 {
+                lengths[i] = 1;
+            }
+        } else {
+            while heap.len() > 1 {
+                heap.sort_by_key(|(w, _)| std::cmp::Reverse(*w));
+                let (wa, a) = heap.pop().expect("len > 1");
+                let (wb, b) = heap.pop().expect("len > 1");
+                heap.push((wa + wb, Node::Internal(Box::new(a), Box::new(b))));
+            }
+            fn walk(node: &Node, depth: u8, lengths: &mut [u8]) {
+                match node {
+                    Node::Leaf(i) => lengths[*i] = depth.max(1),
+                    Node::Internal(a, b) => {
+                        walk(a, depth + 1, lengths);
+                        walk(b, depth + 1, lengths);
+                    }
+                }
+            }
+            walk(&heap[0].1, 0, &mut lengths);
+        }
+        // Limit lengths to 16 (cannot trigger with ≤ 12 symbols, kept for
+        // dependability).
+        for l in &mut lengths {
+            if *l > 16 {
+                *l = 16;
+            }
+        }
+        Self::from_lengths(lengths)
+    }
+
+    /// Assigns canonical codes from lengths (shorter codes first, then by
+    /// symbol index).
+    pub fn from_lengths(lengths: Vec<u8>) -> Self {
+        let mut symbols: Vec<usize> = (0..lengths.len()).filter(|&i| lengths[i] > 0).collect();
+        symbols.sort_by_key(|&i| (lengths[i], i));
+        let mut codes = vec![0u16; lengths.len()];
+        let mut code = 0u16;
+        let mut prev_len = 0u8;
+        for &s in &symbols {
+            code <<= lengths[s] - prev_len;
+            codes[s] = code;
+            code += 1;
+            prev_len = lengths[s];
+        }
+        Self { lengths, codes }
+    }
+
+    /// Serializes JPEG-DHT style: 16 per-length counts, then symbols in
+    /// canonical order.
+    pub fn write(&self, w: &mut BitWriter) {
+        let mut counts = [0u8; 16];
+        let mut symbols: Vec<usize> =
+            (0..self.lengths.len()).filter(|&i| self.lengths[i] > 0).collect();
+        symbols.sort_by_key(|&i| (self.lengths[i], i));
+        for &s in &symbols {
+            counts[self.lengths[s] as usize - 1] += 1;
+        }
+        for c in counts {
+            w.put(c as u32, 8);
+        }
+        for s in symbols {
+            w.put(s as u32, 8);
+        }
+    }
+
+    /// Deserializes a table written by [`HuffTable::write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError`] on truncated or inconsistent input.
+    pub fn read(r: &mut BitReader<'_>) -> Result<Self, CodingError> {
+        let mut counts = [0usize; 16];
+        for c in &mut counts {
+            *c = r.bits(8)? as usize;
+        }
+        let total: usize = counts.iter().sum();
+        if total == 0 || total > MAX_CATEGORY + 1 {
+            return Err(CodingError::BadTable);
+        }
+        let mut lengths = vec![0u8; MAX_CATEGORY + 1];
+        for (len_idx, &cnt) in counts.iter().enumerate() {
+            for _ in 0..cnt {
+                let sym = r.bits(8)? as usize;
+                if sym >= lengths.len() || lengths[sym] != 0 {
+                    return Err(CodingError::BadTable);
+                }
+                lengths[sym] = len_idx as u8 + 1;
+            }
+        }
+        Ok(Self::from_lengths(lengths))
+    }
+
+    /// Encodes one symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol has no code (zero frequency at build time).
+    pub fn encode(&self, sym: usize, w: &mut BitWriter) {
+        let len = self.lengths[sym];
+        assert!(len > 0, "symbol {sym} has no code");
+        w.put(self.codes[sym] as u32, len);
+    }
+
+    /// Decodes one symbol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError`] on invalid codes or exhausted input.
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<usize, CodingError> {
+        let mut code = 0u16;
+        let mut len = 0u8;
+        loop {
+            code = (code << 1) | r.bit()? as u16;
+            len += 1;
+            if len > 16 {
+                return Err(CodingError::BadCode);
+            }
+            for (s, (&l, &c)) in self.lengths.iter().zip(&self.codes).enumerate() {
+                if l == len && c == code {
+                    return Ok(s);
+                }
+            }
+        }
+    }
+}
+
+/// Encodes one restart segment: Huffman table header followed by
+/// category+magnitude codes for every value; byte-aligned at the end.
+pub fn encode_segment(values: &[i16]) -> Vec<u8> {
+    let mut freqs = vec![0u64; MAX_CATEGORY + 1];
+    for &v in values {
+        freqs[category(v as i32) as usize] += 1;
+    }
+    if values.is_empty() {
+        freqs[0] = 1;
+    }
+    let table = HuffTable::build(&freqs);
+    let mut w = BitWriter::new();
+    table.write(&mut w);
+    for &v in values {
+        let cat = category(v as i32);
+        table.encode(cat as usize, &mut w);
+        if cat > 0 {
+            w.put(magnitude_bits(v as i32, cat), cat);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes a segment produced by [`encode_segment`], returning `count`
+/// values and the number of bytes consumed.
+///
+/// # Errors
+///
+/// Returns [`CodingError`] on malformed input.
+pub fn decode_segment(bytes: &[u8], count: usize) -> Result<(Vec<i16>, usize), CodingError> {
+    let mut r = BitReader::new(bytes);
+    let table = HuffTable::read(&mut r)?;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let cat = table.decode(&mut r)? as u8;
+        let bits = r.bits(cat)?;
+        out.push(value_from_bits(bits, cat) as i16);
+    }
+    r.byte_align();
+    Ok((out, r.bit_pos() / 8))
+}
+
+/// Entropy statistics of a value set under the category+magnitude model.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EntropyStats {
+    /// Shannon limit in bits per coefficient (category entropy + magnitude
+    /// bits).
+    pub shannon_bits: f64,
+    /// Actual encoded bits per coefficient (including the table header).
+    pub encoded_bits: f64,
+    /// Compression ratio versus raw 8-bit storage.
+    pub compression_ratio: f64,
+}
+
+/// Computes [`EntropyStats`] for `values` (assuming one segment).
+pub fn entropy_stats(values: &[i16]) -> EntropyStats {
+    let mut freqs = vec![0u64; MAX_CATEGORY + 1];
+    let mut magnitude_bits_total = 0u64;
+    for &v in values {
+        let c = category(v as i32);
+        freqs[c as usize] += 1;
+        magnitude_bits_total += c as u64;
+    }
+    let n = values.len().max(1) as f64;
+    let mut cat_entropy = 0.0;
+    for &f in &freqs {
+        if f > 0 {
+            let p = f as f64 / n;
+            cat_entropy -= p * p.log2();
+        }
+    }
+    let shannon = cat_entropy + magnitude_bits_total as f64 / n;
+    let encoded = encode_segment(values).len() as f64 * 8.0 / n;
+    EntropyStats {
+        shannon_bits: shannon,
+        encoded_bits: encoded,
+        compression_ratio: 8.0 / encoded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bit_writer_reader_round_trip() {
+        let mut w = BitWriter::new();
+        w.put(0b101, 3);
+        w.put(0xAB, 8);
+        w.put(1, 1);
+        w.byte_align();
+        w.put(0xFFFF, 16);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.bits(3).unwrap(), 0b101);
+        assert_eq!(r.bits(8).unwrap(), 0xAB);
+        assert_eq!(r.bits(1).unwrap(), 1);
+        r.byte_align();
+        assert_eq!(r.bits(16).unwrap(), 0xFFFF);
+        assert_eq!(r.bit(), Err(CodingError::OutOfBits));
+    }
+
+    #[test]
+    fn categories_match_jpeg_dc() {
+        assert_eq!(category(0), 0);
+        assert_eq!(category(1), 1);
+        assert_eq!(category(-1), 1);
+        assert_eq!(category(2), 2);
+        assert_eq!(category(3), 2);
+        assert_eq!(category(-128), 8);
+        assert_eq!(category(127), 7);
+        assert_eq!(category(255), 8);
+    }
+
+    #[test]
+    fn magnitude_round_trip_all_8bit() {
+        for v in -255i32..=255 {
+            let c = category(v);
+            let bits = magnitude_bits(v, c);
+            assert!(bits < (1 << c.max(1)), "v={v}");
+            assert_eq!(value_from_bits(bits, c), v, "v={v}");
+        }
+    }
+
+    #[test]
+    fn huffman_single_symbol() {
+        let mut freqs = vec![0u64; 9];
+        freqs[0] = 100;
+        let t = HuffTable::build(&freqs);
+        assert_eq!(t.lengths[0], 1);
+        let mut w = BitWriter::new();
+        t.encode(0, &mut w);
+        assert_eq!(w.bit_len(), 1);
+    }
+
+    #[test]
+    fn huffman_assigns_short_codes_to_frequent_symbols() {
+        let freqs = vec![1000, 500, 100, 10, 1];
+        let t = HuffTable::build(&freqs);
+        assert!(t.lengths[0] <= t.lengths[4]);
+        // Kraft inequality holds with equality for a complete code.
+        let kraft: f64 = t
+            .lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn table_serialization_round_trip() {
+        let freqs = vec![10, 20, 5, 0, 7, 1, 0, 0, 2];
+        let t = HuffTable::build(&freqs);
+        let mut w = BitWriter::new();
+        t.write(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let t2 = HuffTable::read(&mut r).unwrap();
+        // Lengths must agree for symbols with codes (canonical => same codes).
+        for (i, (&l, &l2)) in t.lengths.iter().zip(&t2.lengths).enumerate() {
+            assert_eq!(l, l2, "symbol {i}");
+        }
+    }
+
+    #[test]
+    fn segment_round_trip_typical_weights() {
+        // Laplacian-ish small weights, the typical post-training shape.
+        let values: Vec<i16> = (0..512)
+            .map(|i| {
+                let x = ((i * 37) % succinct_mod(i)) as i16 - 8;
+                x.clamp(-128, 127)
+            })
+            .collect();
+        let bytes = encode_segment(&values);
+        let (decoded, used) = decode_segment(&bytes, values.len()).unwrap();
+        assert_eq!(decoded, values);
+        assert_eq!(used, bytes.len());
+    }
+
+    fn succinct_mod(i: usize) -> usize {
+        17 + (i % 3)
+    }
+
+    #[test]
+    fn compression_ratio_in_paper_range_for_peaked_weights() {
+        // Quantized CNN weights are near-Laplacian: most values tiny. The
+        // paper reports 1.1-1.5x compression.
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(7);
+        let values: Vec<i16> = (0..4096)
+            .map(|_| {
+                let u: f64 = rng.gen_range(-1.0..1.0);
+                // heavier tail than uniform, like trained weights
+                (u.powi(3) * 90.0) as i16
+            })
+            .collect();
+        let stats = entropy_stats(&values);
+        assert!(
+            stats.compression_ratio > 1.05 && stats.compression_ratio < 1.9,
+            "ratio {}",
+            stats.compression_ratio
+        );
+        assert!(
+            stats.encoded_bits >= stats.shannon_bits - 0.01,
+            "cannot beat Shannon: {} vs {}",
+            stats.encoded_bits,
+            stats.shannon_bits
+        );
+        // Close to the Shannon limit (Table 5's observation), allowing the
+        // table header overhead.
+        assert!(stats.encoded_bits < stats.shannon_bits + 0.6);
+    }
+
+    #[test]
+    fn empty_segment_is_decodable() {
+        let bytes = encode_segment(&[]);
+        let (decoded, _) = decode_segment(&bytes, 0).unwrap();
+        assert!(decoded.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_segment_round_trip(values in proptest::collection::vec(-128i16..=127, 0..600)) {
+            let bytes = encode_segment(&values);
+            let (decoded, used) = decode_segment(&bytes, values.len()).unwrap();
+            prop_assert_eq!(decoded, values);
+            prop_assert_eq!(used, bytes.len());
+        }
+
+        #[test]
+        fn prop_magnitude_bits_invertible(v in -2000i32..2000) {
+            let c = category(v);
+            prop_assert_eq!(value_from_bits(magnitude_bits(v, c), c), v);
+        }
+    }
+}

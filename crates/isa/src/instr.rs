@@ -1,0 +1,436 @@
+//! FBISA instructions: opcodes, operands and attributes (Fig. 10, Table 1).
+
+use ecnn_model::layer::PoolKind;
+use ecnn_model::model::InferenceKind;
+use ecnn_tensor::QFormat;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum leaf-modules one instruction may carry (Table 1). This is also
+/// what caps the ERModule expansion ratio at `RE ≤ 4`.
+pub const MAX_LEAF_MODULES: usize = 4;
+
+/// Leaf-module channel width.
+pub const LEAF_CH: usize = 32;
+
+/// Output-tile geometry of the datapath: one cycle computes a 4×2-pixel,
+/// 32-channel tile per leaf-module.
+pub const TILE_W: usize = 4;
+/// See [`TILE_W`].
+pub const TILE_H: usize = 2;
+
+/// FBISA opcodes (Table 1). `CONV1` is this implementation's name for the
+/// 1×1-only variant used by classifier heads; the paper's `ER` opcode
+/// already routes through the LCONV1×1 engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Opcode {
+    /// Plain CONV3×3 on up to four leaf-modules; partial sums over input
+    /// groups accumulate on-the-fly.
+    Conv,
+    /// ERModule: per leaf, CONV3×3 (one 32ch expansion plane) feeding a
+    /// CONV1×1 reduction, plus the module residual via `srcS`.
+    Er,
+    /// CONV3×3 whose four output groups are written in pixel-shuffle order:
+    /// 128ch at 1× becomes 32ch at 2× (sub-pixel upsampling).
+    Upx2,
+    /// CONV3×3 followed by strided or max ×2 downsampling on write.
+    Dnx2,
+    /// CONV1×1 only (runs on the LCONV1×1 engine).
+    Conv1,
+}
+
+impl Opcode {
+    /// Mnemonic used by the assembly printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Conv => "CONV",
+            Opcode::Er => "ER",
+            Opcode::Upx2 => "UPX2",
+            Opcode::Dnx2 => "DNX2",
+            Opcode::Conv1 => "CONV1",
+        }
+    }
+
+    /// Whether the opcode's leaf-modules include a 3×3 stage.
+    pub fn has_conv3x3(self) -> bool {
+        !matches!(self, Opcode::Conv1)
+    }
+
+    /// Whether the opcode's leaf-modules include a 1×1 stage.
+    pub fn has_conv1x1(self) -> bool {
+        matches!(self, Opcode::Er | Opcode::Conv1)
+    }
+}
+
+/// A feature operand: where a block of features lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatLoc {
+    /// One of the three on-chip block buffers, addressed by buffer id and a
+    /// 32-channel group offset (wide features span several groups).
+    Bb {
+        /// Buffer index (0..3 on eCNN).
+        id: u8,
+        /// First 32-channel group inside the buffer.
+        group: u8,
+    },
+    /// The data-input virtual block buffer (a FIFO from DRAM/DMA).
+    Di {
+        /// 32-channel group within the streamed input.
+        group: u8,
+    },
+    /// The data-output virtual block buffer (a FIFO to DRAM/DMA).
+    Do {
+        /// 32-channel group within the streamed output.
+        group: u8,
+    },
+}
+
+impl FeatLoc {
+    /// Block buffer `id`, group 0.
+    pub fn bb(id: u8) -> Self {
+        FeatLoc::Bb { id, group: 0 }
+    }
+
+    /// The DI stream, group 0.
+    pub fn di() -> Self {
+        FeatLoc::Di { group: 0 }
+    }
+
+    /// The DO stream, group 0.
+    pub fn dout() -> Self {
+        FeatLoc::Do { group: 0 }
+    }
+
+    /// True for the virtual FIFO buffers.
+    pub fn is_virtual(self) -> bool {
+        matches!(self, FeatLoc::Di { .. } | FeatLoc::Do { .. })
+    }
+
+    /// The same location shifted by `delta` 32-channel groups.
+    #[must_use]
+    pub fn offset(self, delta: usize) -> Self {
+        match self {
+            FeatLoc::Bb { id, group } => FeatLoc::Bb { id, group: group + delta as u8 },
+            FeatLoc::Di { group } => FeatLoc::Di { group: group + delta as u8 },
+            FeatLoc::Do { group } => FeatLoc::Do { group: group + delta as u8 },
+        }
+    }
+}
+
+impl fmt::Display for FeatLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FeatLoc::Bb { id, group: 0 } => write!(f, "BB{id}"),
+            FeatLoc::Bb { id, group } => write!(f, "BB{id}.g{group}"),
+            FeatLoc::Di { group: 0 } => write!(f, "DI"),
+            FeatLoc::Di { group } => write!(f, "DI.g{group}"),
+            FeatLoc::Do { group: 0 } => write!(f, "DO"),
+            FeatLoc::Do { group } => write!(f, "DO.g{group}"),
+        }
+    }
+}
+
+/// Q-format attributes of one instruction (Fig. 10's operand attributes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QSpec {
+    /// Source feature format.
+    pub src: QFormat,
+    /// Destination feature format.
+    pub dst: QFormat,
+    /// Supplementary-source format (residual / partial sums), if used.
+    pub src_s: Option<QFormat>,
+    /// Intermediate expanded-feature format between the 3×3 and 1×1 stages
+    /// of an `ER` leaf (quantized inside LCONV3×3 to save LCONV1×1 area).
+    pub mid: Option<QFormat>,
+    /// 3×3 weight format.
+    pub w3: QFormat,
+    /// 3×3 bias format.
+    pub b3: QFormat,
+    /// 1×1 weight format (`ER`/`CONV1`).
+    pub w1: Option<QFormat>,
+    /// 1×1 bias format (`ER`/`CONV1`).
+    pub b1: Option<QFormat>,
+}
+
+/// One FBISA instruction: a whole-block convolution task.
+///
+/// Spatial sizes are stored explicitly (the hardware derives them from the
+/// opcode's block-size attribute in 4×2-tile units; we keep pixels for
+/// clarity and expose tile counts via [`Instruction::compute_tiles`]).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Instruction {
+    /// The opcode.
+    pub opcode: Opcode,
+    /// Valid (truncated-pyramid) or zero-padded convolution.
+    pub inference: InferenceKind,
+    /// Main source operand.
+    pub src: FeatLoc,
+    /// Main destination operand.
+    pub dst: FeatLoc,
+    /// Supplementary source accumulated into the output (residuals,
+    /// cross-instruction partial sums).
+    pub src_s: Option<FeatLoc>,
+    /// Number of 32-channel input groups read from `src`.
+    pub in_groups: usize,
+    /// Number of 32-channel output groups the convolution produces. For
+    /// `UPX2` this is the *pre-shuffle* group count (4 for a 32→128
+    /// upsampler, whose shuffled destination occupies a single group).
+    pub out_groups: usize,
+    /// ER expansion ratio `Rm` (1 for non-ER opcodes).
+    pub expansion: usize,
+    /// Input block size in pixels (width, height) at the source resolution.
+    pub in_size: (usize, usize),
+    /// Output block size in pixels at the destination resolution (after any
+    /// shuffle/pool reorder).
+    pub out_size: (usize, usize),
+    /// Apply ReLU before requantization.
+    pub relu: bool,
+    /// Downsampling flavour for `DNX2`.
+    pub pool: Option<PoolKind>,
+    /// Downsampling factor on write (1 = none; 2 for DNX2; consecutive model
+    /// pools fold multiplicatively).
+    pub pool_factor: usize,
+    /// Q-format attributes.
+    pub q: QSpec,
+    /// Parameter-operand restart attribute: leaf-module index into the bias
+    /// bitstream where this instruction's parameters begin (byte-aligned;
+    /// weight streams restart at 8× the byte address — Section 5.2).
+    pub param_restart: u32,
+    /// Which model layer produced this instruction (for traceability).
+    pub layer: usize,
+}
+
+impl Instruction {
+    /// Total leaf-modules in this instruction.
+    ///
+    /// * `CONV`/`UPX2`/`DNX2`: one 32→32 CONV3×3 leaf per (input group ×
+    ///   output group) pair.
+    /// * `ER`: one leaf per expansion plane (`Rm`).
+    /// * `CONV1`: one 32→32 CONV1×1 leaf per (input × output) group pair.
+    pub fn leaf_modules(&self) -> usize {
+        match self.opcode {
+            Opcode::Er => self.expansion,
+            _ => self.in_groups * self.out_groups,
+        }
+    }
+
+    /// Spatial size of the convolution output *before* shuffle/pool reorder
+    /// (the grid the engines actually sweep).
+    pub fn conv_out_size(&self) -> (usize, usize) {
+        match self.opcode {
+            Opcode::Upx2 => (self.out_size.0 / 2, self.out_size.1 / 2),
+            Opcode::Dnx2 => (
+                self.out_size.0 * self.pool_factor,
+                self.out_size.1 * self.pool_factor,
+            ),
+            _ => self.out_size,
+        }
+    }
+
+    /// Number of 4×2 output tiles the CIU sweeps for this instruction.
+    pub fn compute_tiles(&self) -> usize {
+        let (w, h) = self.conv_out_size();
+        w.div_ceil(TILE_W) * h.div_ceil(TILE_H)
+    }
+
+    /// CIU busy cycles: one cycle per tile per leaf-module (Section 6.1.1).
+    pub fn ciu_cycles(&self) -> u64 {
+        (self.compute_tiles() * self.leaf_modules()) as u64
+    }
+
+    /// IDU decode cycles: 256 per leaf-module (each of the 18+2 parallel
+    /// decoders emits 2 weights/cycle; 512 coefficients per stream per leaf).
+    pub fn idu_cycles(&self) -> u64 {
+        (256 * self.leaf_modules()) as u64
+    }
+
+    /// Validates structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated invariant.
+    pub fn check(&self) -> Result<(), String> {
+        if self.leaf_modules() == 0 {
+            return Err("instruction has no leaf-modules".into());
+        }
+        if self.leaf_modules() > MAX_LEAF_MODULES {
+            return Err(format!(
+                "{} leaf-modules exceeds the maximum of {MAX_LEAF_MODULES}",
+                self.leaf_modules()
+            ));
+        }
+        if self.opcode == Opcode::Er && (self.in_groups != 1 || self.out_groups != 1) {
+            return Err("ER operates on a single 32ch group".into());
+        }
+        if self.src_s.is_none() && self.q.src_s.is_some() {
+            return Err("srcS format given without srcS operand".into());
+        }
+        if self.opcode.has_conv1x1() != self.q.w1.is_some() {
+            return Err("1x1 weight format presence must match opcode".into());
+        }
+        if self.pool.is_some() != (self.opcode == Opcode::Dnx2) {
+            return Err("pool attribute is exclusive to DNX2".into());
+        }
+        if self.out_size.0 == 0 || self.out_size.1 == 0 {
+            return Err("empty output block".into());
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Instruction {
+    /// Named-operand assembly in the spirit of Fig. 18, e.g.
+    ///
+    /// ```text
+    /// ER    src=BB0 dst=BB1 srcS=BB0 blk=29x15t Rm=2 q(src=Q5,dst=Q5,w=Q7) par@8
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:<5} src={} dst={}", self.opcode.mnemonic(), self.src, self.dst)?;
+        if let Some(s) = self.src_s {
+            write!(f, " srcS={s}")?;
+        }
+        let (w, h) = self.conv_out_size();
+        write!(f, " blk={}x{}t", w.div_ceil(TILE_W), h.div_ceil(TILE_H))?;
+        match self.opcode {
+            Opcode::Er => write!(f, " Rm={}", self.expansion)?,
+            _ => {
+                if self.in_groups > 1 || self.out_groups > 1 {
+                    write!(f, " g={}i{}o", self.in_groups, self.out_groups)?;
+                }
+            }
+        }
+        if self.relu {
+            write!(f, " relu")?;
+        }
+        if let Some(p) = self.pool {
+            write!(f, " pool={p:?}x{}", self.pool_factor)?;
+        }
+        write!(f, " q(src={},dst={}", self.q.src, self.q.dst)?;
+        if let Some(m) = self.q.mid {
+            write!(f, ",mid={m}")?;
+        }
+        write!(f, ",w={}", self.q.w3)?;
+        if let Some(w1) = self.q.w1 {
+            write!(f, ",w1={w1}")?;
+        }
+        write!(f, ") par@{}", self.param_restart)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_instr() -> Instruction {
+        Instruction {
+            opcode: Opcode::Conv,
+            inference: InferenceKind::TruncatedPyramid,
+            src: FeatLoc::di(),
+            dst: FeatLoc::bb(0),
+            src_s: None,
+            in_groups: 1,
+            out_groups: 1,
+            expansion: 1,
+            in_size: (128, 128),
+            out_size: (126, 126),
+            relu: false,
+            pool: None,
+            pool_factor: 1,
+            q: QSpec {
+                src: QFormat::unsigned(8),
+                dst: QFormat::signed(5),
+                src_s: None,
+                mid: None,
+                w3: QFormat::signed(7),
+                b3: QFormat::signed(7),
+                w1: None,
+                b1: None,
+            },
+            param_restart: 0,
+            layer: 0,
+        }
+    }
+
+    #[test]
+    fn tile_counts() {
+        let i = base_instr();
+        assert_eq!(i.compute_tiles(), 32 * 63); // ceil(126/4) x ceil(126/2)
+        assert_eq!(i.ciu_cycles(), 32 * 63);
+        assert_eq!(i.idu_cycles(), 256);
+    }
+
+    #[test]
+    fn er_leaf_count_is_expansion() {
+        let mut i = base_instr();
+        i.opcode = Opcode::Er;
+        i.expansion = 3;
+        i.src_s = Some(FeatLoc::bb(0));
+        i.q.src_s = Some(i.q.src);
+        i.q.mid = Some(QFormat::unsigned(5));
+        i.q.w1 = Some(QFormat::signed(7));
+        i.q.b1 = Some(QFormat::signed(7));
+        assert_eq!(i.leaf_modules(), 3);
+        assert_eq!(i.ciu_cycles(), 3 * 32 * 63);
+        i.check().unwrap();
+    }
+
+    #[test]
+    fn wide_conv_leaf_count() {
+        let mut i = base_instr();
+        i.in_groups = 2;
+        i.out_groups = 2;
+        assert_eq!(i.leaf_modules(), 4);
+        i.check().unwrap();
+        i.in_groups = 3;
+        assert!(i.check().is_err(), "6 leafs must be rejected");
+    }
+
+    #[test]
+    fn upx2_conv_grid_is_pre_shuffle() {
+        let mut i = base_instr();
+        i.opcode = Opcode::Upx2;
+        i.in_groups = 1;
+        i.out_groups = 4; // 32 -> 128 pre-shuffle
+        i.expansion = 1;
+        i.in_size = (64, 64);
+        i.out_size = (124, 124); // 62x62 conv output shuffled x2
+        assert_eq!(i.conv_out_size(), (62, 62));
+        assert_eq!(i.leaf_modules(), 4);
+        assert_eq!(i.compute_tiles(), 16 * 31);
+        i.check().unwrap();
+    }
+
+    #[test]
+    fn dnx2_conv_grid_is_pre_pool() {
+        let mut i = base_instr();
+        i.opcode = Opcode::Dnx2;
+        i.pool = Some(PoolKind::Max);
+        i.pool_factor = 2;
+        i.in_size = (64, 64);
+        i.out_size = (31, 31);
+        assert_eq!(i.conv_out_size(), (62, 62));
+        i.check().unwrap();
+    }
+
+    #[test]
+    fn check_catches_missing_formats() {
+        let mut i = base_instr();
+        i.src_s = None;
+        i.q.src_s = Some(QFormat::signed(5));
+        assert!(i.check().is_err());
+        let mut i = base_instr();
+        i.q.w1 = Some(QFormat::signed(7));
+        assert!(i.check().is_err(), "CONV must not carry 1x1 formats");
+    }
+
+    #[test]
+    fn display_contains_named_operands() {
+        let i = base_instr();
+        let s = i.to_string();
+        assert!(s.starts_with("CONV"));
+        assert!(s.contains("src=DI"));
+        assert!(s.contains("dst=BB0"));
+        assert!(s.contains("blk=32x63t"));
+        assert!(s.contains("q(src=UQ8,dst=Q5,w=Q7)"));
+    }
+}

@@ -1,0 +1,45 @@
+//! FBISA — the feature-block instruction set architecture (paper Section 5).
+//!
+//! FBISA is a coarse-grained SIMD ISA whose operands are *block buffers*:
+//! one instruction convolves a whole feature block. The crate provides:
+//!
+//! * [`instr`] — opcodes (`CONV`, `ER`, `UPX2`, `DNX2`, `CONV1`), named
+//!   feature operands (`src`/`dst`/`srcS` over block buffers and the `DI`/
+//!   `DO` virtual FIFO buffers), per-instruction Q-format attributes, and
+//!   leaf-module accounting (at most [`instr::MAX_LEAF_MODULES`] per
+//!   instruction).
+//! * [`program`] — an instruction sequence plus block geometry and I/O
+//!   transforms; `Display` renders the paper's named-operand assembly
+//!   (Fig. 18).
+//! * [`coding`] — bit-level I/O and the JPEG-style DC Huffman entropy coder
+//!   used for parameter compression (Section 5.2, Fig. 11).
+//! * [`params`] — quantized model parameters ([`params::QuantizedModel`])
+//!   and the 21-bitstream packed parameter format with byte-aligned
+//!   decoding-restart segments.
+//! * [`compile`] — the compiler from `ecnn-model` IR to an FBISA program
+//!   with block-buffer allocation, wide-channel splitting, upsampler /
+//!   downsampler fusion and partial-sum chaining via `srcS`.
+//!
+//! # Example: the six-line DnERNet program of Fig. 18
+//!
+//! ```
+//! use ecnn_isa::compile::compile;
+//! use ecnn_isa::params::QuantizedModel;
+//! use ecnn_model::ernet::{ErNetSpec, ErNetTask};
+//!
+//! let model = ErNetSpec::new(ErNetTask::Dn, 3, 1, 0).build().unwrap();
+//! let qm = QuantizedModel::uniform(&model);
+//! let compiled = compile(&qm, 128).unwrap();
+//! assert_eq!(compiled.program.instructions.len(), 6);
+//! ```
+
+pub mod coding;
+pub mod compile;
+pub mod instr;
+pub mod params;
+pub mod program;
+
+pub use compile::{compile, CompileError};
+pub use instr::{FeatLoc, Instruction, Opcode, QSpec};
+pub use params::{LayerParams, PackedParams, QuantizedModel};
+pub use program::Program;

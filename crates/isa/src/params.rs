@@ -1,0 +1,506 @@
+//! Quantized model parameters and the packed 21-bitstream format
+//! (Section 5.2, Fig. 11).
+//!
+//! Weights are split into 20 parallel bitstreams — 18 for CONV3×3 (one per
+//! filter position × output-channel half) and 2 for CONV1×1 — plus one bias
+//! bitstream, so the IDU's 21 decoders can decode a leaf-module's 10,240
+//! weights in 256 cycles. Each instruction's parameters form one
+//! byte-aligned *restart segment* per stream, with its own Huffman table;
+//! the instruction's parameter operand carries the segment index (the
+//! paper's byte-aligned restart attribute).
+
+use crate::coding::{decode_segment, encode_segment, entropy_stats, CodingError, EntropyStats};
+use crate::instr::LEAF_CH;
+use ecnn_model::layer::Op;
+use ecnn_model::model::Model;
+use ecnn_tensor::QFormat;
+use serde::{Deserialize, Serialize};
+
+/// Number of CONV3×3 weight bitstreams (9 filter positions × 2 halves).
+pub const W3_STREAMS: usize = 18;
+/// Number of CONV1×1 weight bitstreams (2 output-channel halves).
+pub const W1_STREAMS: usize = 2;
+/// Coefficients per CONV3×3 stream per leaf-module (16 oc × 32 ic).
+pub const W3_PER_LEAF: usize = 512;
+/// Coefficients per CONV1×1 stream per leaf-module (16 oc × 32 ic).
+pub const W1_PER_LEAF: usize = 512;
+/// Bias slots per leaf-module (32 CONV3×3 + 32 CONV1×1).
+pub const BIAS_PER_LEAF: usize = 64;
+
+fn hw(c: usize) -> usize {
+    c.div_ceil(LEAF_CH) * LEAF_CH
+}
+
+/// Quantized parameters of one model layer (hardware-padded channel counts).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LayerParams {
+    /// CONV3×3 weight codes, layout `[out_hw][in_hw][9]` (empty when the
+    /// layer has no 3×3 stage).
+    pub w3: Vec<i16>,
+    /// CONV3×3 weight format.
+    pub w3_q: QFormat,
+    /// CONV3×3 bias codes `[out_hw]`.
+    pub b3: Vec<i16>,
+    /// CONV3×3 bias format.
+    pub b3_q: QFormat,
+    /// CONV1×1 weight codes `[out_hw][in_hw]` (ER reduction or CONV1 layer).
+    pub w1: Vec<i16>,
+    /// CONV1×1 weight format.
+    pub w1_q: QFormat,
+    /// CONV1×1 bias codes `[out_hw]`.
+    pub b1: Vec<i16>,
+    /// CONV1×1 bias format.
+    pub b1_q: QFormat,
+    /// Output feature format of this layer.
+    pub out_q: QFormat,
+    /// ER intermediate (post-ReLU expanded) feature format.
+    pub mid_q: QFormat,
+}
+
+impl LayerParams {
+    /// Expected `w3` length for an op.
+    pub fn w3_len(op: &Op) -> usize {
+        match *op {
+            Op::Conv3x3 { in_c, out_c, .. } => hw(out_c) * hw(in_c) * 9,
+            Op::ErModule { channels, expansion } => {
+                hw(channels * expansion) * hw(channels) * 9
+            }
+            _ => 0,
+        }
+    }
+
+    /// Expected `w1` length for an op.
+    pub fn w1_len(op: &Op) -> usize {
+        match *op {
+            Op::Conv1x1 { in_c, out_c, .. } => hw(out_c) * hw(in_c),
+            Op::ErModule { channels, expansion } => hw(channels) * hw(channels * expansion),
+            _ => 0,
+        }
+    }
+
+    /// Validates the parameter-vector lengths against an op.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch.
+    pub fn check(&self, op: &Op) -> Result<(), String> {
+        let want_w3 = Self::w3_len(op);
+        if self.w3.len() != want_w3 {
+            return Err(format!("w3 length {} != {}", self.w3.len(), want_w3));
+        }
+        let want_w1 = Self::w1_len(op);
+        if self.w1.len() != want_w1 {
+            return Err(format!("w1 length {} != {}", self.w1.len(), want_w1));
+        }
+        let want_b3 = if want_w3 > 0 {
+            match *op {
+                Op::Conv3x3 { out_c, .. } => hw(out_c),
+                Op::ErModule { channels, expansion } => hw(channels * expansion),
+                _ => 0,
+            }
+        } else {
+            0
+        };
+        if self.b3.len() != want_b3 {
+            return Err(format!("b3 length {} != {}", self.b3.len(), want_b3));
+        }
+        Ok(())
+    }
+}
+
+/// A model together with all fixed-point parameters and feature formats —
+/// the deployable artifact that the compiler lowers to an FBISA program.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedModel {
+    /// The architecture.
+    pub model: Model,
+    /// Input image format (UQ8 for `[0,1)` 8-bit images).
+    pub input_q: QFormat,
+    /// Per-layer parameters; `None` for parameter-free ops.
+    pub layers: Vec<Option<LayerParams>>,
+}
+
+impl QuantizedModel {
+    /// Deterministic, well-scaled parameters for testing and benchmarking
+    /// without a training run: small patterned weights, Q7 weight formats
+    /// and Q4 feature formats.
+    pub fn uniform(model: &Model) -> Self {
+        let mut layers = Vec::with_capacity(model.len());
+        for (li, layer) in model.layers().iter().enumerate() {
+            if !layer.op.has_params() {
+                layers.push(None);
+                continue;
+            }
+            let w3_len = LayerParams::w3_len(&layer.op);
+            let w1_len = LayerParams::w1_len(&layer.op);
+            let b3_len = match layer.op {
+                Op::Conv3x3 { out_c, .. } => hw(out_c),
+                Op::ErModule { channels, expansion } => hw(channels * expansion),
+                _ => 0,
+            };
+            let b1_len = match layer.op {
+                Op::Conv1x1 { out_c, .. } => hw(out_c),
+                Op::ErModule { channels, .. } => hw(channels),
+                _ => 0,
+            };
+            let pat = |i: usize, m: usize| (((i * 7 + li * 13 + m) % 11) as i16) - 5;
+            layers.push(Some(LayerParams {
+                w3: (0..w3_len).map(|i| pat(i, 1)).collect(),
+                w3_q: QFormat::signed(7),
+                b3: (0..b3_len).map(|i| pat(i, 2)).collect(),
+                b3_q: QFormat::signed(7),
+                w1: (0..w1_len).map(|i| pat(i, 3)).collect(),
+                w1_q: QFormat::signed(7),
+                b1: (0..b1_len).map(|i| pat(i, 4)).collect(),
+                b1_q: QFormat::signed(7),
+                out_q: QFormat::signed(4),
+                mid_q: QFormat::unsigned(4),
+            }));
+        }
+        Self {
+            model: model.clone(),
+            input_q: QFormat::unsigned(8),
+            layers,
+        }
+    }
+
+    /// Validates every layer's parameter shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns `(layer index, message)` for the first invalid layer.
+    pub fn check(&self) -> Result<(), (usize, String)> {
+        if self.layers.len() != self.model.len() {
+            return Err((0, "layer count mismatch".into()));
+        }
+        for (i, (layer, params)) in self.model.layers().iter().zip(&self.layers).enumerate() {
+            match (layer.op.has_params(), params) {
+                (true, Some(p)) => p.check(&layer.op).map_err(|e| (i, e))?,
+                (true, None) => return Err((i, "missing parameters".into())),
+                (false, Some(_)) => return Err((i, "unexpected parameters".into())),
+                (false, None) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Raw (uncompressed) hardware parameter bytes: one byte per weight and
+    /// bias slot across all layers.
+    pub fn raw_param_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .flatten()
+            .map(|p| p.w3.len() + p.b3.len() + p.w1.len() + p.b1.len())
+            .sum()
+    }
+}
+
+/// Parameters of a single leaf-module, as distributed by the IDU.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LeafParams {
+    /// 32×32×9 CONV3×3 weights, layout `[oc][ic][k]` (zeros for CONV1).
+    pub w3: Vec<i16>,
+    /// 32 CONV3×3 biases (zeros except on each output group's first leaf).
+    pub b3: Vec<i16>,
+    /// 32×32 CONV1×1 weights (zeros for plain CONV).
+    pub w1: Vec<i16>,
+    /// 32 CONV1×1 biases (zeros except on the first leaf).
+    pub b1: Vec<i16>,
+}
+
+impl LeafParams {
+    /// An all-zero leaf.
+    pub fn zero() -> Self {
+        Self {
+            w3: vec![0; LEAF_CH * LEAF_CH * 9],
+            b3: vec![0; LEAF_CH],
+            w1: vec![0; LEAF_CH * LEAF_CH],
+            b1: vec![0; LEAF_CH],
+        }
+    }
+}
+
+/// Offsets of one instruction's restart segment in every stream.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentInfo {
+    /// Leaf-modules in the segment.
+    pub leaf_count: usize,
+    /// Byte offset in each CONV3×3 stream.
+    pub w3_offset: usize,
+    /// Byte offset in each CONV1×1 stream.
+    pub w1_offset: usize,
+    /// Byte offset in the bias stream.
+    pub bias_offset: usize,
+    /// Whether the segment carries 3×3 coefficients.
+    pub has_w3: bool,
+    /// Whether the segment carries 1×1 coefficients.
+    pub has_w1: bool,
+}
+
+/// The packed 21-stream parameter image plus a segment directory.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PackedParams {
+    /// 18 CONV3×3 weight streams, padded to equal per-segment lengths.
+    pub w3_streams: Vec<Vec<u8>>,
+    /// 2 CONV1×1 weight streams.
+    pub w1_streams: Vec<Vec<u8>>,
+    /// The bias stream.
+    pub bias_stream: Vec<u8>,
+    /// Per-instruction segment directory (indexed by `param_restart`).
+    pub segments: Vec<SegmentInfo>,
+    /// Aggregate entropy-coding statistics over all weight coefficients.
+    pub stats: EntropyStats,
+}
+
+impl PackedParams {
+    /// Packs per-instruction leaf parameters into the 21 synchronized
+    /// streams. `instr_leafs[i]` are instruction `i`'s leaf-modules in
+    /// issue order; `kinds[i]` says which engines the instruction uses.
+    pub fn pack(instr_leafs: &[Vec<LeafParams>], kinds: &[(bool, bool)]) -> Self {
+        assert_eq!(instr_leafs.len(), kinds.len());
+        let mut w3_streams: Vec<Vec<u8>> = vec![Vec::new(); W3_STREAMS];
+        let mut w1_streams: Vec<Vec<u8>> = vec![Vec::new(); W1_STREAMS];
+        let mut bias_stream: Vec<u8> = Vec::new();
+        let mut segments = Vec::with_capacity(instr_leafs.len());
+        let mut all_coeffs: Vec<i16> = Vec::new();
+
+        for (leafs, &(has_w3, has_w1)) in instr_leafs.iter().zip(kinds) {
+            let seg = SegmentInfo {
+                leaf_count: leafs.len(),
+                w3_offset: w3_streams[0].len(),
+                w1_offset: w1_streams[0].len(),
+                bias_offset: bias_stream.len(),
+                has_w3,
+                has_w1,
+            };
+            // Gather per-stream value vectors for this segment.
+            if has_w3 {
+                let mut encoded: Vec<Vec<u8>> = Vec::with_capacity(W3_STREAMS);
+                for s in 0..W3_STREAMS {
+                    let (p, half) = (s / 2, s % 2);
+                    let mut vals = Vec::with_capacity(leafs.len() * W3_PER_LEAF);
+                    for leaf in leafs {
+                        for oc in half * 16..half * 16 + 16 {
+                            for ic in 0..LEAF_CH {
+                                vals.push(leaf.w3[(oc * LEAF_CH + ic) * 9 + p]);
+                            }
+                        }
+                    }
+                    all_coeffs.extend_from_slice(&vals);
+                    encoded.push(encode_segment(&vals));
+                }
+                // Synchronize: pad all 18 segments to the longest.
+                let max = encoded.iter().map(Vec::len).max().unwrap_or(0);
+                for (s, mut e) in encoded.into_iter().enumerate() {
+                    e.resize(max, 0);
+                    w3_streams[s].extend_from_slice(&e);
+                }
+            }
+            if has_w1 {
+                let mut encoded: Vec<Vec<u8>> = Vec::with_capacity(W1_STREAMS);
+                for half in 0..W1_STREAMS {
+                    let mut vals = Vec::with_capacity(leafs.len() * W1_PER_LEAF);
+                    for leaf in leafs {
+                        for oc in half * 16..half * 16 + 16 {
+                            for ic in 0..LEAF_CH {
+                                vals.push(leaf.w1[oc * LEAF_CH + ic]);
+                            }
+                        }
+                    }
+                    all_coeffs.extend_from_slice(&vals);
+                    encoded.push(encode_segment(&vals));
+                }
+                let max = encoded.iter().map(Vec::len).max().unwrap_or(0);
+                for (half, mut e) in encoded.into_iter().enumerate() {
+                    e.resize(max, 0);
+                    w1_streams[half].extend_from_slice(&e);
+                }
+            }
+            {
+                let mut vals = Vec::with_capacity(leafs.len() * BIAS_PER_LEAF);
+                for leaf in leafs {
+                    vals.extend_from_slice(&leaf.b3);
+                    vals.extend_from_slice(&leaf.b1);
+                }
+                all_coeffs.extend_from_slice(&vals);
+                bias_stream.extend_from_slice(&encode_segment(&vals));
+            }
+            segments.push(seg);
+        }
+
+        let stats = entropy_stats(&all_coeffs);
+        Self {
+            w3_streams,
+            w1_streams,
+            bias_stream,
+            segments,
+            stats,
+        }
+    }
+
+    /// Decodes instruction `restart`'s leaf parameters (the IDU's job).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError`] on malformed streams or a bad index.
+    pub fn unpack(&self, restart: usize) -> Result<Vec<LeafParams>, CodingError> {
+        let seg = self.segments.get(restart).ok_or(CodingError::BadTable)?;
+        let n = seg.leaf_count;
+        let mut leafs = vec![LeafParams::zero(); n];
+        if seg.has_w3 {
+            for s in 0..W3_STREAMS {
+                let (p, half) = (s / 2, s % 2);
+                let bytes = &self.w3_streams[s][seg.w3_offset..];
+                let (vals, _) = decode_segment(bytes, n * W3_PER_LEAF)?;
+                let mut it = vals.into_iter();
+                for leaf in leafs.iter_mut() {
+                    for oc in half * 16..half * 16 + 16 {
+                        for ic in 0..LEAF_CH {
+                            leaf.w3[(oc * LEAF_CH + ic) * 9 + p] =
+                                it.next().expect("length checked");
+                        }
+                    }
+                }
+            }
+        }
+        if seg.has_w1 {
+            for half in 0..W1_STREAMS {
+                let bytes = &self.w1_streams[half][seg.w1_offset..];
+                let (vals, _) = decode_segment(bytes, n * W1_PER_LEAF)?;
+                let mut it = vals.into_iter();
+                for leaf in leafs.iter_mut() {
+                    for oc in half * 16..half * 16 + 16 {
+                        for ic in 0..LEAF_CH {
+                            leaf.w1[oc * LEAF_CH + ic] = it.next().expect("length checked");
+                        }
+                    }
+                }
+            }
+        }
+        {
+            let bytes = &self.bias_stream[seg.bias_offset..];
+            let (vals, _) = decode_segment(bytes, n * BIAS_PER_LEAF)?;
+            let mut it = vals.into_iter();
+            for leaf in leafs.iter_mut() {
+                for b in leaf.b3.iter_mut() {
+                    *b = it.next().expect("length checked");
+                }
+                for b in leaf.b1.iter_mut() {
+                    *b = it.next().expect("length checked");
+                }
+            }
+        }
+        Ok(leafs)
+    }
+
+    /// Total parameter-memory bytes occupied (all 21 streams).
+    pub fn total_bytes(&self) -> usize {
+        self.w3_streams.iter().map(Vec::len).sum::<usize>()
+            + self.w1_streams.iter().map(Vec::len).sum::<usize>()
+            + self.bias_stream.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecnn_model::ernet::{ErNetSpec, ErNetTask};
+
+    fn leaf_with_pattern(seed: i16) -> LeafParams {
+        let mut l = LeafParams::zero();
+        for (i, w) in l.w3.iter_mut().enumerate() {
+            *w = ((i as i16).wrapping_mul(31).wrapping_add(seed) % 17) - 8;
+        }
+        for (i, w) in l.w1.iter_mut().enumerate() {
+            *w = ((i as i16).wrapping_mul(13).wrapping_add(seed) % 9) - 4;
+        }
+        for (i, b) in l.b3.iter_mut().enumerate() {
+            *b = ((i as i16).wrapping_add(seed)) % 5 - 2;
+        }
+        for (i, b) in l.b1.iter_mut().enumerate() {
+            *b = ((i as i16).wrapping_mul(3).wrapping_add(seed)) % 7 - 3;
+        }
+        l
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let instrs = vec![
+            vec![leaf_with_pattern(1)],
+            vec![leaf_with_pattern(2), leaf_with_pattern(3)],
+            vec![leaf_with_pattern(4); 4],
+        ];
+        let kinds = vec![(true, false), (true, true), (true, false)];
+        let packed = PackedParams::pack(&instrs, &kinds);
+        for (i, want) in instrs.iter().enumerate() {
+            let got = packed.unpack(i).unwrap();
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(want) {
+                assert_eq!(g.w3, w.w3, "instr {i} w3");
+                assert_eq!(g.b3, w.b3, "instr {i} b3");
+                if kinds[i].1 {
+                    assert_eq!(g.w1, w.w1, "instr {i} w1");
+                    assert_eq!(g.b1, w.b1, "instr {i} b1");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streams_stay_synchronized() {
+        let instrs = vec![vec![leaf_with_pattern(5)], vec![leaf_with_pattern(6)]];
+        let kinds = vec![(true, false), (true, false)];
+        let packed = PackedParams::pack(&instrs, &kinds);
+        let len0 = packed.w3_streams[0].len();
+        for s in &packed.w3_streams {
+            assert_eq!(s.len(), len0, "all 18 streams must stay in lockstep");
+        }
+        // Second segment's offset equals the first segment's padded length.
+        assert_eq!(packed.segments[1].w3_offset, len0 / 2);
+    }
+
+    #[test]
+    fn unpack_bad_index_fails() {
+        let packed = PackedParams::pack(&[], &[]);
+        assert!(packed.unpack(0).is_err());
+    }
+
+    #[test]
+    fn uniform_model_params_validate() {
+        let m = ErNetSpec::new(ErNetTask::Dn, 3, 2, 1).build().unwrap();
+        let qm = QuantizedModel::uniform(&m);
+        qm.check().unwrap();
+        // head + 3 ER + bodyend + tail have parameters; no shuffles here.
+        assert_eq!(qm.layers.iter().flatten().count(), 6);
+    }
+
+    #[test]
+    fn raw_param_bytes_scale_with_expansion() {
+        let small = QuantizedModel::uniform(
+            &ErNetSpec::new(ErNetTask::Dn, 3, 1, 0).build().unwrap(),
+        );
+        let big = QuantizedModel::uniform(
+            &ErNetSpec::new(ErNetTask::Dn, 3, 4, 0).build().unwrap(),
+        );
+        assert!(big.raw_param_bytes() > 3 * small.raw_param_bytes() / 2);
+    }
+
+    #[test]
+    fn layer_params_check_catches_bad_lengths() {
+        let m = ErNetSpec::new(ErNetTask::Dn, 1, 1, 0).build().unwrap();
+        let mut qm = QuantizedModel::uniform(&m);
+        // Corrupt the head conv's w3 length.
+        if let Some(p) = qm.layers.iter_mut().flatten().next() {
+            p.w3.pop();
+        }
+        assert!(qm.check().is_err());
+    }
+
+    #[test]
+    fn compression_ratio_reported() {
+        let instrs = vec![vec![leaf_with_pattern(9); 2]];
+        let packed = PackedParams::pack(&instrs, &[(true, true)]);
+        assert!(packed.stats.compression_ratio > 1.0);
+        assert!(packed.total_bytes() > 0);
+    }
+}

@@ -1,0 +1,407 @@
+//! Block-based truncated-pyramid inference analysis (paper Section 3).
+//!
+//! Two levels of fidelity are provided:
+//!
+//! * Closed forms for plain CONV3×3 networks — Eq. (2) for the normalized
+//!   bandwidth ratio and Eq. (3) for the normalized computation ratio, both
+//!   functions of the depth-input ratio `β = D / x_i`.
+//! * An exact per-layer **footprint walk** for arbitrary models (ERNets with
+//!   upsamplers, 12ch variants, CV networks), which the closed forms are
+//!   property-tested against on plain networks.
+
+use crate::complexity::{op_macs_per_pixel, ChannelMode};
+use crate::layer::Op;
+use crate::model::Model;
+use serde::{Deserialize, Serialize};
+
+/// Eq. (2): normalized bandwidth ratio of the truncated-pyramid flow for a
+/// plain CONV3×3 network, `NBR = 1 + 1/(1-2β)²`.
+///
+/// # Panics
+///
+/// Panics if `beta` is outside `[0, 0.5)`.
+pub fn plain_nbr(beta: f64) -> f64 {
+    assert!((0.0..0.5).contains(&beta), "β must be in [0, 0.5), got {beta}");
+    1.0 + 1.0 / ((1.0 - 2.0 * beta) * (1.0 - 2.0 * beta))
+}
+
+/// Eq. (3): normalized computation ratio of the truncated-pyramid flow for a
+/// plain CONV3×3 network, `NCR = 1/3 + (2/3)·(1-β)/(1-2β)²`.
+///
+/// # Panics
+///
+/// Panics if `beta` is outside `[0, 0.5)`.
+pub fn plain_ncr(beta: f64) -> f64 {
+    assert!((0.0..0.5).contains(&beta), "β must be in [0, 0.5), got {beta}");
+    let d = 1.0 - 2.0 * beta;
+    1.0 / 3.0 + (2.0 / 3.0) * (1.0 - beta) / (d * d)
+}
+
+/// Continuous (f64) footprint walk of a model under the truncated-pyramid
+/// inference type: every CONV3×3 trims one pixel per side, shuffles and
+/// downsamplers rescale.
+///
+/// Sizes are *square block side lengths*; `sizes[0]` is the required input
+/// block `x_i`, `sizes[len]` is the output block `x_o` (both at their own
+/// native resolutions).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FootprintWalk {
+    /// Block side at every chain position (index 0 = model input).
+    pub sizes: Vec<f64>,
+}
+
+impl FootprintWalk {
+    /// Walks backward from an output block of side `xo` (at output
+    /// resolution) to the required input block.
+    ///
+    /// Returns `None` if any intermediate size is non-positive (the pyramid
+    /// collapses: no valid output pixels for this depth/size combination).
+    pub fn backward(model: &Model, xo: f64) -> Option<Self> {
+        let mut sizes = vec![0.0; model.len() + 1];
+        sizes[model.len()] = xo;
+        for (i, layer) in model.layers().iter().enumerate().rev() {
+            let out = sizes[i + 1];
+            let inp = match layer.op {
+                Op::Conv3x3 { .. } | Op::ErModule { .. } => out + 2.0,
+                Op::Conv1x1 { .. } => out,
+                Op::PixelShuffle { factor } => out / factor as f64,
+                Op::PixelUnshuffle { factor } | Op::Downsample { factor, .. } => {
+                    out * factor as f64
+                }
+            };
+            if inp <= 0.0 {
+                return None;
+            }
+            sizes[i] = inp;
+        }
+        if sizes[0] > 0.0 && xo > 0.0 {
+            Some(Self { sizes })
+        } else {
+            None
+        }
+    }
+
+    /// Walks forward from an input block of side `xi` to the produced output
+    /// block. Returns `None` if the pyramid collapses (some size ≤ 0).
+    pub fn forward(model: &Model, xi: f64) -> Option<Self> {
+        let mut sizes = vec![0.0; model.len() + 1];
+        sizes[0] = xi;
+        for (i, layer) in model.layers().iter().enumerate() {
+            let inp = sizes[i];
+            let out = match layer.op {
+                Op::Conv3x3 { .. } | Op::ErModule { .. } => inp - 2.0,
+                Op::Conv1x1 { .. } => inp,
+                Op::PixelShuffle { factor } => inp * factor as f64,
+                Op::PixelUnshuffle { factor } | Op::Downsample { factor, .. } => {
+                    inp / factor as f64
+                }
+            };
+            if out <= 0.0 {
+                return None;
+            }
+            sizes[i + 1] = out;
+        }
+        Some(Self { sizes })
+    }
+
+    /// Required input block side `x_i`.
+    pub fn xi(&self) -> f64 {
+        self.sizes[0]
+    }
+
+    /// Produced output block side `x_o`.
+    pub fn xo(&self) -> f64 {
+        *self.sizes.last().expect("walk is nonempty")
+    }
+}
+
+/// Exact NCR of the block-based flow for `model` with input blocks of side
+/// `xi`: (per-block compute) / (intrinsic compute for the same output area).
+///
+/// Returns `None` if `xi` is too small to produce any output.
+pub fn ncr(model: &Model, xi: f64, mode: ChannelMode) -> Option<f64> {
+    let walk = FootprintWalk::forward(model, xi)?;
+    let scales = model.scale_walk();
+    let out_scale = model.output_scale();
+    let xo = walk.xo();
+    let mut block_ops = 0.0;
+    let mut intrinsic_ops = 0.0;
+    for (i, layer) in model.layers().iter().enumerate() {
+        let macs = op_macs_per_pixel(&layer.op, mode) as f64;
+        if macs == 0.0 {
+            continue;
+        }
+        // The layer computes over its *output* tile.
+        let tile = walk.sizes[i + 1];
+        block_ops += macs * tile * tile;
+        // Intrinsically the layer covers the output area scaled to its own
+        // resolution.
+        let rel = scales[i + 1] / out_scale;
+        intrinsic_ops += macs * (xo * rel) * (xo * rel);
+    }
+    Some(block_ops / intrinsic_ops)
+}
+
+/// Exact NBR of the block-based flow: DRAM traffic for input + output blocks
+/// over the traffic of the output image alone. `feature_bytes` is the byte
+/// width of the streamed I/O samples (1 for the paper's 8-bit images).
+///
+/// Returns `None` if `xi` is too small to produce any output.
+pub fn nbr(model: &Model, xi: f64, feature_bytes: f64) -> Option<f64> {
+    let walk = FootprintWalk::forward(model, xi)?;
+    let xo = walk.xo();
+    let in_bytes = model.in_channels() as f64 * feature_bytes;
+    let out_bytes = model.out_channels() as f64 * feature_bytes;
+    Some(1.0 + (xi * xi * in_bytes) / (xo * xo * out_bytes))
+}
+
+/// Block-buffer capacity needed for an input block of side `xi` holding `c`
+/// channels of `bits`-wide features (paper: `C · L · x_i²`).
+pub fn buffer_bytes(c: usize, xi: f64, bits: u32) -> f64 {
+    c as f64 * xi * xi * bits as f64 / 8.0
+}
+
+/// Inverse of [`buffer_bytes`]: the largest block side a buffer supports.
+pub fn xi_for_buffer(buffer_bytes: f64, c: usize, bits: u32) -> f64 {
+    (buffer_bytes * 8.0 / (c as f64 * bits as f64)).sqrt()
+}
+
+/// NCR as a function of block-buffer size (Fig. 5b): sizes the input block
+/// from the buffer capacity, then runs the exact NCR walk.
+pub fn ncr_vs_buffer(
+    model: &Model,
+    buffer_bytes: f64,
+    feature_channels: usize,
+    feature_bits: u32,
+    mode: ChannelMode,
+) -> Option<f64> {
+    let xi = xi_for_buffer(buffer_bytes, feature_channels, feature_bits);
+    ncr(model, xi, mode)
+}
+
+/// Integer block geometry used by the compiler and the cycle simulator.
+///
+/// Unlike [`FootprintWalk`] this is exact integer arithmetic and fails
+/// loudly when a shuffle/downsample factor does not divide the current
+/// block side.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockGeometry {
+    /// Block side (square) at every chain position; `sides[0]` is the input
+    /// block, `sides[len]` the output block.
+    pub sides: Vec<usize>,
+}
+
+impl BlockGeometry {
+    /// Forward integer walk from input block side `xi`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive error when a factor does not divide the block
+    /// side or the pyramid collapses to zero.
+    pub fn forward(model: &Model, xi: usize) -> Result<Self, String> {
+        let mut sides = Vec::with_capacity(model.len() + 1);
+        sides.push(xi);
+        for (i, layer) in model.layers().iter().enumerate() {
+            let inp = *sides.last().expect("nonempty");
+            let out = match layer.op {
+                Op::Conv3x3 { .. } | Op::ErModule { .. } => {
+                    if inp <= 2 {
+                        return Err(format!("layer {i}: block collapses ({inp} ≤ 2)"));
+                    }
+                    inp - 2
+                }
+                Op::Conv1x1 { .. } => inp,
+                Op::PixelShuffle { factor } => inp * factor,
+                Op::PixelUnshuffle { factor } | Op::Downsample { factor, .. } => {
+                    if inp % factor != 0 {
+                        return Err(format!(
+                            "layer {i}: block side {inp} not divisible by {factor}"
+                        ));
+                    }
+                    inp / factor
+                }
+            };
+            sides.push(out);
+        }
+        Ok(Self { sides })
+    }
+
+    /// Input block side.
+    pub fn xi(&self) -> usize {
+        self.sides[0]
+    }
+
+    /// Output block side.
+    pub fn xo(&self) -> usize {
+        *self.sides.last().expect("nonempty")
+    }
+
+    /// Number of blocks needed to tile a `width × height` output image.
+    pub fn blocks_for_image(&self, width: usize, height: usize) -> usize {
+        let xo = self.xo();
+        width.div_ceil(xo) * height.div_ceil(xo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Activation, Layer};
+    use crate::model::Model;
+
+    fn plain(depth: usize, channels: usize) -> Model {
+        let mut layers = vec![Layer::new(Op::Conv3x3 {
+            in_c: channels,
+            out_c: channels,
+            act: Activation::Relu,
+        })];
+        for _ in 1..depth {
+            layers.push(Layer::new(Op::Conv3x3 {
+                in_c: channels,
+                out_c: channels,
+                act: Activation::Relu,
+            }));
+        }
+        Model::new("plain", channels, channels, layers).unwrap()
+    }
+
+    #[test]
+    fn closed_form_anchors() {
+        // Paper: NBR is 26x at β = 0.4.
+        assert!((plain_nbr(0.4) - 26.0).abs() < 1e-9);
+        // NCR -> 1 as β -> 0 (no overhead for huge blocks).
+        assert!((plain_ncr(1e-9) - 1.0).abs() < 1e-6);
+        // At β = 0.4: 1/3 + (2/3)(0.6)/(0.04) = 10.33 — ~90% recompute.
+        assert!((plain_ncr(0.4) - (1.0 / 3.0 + 0.4 / 0.04)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn beta_half_is_rejected() {
+        plain_ncr(0.5);
+    }
+
+    #[test]
+    fn footprint_walk_plain_network() {
+        let m = plain(20, 64);
+        let w = FootprintWalk::forward(&m, 128.0).unwrap();
+        assert_eq!(w.xi(), 128.0);
+        assert_eq!(w.xo(), 128.0 - 40.0);
+        let b = FootprintWalk::backward(&m, 88.0).unwrap();
+        assert_eq!(b.xi(), 128.0);
+    }
+
+    #[test]
+    fn forward_backward_are_inverse_with_scaling() {
+        let layers = vec![
+            Layer::new(Op::Conv3x3 { in_c: 32, out_c: 128, act: Activation::None }),
+            Layer::new(Op::PixelShuffle { factor: 2 }),
+            Layer::new(Op::Conv3x3 { in_c: 32, out_c: 32, act: Activation::None }),
+        ];
+        let m = Model::new("up", 32, 32, layers).unwrap();
+        let f = FootprintWalk::forward(&m, 60.0).unwrap();
+        let b = FootprintWalk::backward(&m, f.xo()).unwrap();
+        for (a, c) in f.sizes.iter().zip(&b.sizes) {
+            assert!((a - c).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn walk_fails_when_pyramid_collapses() {
+        let m = plain(20, 64);
+        assert!(FootprintWalk::forward(&m, 40.0).is_none()); // 40 - 2*20 = 0
+        assert!(FootprintWalk::forward(&m, 41.0).is_some());
+    }
+
+    #[test]
+    fn exact_ncr_matches_closed_form_on_plain_networks() {
+        // Eq. (3) is the continuum limit; the exact discrete sum converges to
+        // it for deep networks. Use D=40, xi in a range of betas.
+        for &xi in &[160.0, 200.0, 320.0] {
+            let m = plain(40, 64);
+            let beta = 40.0 / xi;
+            let exact = ncr(&m, xi, ChannelMode::Algorithmic).unwrap();
+            let closed = plain_ncr(beta);
+            let rel = (exact - closed).abs() / closed;
+            assert!(rel < 0.05, "xi={xi}: exact {exact} vs closed {closed}");
+        }
+    }
+
+    #[test]
+    fn exact_nbr_matches_closed_form_on_plain_networks() {
+        let m = plain(20, 3);
+        let xi = 100.0;
+        let beta = 20.0 / xi;
+        let exact = nbr(&m, xi, 1.0).unwrap();
+        // Eq. (2) with xo = xi - 2D exactly.
+        assert!((exact - plain_nbr(beta)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vdsr_1mb_buffer_gives_ncr_2() {
+        // Paper Fig. 5b: "The NCR for the 20-layer VDSR is well controlled as
+        // 2× using 1MB block buffers" (64ch, 16-bit features).
+        let vdsr = crate::zoo::vdsr();
+        let ncr = ncr_vs_buffer(&vdsr, 1024.0 * 1024.0, 64, 16, ChannelMode::Algorithmic).unwrap();
+        assert!((ncr - 2.0).abs() < 0.15, "VDSR NCR at 1MB: {ncr}");
+    }
+
+    #[test]
+    fn srresnet_needs_about_2mb_for_similar_ncr() {
+        // Paper Fig. 5b: the 37-layer SRResNet needs ~2MB for NCR ≈ 2×.
+        let sr = crate::zoo::srresnet();
+        let at2mb = ncr_vs_buffer(&sr, 2.0 * 1024.0 * 1024.0, 64, 16, ChannelMode::Algorithmic)
+            .unwrap();
+        let at1mb = ncr_vs_buffer(&sr, 1024.0 * 1024.0, 64, 16, ChannelMode::Algorithmic).unwrap();
+        assert!(at2mb < 3.2, "SRResNet NCR at 2MB: {at2mb}");
+        assert!(at1mb > at2mb * 1.5, "NCR must skyrocket for small buffers");
+    }
+
+    #[test]
+    fn dnernet_b3_nbr_matches_fig21() {
+        // DnERNet-B3R1N0 has 6 CONV3x3 layers; xi=128 -> xo=116 ->
+        // NBR = 1 + (128/116)^2 ≈ 2.22 (paper: 2.2x for UHD30).
+        let m = crate::ernet::ErNetSpec::new(crate::ernet::ErNetTask::Dn, 3, 1, 0)
+            .build()
+            .unwrap();
+        assert_eq!(m.depth_conv3x3(), 6);
+        let v = nbr(&m, 128.0, 1.0).unwrap();
+        assert!((v - 2.218).abs() < 0.01, "NBR {v}");
+    }
+
+    #[test]
+    fn integer_geometry_matches_float_walk() {
+        let m = plain(5, 32);
+        let g = BlockGeometry::forward(&m, 64).unwrap();
+        assert_eq!(g.xi(), 64);
+        assert_eq!(g.xo(), 54);
+        assert_eq!(g.sides.len(), 6);
+    }
+
+    #[test]
+    fn integer_geometry_rejects_indivisible_factors() {
+        let layers = vec![Layer::new(Op::Downsample {
+            kind: crate::layer::PoolKind::Max,
+            factor: 2,
+        })];
+        let m = Model::new("d", 32, 32, layers).unwrap();
+        assert!(BlockGeometry::forward(&m, 63).is_err());
+        assert!(BlockGeometry::forward(&m, 64).is_ok());
+    }
+
+    #[test]
+    fn blocks_for_image_covers_frame() {
+        let m = plain(6, 32);
+        let g = BlockGeometry::forward(&m, 128).unwrap();
+        assert_eq!(g.xo(), 116);
+        // 3840/116 = 33.1 -> 34; 2160/116 = 18.6 -> 19
+        assert_eq!(g.blocks_for_image(3840, 2160), 34 * 19);
+    }
+
+    #[test]
+    fn buffer_sizing_round_trip() {
+        let b = buffer_bytes(32, 128.0, 8);
+        assert_eq!(b, 512.0 * 1024.0); // 32ch x 128^2 x 1B = 512 KB
+        assert!((xi_for_buffer(b, 32, 8) - 128.0).abs() < 1e-9);
+    }
+}

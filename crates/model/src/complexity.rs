@@ -1,0 +1,195 @@
+//! Computation and parameter accounting.
+//!
+//! The paper's budgets (Fig. 8, Table 2) count *hardware* operations: every
+//! convolution runs on 32-channel leaf-modules, so a 3→32 head convolution
+//! costs as much as a 32→32 one. [`ChannelMode`] selects between that
+//! convention and the algorithmic (logical-channel) count used when quoting
+//! model complexity in the literature (e.g. VDSR's 1.33 MOP/pixel).
+//!
+//! Operations are counted as `2 × MACs` (one multiply + one add), matching
+//! the paper's TOPS arithmetic (81,920 multipliers × 2 × 250 MHz ≈ 41 TOPS).
+
+use crate::layer::Op;
+use crate::model::Model;
+use serde::{Deserialize, Serialize};
+
+/// Leaf-module channel width of the eCNN datapath.
+pub const LEAF_CHANNELS: usize = 32;
+
+/// Channel-count convention for complexity accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChannelMode {
+    /// Logical channels as declared in the model.
+    Algorithmic,
+    /// Channels rounded up to multiples of the 32-wide leaf-module.
+    Hardware,
+}
+
+impl ChannelMode {
+    #[inline]
+    fn round(self, c: usize) -> usize {
+        match self {
+            ChannelMode::Algorithmic => c,
+            ChannelMode::Hardware => c.div_ceil(LEAF_CHANNELS) * LEAF_CHANNELS,
+        }
+    }
+}
+
+/// MACs per pixel (at the layer's own resolution) for one op.
+pub fn op_macs_per_pixel(op: &Op, mode: ChannelMode) -> u64 {
+    match *op {
+        Op::Conv3x3 { in_c, out_c, .. } => {
+            (mode.round(in_c) * mode.round(out_c) * 9) as u64
+        }
+        Op::Conv1x1 { in_c, out_c, .. } => (mode.round(in_c) * mode.round(out_c)) as u64,
+        Op::ErModule { channels, expansion } => {
+            let c = mode.round(channels);
+            let wide = mode.round(channels * expansion);
+            (c * wide * 9 + wide * c) as u64
+        }
+        _ => 0,
+    }
+}
+
+/// Hardware parameter slots for one op (every leaf-module stores its full
+/// 32×32×9 weights + 64 biases, regardless of logical channel use).
+pub fn op_params(op: &Op, mode: ChannelMode) -> u64 {
+    match *op {
+        Op::Conv3x3 { in_c, out_c, .. } => {
+            let (i, o) = (mode.round(in_c), mode.round(out_c));
+            (i * o * 9 + o) as u64
+        }
+        Op::Conv1x1 { in_c, out_c, .. } => {
+            let (i, o) = (mode.round(in_c), mode.round(out_c));
+            (i * o + o) as u64
+        }
+        Op::ErModule { channels, expansion } => {
+            let c = mode.round(channels);
+            let wide = mode.round(channels * expansion);
+            (c * wide * 9 + wide + wide * c + c) as u64
+        }
+        _ => 0,
+    }
+}
+
+/// Complexity summary for a model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Complexity {
+    /// Per-layer MACs per *final output* pixel (layer cost scaled by the
+    /// square of its resolution relative to the output).
+    pub per_layer_macs: Vec<f64>,
+    /// Total MACs per final output pixel.
+    pub macs_per_pixel: f64,
+    /// Total operations (2×MACs) per final output pixel, in KOP.
+    pub kop_per_pixel: f64,
+    /// Parameter count under the selected convention.
+    pub params: u64,
+}
+
+impl Complexity {
+    /// Computes the complexity of `model` under the given channel mode.
+    ///
+    /// Layer costs are referred to the *final output* resolution: a layer
+    /// running at 1/s the output resolution contributes `macs/px / s²`.
+    pub fn of(model: &Model, mode: ChannelMode) -> Self {
+        let scales = model.scale_walk();
+        let out_scale = model.output_scale();
+        let mut per_layer = Vec::with_capacity(model.len());
+        let mut total = 0.0;
+        for (i, layer) in model.layers().iter().enumerate() {
+            // Convs run at their output resolution = scales[i + 1].
+            let rel = scales[i + 1] / out_scale;
+            let macs = op_macs_per_pixel(&layer.op, mode) as f64 * rel * rel;
+            per_layer.push(macs);
+            total += macs;
+        }
+        let params = model
+            .layers()
+            .iter()
+            .map(|l| op_params(&l.op, mode))
+            .sum();
+        Complexity {
+            per_layer_macs: per_layer,
+            macs_per_pixel: total,
+            kop_per_pixel: total * 2.0 / 1000.0,
+            params,
+        }
+    }
+
+    /// Total operations per second required at `pixels_per_second` output
+    /// throughput, in TOPS.
+    pub fn tops_at(&self, pixels_per_second: f64) -> f64 {
+        self.kop_per_pixel * 1000.0 * pixels_per_second / 1e12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Activation, Layer};
+    use crate::zoo;
+
+    #[test]
+    fn channel_rounding() {
+        assert_eq!(ChannelMode::Hardware.round(3), 32);
+        assert_eq!(ChannelMode::Hardware.round(32), 32);
+        assert_eq!(ChannelMode::Hardware.round(33), 64);
+        assert_eq!(ChannelMode::Algorithmic.round(3), 3);
+    }
+
+    #[test]
+    fn vdsr_is_1_33_mop_per_pixel() {
+        // Paper Section 2: VDSR demands 83 TOPS at Full HD 30 fps
+        // => 1.33 MOP/pixel with algorithmic channels.
+        let vdsr = zoo::vdsr();
+        let c = Complexity::of(&vdsr, ChannelMode::Algorithmic);
+        let mop = c.kop_per_pixel / 1000.0;
+        assert!((mop - 1.33).abs() < 0.01, "VDSR {mop} MOP/px");
+        // 83 TOPS at Full HD 30 fps.
+        let tops = c.tops_at(1920.0 * 1080.0 * 30.0);
+        assert!((tops - 83.0).abs() < 1.0, "VDSR {tops} TOPS");
+    }
+
+    #[test]
+    fn ermodule_cost_matches_hand_calculation() {
+        let op = Op::ErModule { channels: 32, expansion: 3 };
+        // 32*96*9 + 96*32 = 27648 + 3072 = 30720
+        assert_eq!(op_macs_per_pixel(&op, ChannelMode::Hardware), 30720);
+        assert_eq!(op_macs_per_pixel(&op, ChannelMode::Algorithmic), 30720);
+    }
+
+    #[test]
+    fn hardware_mode_rounds_rgb_head() {
+        let op = Op::Conv3x3 { in_c: 3, out_c: 32, act: Activation::Relu };
+        assert_eq!(op_macs_per_pixel(&op, ChannelMode::Algorithmic), 3 * 32 * 9);
+        assert_eq!(op_macs_per_pixel(&op, ChannelMode::Hardware), 32 * 32 * 9);
+    }
+
+    #[test]
+    fn upsampled_layers_cost_less_per_output_pixel() {
+        // conv at 1x, shuffle x2, conv at 2x; output scale = 2.
+        let m = Model::new(
+            "m",
+            32,
+            32,
+            vec![
+                Layer::new(Op::Conv3x3 { in_c: 32, out_c: 128, act: Activation::None }),
+                Layer::new(Op::PixelShuffle { factor: 2 }),
+                Layer::new(Op::Conv3x3 { in_c: 32, out_c: 32, act: Activation::None }),
+            ],
+        )
+        .unwrap();
+        let c = Complexity::of(&m, ChannelMode::Hardware);
+        // First conv runs at 1/2 the output resolution: cost / 4.
+        assert_eq!(c.per_layer_macs[0], (32 * 128 * 9) as f64 / 4.0);
+        assert_eq!(c.per_layer_macs[1], 0.0);
+        assert_eq!(c.per_layer_macs[2], (32 * 32 * 9) as f64);
+    }
+
+    #[test]
+    fn params_hardware_vs_algorithmic() {
+        let op = Op::Conv3x3 { in_c: 3, out_c: 3, act: Activation::None };
+        assert_eq!(op_params(&op, ChannelMode::Algorithmic), 3 * 3 * 9 + 3);
+        assert_eq!(op_params(&op, ChannelMode::Hardware), 32 * 32 * 9 + 32);
+    }
+}

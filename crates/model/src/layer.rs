@@ -1,0 +1,264 @@
+//! Layer operations of the FBISA-supported model IR.
+//!
+//! The IR is a linear chain of [`Layer`]s; skip connections are expressed as
+//! references to earlier layer outputs ([`SkipRef`]), which matches FBISA's
+//! supplementary source operand (`srcS`) used for residual accumulation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Pointwise activation applied after a convolution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// No activation (linear output layers, reduction layers).
+    None,
+    /// Rectified linear unit.
+    Relu,
+}
+
+impl Activation {
+    /// Applies the activation to a floating-point value.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::None => x,
+            Activation::Relu => x.max(0.0),
+        }
+    }
+}
+
+/// Spatial downsampling flavour (FBISA's `DNX2` post-processing options).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Strided sub-sampling (keep the top-left pixel of each window).
+    Stride,
+    /// Max-pooling over the window.
+    Max,
+}
+
+/// One operation in the model chain.
+///
+/// Channel counts are *logical* (e.g. 3 for RGB I/O); the hardware rounds
+/// them up to multiples of the 32-channel leaf-module width — see
+/// [`crate::complexity::ChannelMode`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// 3×3 convolution. Shrinks each spatial side by 2 under the
+    /// truncated-pyramid (valid) inference type.
+    Conv3x3 {
+        /// Input channels.
+        in_c: usize,
+        /// Output channels.
+        out_c: usize,
+        /// Post-conv activation.
+        act: Activation,
+    },
+    /// 1×1 convolution (no spatial footprint).
+    Conv1x1 {
+        /// Input channels.
+        in_c: usize,
+        /// Output channels.
+        out_c: usize,
+        /// Post-conv activation.
+        act: Activation,
+    },
+    /// ERModule (paper Fig. 6a): CONV3×3 expanding `channels → expansion ×
+    /// channels` with ReLU, CONV1×1 reducing back, plus an internal residual
+    /// connection from the module input. Executes as one `ER` instruction.
+    ErModule {
+        /// Module width (32 for all paper models).
+        channels: usize,
+        /// Integer expansion ratio `Rm ≥ 1`.
+        expansion: usize,
+    },
+    /// Depth-to-space ×`factor` (sub-pixel upsampler):
+    /// `C → C/factor²`, spatial ×`factor`.
+    PixelShuffle {
+        /// Upsampling factor (2 in all paper models).
+        factor: usize,
+    },
+    /// Space-to-depth ×`factor` (DnERNet-12ch input packing):
+    /// `C → C·factor²`, spatial ÷`factor`.
+    PixelUnshuffle {
+        /// Downsampling factor.
+        factor: usize,
+    },
+    /// Spatial downsampling by `factor` (FBISA `DNX2` with stride or max
+    /// pooling). Channels unchanged.
+    Downsample {
+        /// Pooling flavour.
+        kind: PoolKind,
+        /// Downsampling factor (2 in all paper models).
+        factor: usize,
+    },
+}
+
+impl Op {
+    /// Input channel count, or `None` for channel-agnostic ops.
+    pub fn in_channels(&self) -> Option<usize> {
+        match *self {
+            Op::Conv3x3 { in_c, .. } | Op::Conv1x1 { in_c, .. } => Some(in_c),
+            Op::ErModule { channels, .. } => Some(channels),
+            _ => None,
+        }
+    }
+
+    /// Output channel count given `in_c` input channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shuffle factor does not divide the channel count.
+    pub fn out_channels(&self, in_c: usize) -> usize {
+        match *self {
+            Op::Conv3x3 { out_c, .. } | Op::Conv1x1 { out_c, .. } => out_c,
+            Op::ErModule { channels, .. } => channels,
+            Op::PixelShuffle { factor } => {
+                assert!(in_c % (factor * factor) == 0, "shuffle factor mismatch");
+                in_c / (factor * factor)
+            }
+            Op::PixelUnshuffle { factor } => in_c * factor * factor,
+            Op::Downsample { .. } => in_c,
+        }
+    }
+
+    /// Multiplicative effect on spatial resolution (2.0 for ×2 upsampling,
+    /// 0.5 for ×2 downsampling, 1.0 otherwise).
+    pub fn scale_factor(&self) -> f64 {
+        match *self {
+            Op::PixelShuffle { factor } => factor as f64,
+            Op::PixelUnshuffle { factor } | Op::Downsample { factor, .. } => 1.0 / factor as f64,
+            _ => 1.0,
+        }
+    }
+
+    /// Number of CONV3×3 stages inside this op (drives the receptive-field
+    /// growth of the truncated pyramid).
+    pub fn conv3x3_count(&self) -> usize {
+        match *self {
+            Op::Conv3x3 { .. } | Op::ErModule { .. } => 1,
+            _ => 0,
+        }
+    }
+
+    /// True for ops that carry trainable parameters.
+    pub fn has_params(&self) -> bool {
+        matches!(self, Op::Conv3x3 { .. } | Op::Conv1x1 { .. } | Op::ErModule { .. })
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Op::Conv3x3 { in_c, out_c, act } => {
+                write!(f, "CONV3x3 {in_c}->{out_c}")?;
+                if act == Activation::Relu {
+                    write!(f, " +ReLU")?;
+                }
+                Ok(())
+            }
+            Op::Conv1x1 { in_c, out_c, act } => {
+                write!(f, "CONV1x1 {in_c}->{out_c}")?;
+                if act == Activation::Relu {
+                    write!(f, " +ReLU")?;
+                }
+                Ok(())
+            }
+            Op::ErModule { channels, expansion } => {
+                write!(f, "ERModule {channels}ch x{expansion}")
+            }
+            Op::PixelShuffle { factor } => write!(f, "PixelShuffle x{factor}"),
+            Op::PixelUnshuffle { factor } => write!(f, "PixelUnshuffle x{factor}"),
+            Op::Downsample { kind, factor } => write!(f, "Downsample {kind:?} x{factor}"),
+        }
+    }
+}
+
+/// A skip-connection source: the tensor added to this layer's output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SkipRef {
+    /// The model input (after any channel padding).
+    Input,
+    /// The output of an earlier layer (0-based index into the chain).
+    Layer(usize),
+}
+
+/// One element of the model chain: an operation plus an optional residual.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Layer {
+    /// The operation.
+    pub op: Op,
+    /// Residual source added to the output (`srcS` in FBISA), if any.
+    pub skip: Option<SkipRef>,
+}
+
+impl Layer {
+    /// A layer without a residual connection.
+    pub fn new(op: Op) -> Self {
+        Self { op, skip: None }
+    }
+
+    /// A layer whose output accumulates the referenced earlier tensor.
+    pub fn with_skip(op: Op, skip: SkipRef) -> Self {
+        Self { op, skip: Some(skip) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_channels_follow_op_semantics() {
+        assert_eq!(
+            Op::Conv3x3 { in_c: 32, out_c: 128, act: Activation::None }.out_channels(32),
+            128
+        );
+        assert_eq!(Op::ErModule { channels: 32, expansion: 4 }.out_channels(32), 32);
+        assert_eq!(Op::PixelShuffle { factor: 2 }.out_channels(128), 32);
+        assert_eq!(Op::PixelUnshuffle { factor: 2 }.out_channels(3), 12);
+        assert_eq!(
+            Op::Downsample { kind: PoolKind::Max, factor: 2 }.out_channels(64),
+            64
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn shuffle_requires_divisible_channels() {
+        let _ = Op::PixelShuffle { factor: 2 }.out_channels(30);
+    }
+
+    #[test]
+    fn scale_factors() {
+        assert_eq!(Op::PixelShuffle { factor: 2 }.scale_factor(), 2.0);
+        assert_eq!(Op::PixelUnshuffle { factor: 2 }.scale_factor(), 0.5);
+        assert_eq!(
+            Op::Downsample { kind: PoolKind::Stride, factor: 2 }.scale_factor(),
+            0.5
+        );
+        assert_eq!(
+            Op::Conv3x3 { in_c: 3, out_c: 3, act: Activation::None }.scale_factor(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn conv3x3_count_includes_ermodule() {
+        assert_eq!(Op::ErModule { channels: 32, expansion: 1 }.conv3x3_count(), 1);
+        assert_eq!(Op::Conv1x1 { in_c: 32, out_c: 32, act: Activation::None }.conv3x3_count(), 0);
+    }
+
+    #[test]
+    fn activation_apply() {
+        assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert_eq!(Activation::None.apply(-2.0), -2.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = Op::ErModule { channels: 32, expansion: 3 }.to_string();
+        assert!(s.contains("ERModule"));
+        assert!(s.contains("x3"));
+    }
+}

@@ -1,0 +1,39 @@
+//! Network-model IR and hardware-aware analysis for the eCNN reproduction.
+//!
+//! This crate captures everything the paper decides *before* hardware
+//! execution:
+//!
+//! * [`layer`] / [`model`] — a compact IR for fully-convolutional models made
+//!   of the FBISA-supported operations (CONV3×3, CONV1×1, ERModule, pixel
+//!   shuffle/unshuffle, downsampling, residual connections).
+//! * [`ernet`] — builders for the paper's ERNet family (Section 4):
+//!   `SR4ERNet-B{B}R{R}N{N}`, `SR2ERNet`, `DnERNet`, and the Appendix-A
+//!   `DnERNet-12ch` variants.
+//! * [`zoo`] — reference models used for comparison: VDSR, SRResNet,
+//!   EDSR-baseline, and the FBISA-compatible style-transfer and object
+//!   recognition networks of Section 7.3.
+//! * [`complexity`] — MACs/params accounting in both *algorithmic* and
+//!   *hardware* (32-channel leaf-module) conventions.
+//! * [`blockflow`] — the block-based truncated-pyramid inference analysis of
+//!   Section 3: closed-form NBR/NCR for plain networks (Eq. 2/3) and an
+//!   exact per-layer footprint walk for arbitrary models.
+//! * [`scan`] — the model-selection procedure of Section 4.2: enumerate
+//!   `(B, RE)` candidates under a compute budget.
+//! * [`spec`] — real-time throughput specifications (UHD30 / HD60 / HD30).
+
+pub mod blockflow;
+pub mod complexity;
+pub mod ernet;
+pub mod layer;
+pub mod model;
+pub mod scan;
+pub mod spec;
+pub mod zoo;
+
+pub use blockflow::{BlockGeometry, FootprintWalk};
+pub use complexity::{ChannelMode, Complexity};
+pub use ernet::{ErNetSpec, ErNetTask};
+pub use layer::{Activation, Layer, Op, PoolKind, SkipRef};
+pub use model::{InferenceKind, Model, ModelError};
+pub use scan::{scan_candidates, Candidate};
+pub use spec::RealTimeSpec;

@@ -1,0 +1,405 @@
+//! The [`Model`] container: a validated chain of layers with I/O metadata.
+
+use crate::layer::{Layer, Op, SkipRef};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors raised by [`Model::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// A layer's declared input channels disagree with the chain.
+    ChannelMismatch {
+        /// Index of the offending layer.
+        layer: usize,
+        /// Channels produced by the previous stage.
+        expected: usize,
+        /// Channels the layer declares.
+        found: usize,
+    },
+    /// A skip reference points at this or a later layer.
+    ForwardSkip {
+        /// Index of the offending layer.
+        layer: usize,
+    },
+    /// A skip source has a different channel count or resolution scale than
+    /// the layer output it is added to.
+    SkipShapeMismatch {
+        /// Index of the offending layer.
+        layer: usize,
+    },
+    /// The model has no layers.
+    Empty,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ChannelMismatch { layer, expected, found } => write!(
+                f,
+                "layer {layer}: expects {found} input channels but receives {expected}"
+            ),
+            ModelError::ForwardSkip { layer } => {
+                write!(f, "layer {layer}: skip reference is not strictly earlier")
+            }
+            ModelError::SkipShapeMismatch { layer } => {
+                write!(f, "layer {layer}: skip source shape does not match output")
+            }
+            ModelError::Empty => write!(f, "model has no layers"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Spatial inference type (FBISA opcode attribute, Section 5.1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InferenceKind {
+    /// Valid convolutions on recomputed overlapping blocks — the
+    /// truncated-pyramid flow of Section 3 (imaging models).
+    #[default]
+    TruncatedPyramid,
+    /// Zero-padded convolutions on a single whole-frame block (the
+    /// computer-vision case studies of Section 7.3).
+    ZeroPadded,
+}
+
+/// A fully-convolutional model: a named, validated layer chain.
+///
+/// # Example
+///
+/// ```
+/// use ecnn_model::{Activation, Layer, Model, Op};
+/// let model = Model::new(
+///     "tiny",
+///     3,
+///     3,
+///     vec![
+///         Layer::new(Op::Conv3x3 { in_c: 3, out_c: 32, act: Activation::Relu }),
+///         Layer::new(Op::Conv3x3 { in_c: 32, out_c: 3, act: Activation::None }),
+///     ],
+/// )
+/// .unwrap();
+/// assert_eq!(model.depth_conv3x3(), 2);
+/// assert_eq!(model.output_scale(), 1.0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Model {
+    name: String,
+    /// Logical input channels (3 for RGB; 12 for unshuffled DnERNet-12ch).
+    in_channels: usize,
+    /// Logical output channels.
+    out_channels: usize,
+    layers: Vec<Layer>,
+    #[serde(default)]
+    inference: InferenceKind,
+}
+
+impl Model {
+    /// Builds and validates a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] if the chain is empty, channel counts do not
+    /// agree, or a skip connection is ill-formed.
+    pub fn new(
+        name: impl Into<String>,
+        in_channels: usize,
+        out_channels: usize,
+        layers: Vec<Layer>,
+    ) -> Result<Self, ModelError> {
+        let m = Self {
+            name: name.into(),
+            in_channels,
+            out_channels,
+            layers,
+            inference: InferenceKind::TruncatedPyramid,
+        };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Sets the spatial inference type (default: truncated pyramid).
+    #[must_use]
+    pub fn with_inference(mut self, kind: InferenceKind) -> Self {
+        self.inference = kind;
+        self
+    }
+
+    /// The spatial inference type used when compiling this model.
+    pub fn inference(&self) -> InferenceKind {
+        self.inference
+    }
+
+    /// Model name (e.g. `SR4ERNet-B34R4N0`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Logical input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Logical output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// The layer chain.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when the chain is empty (never, for validated models).
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Channel count flowing *into* layer `i`.
+    pub fn in_channels_at(&self, i: usize) -> usize {
+        self.channel_walk()[i]
+    }
+
+    /// Channel count flowing *out of* layer `i`.
+    pub fn out_channels_at(&self, i: usize) -> usize {
+        self.channel_walk()[i + 1]
+    }
+
+    /// Channels at every chain position: `walk[0]` is the model input,
+    /// `walk[i+1]` is the output of layer `i`.
+    pub fn channel_walk(&self) -> Vec<usize> {
+        let mut walk = Vec::with_capacity(self.layers.len() + 1);
+        walk.push(self.in_channels);
+        for layer in &self.layers {
+            let prev = *walk.last().expect("walk is nonempty");
+            walk.push(layer.op.out_channels(prev));
+        }
+        walk
+    }
+
+    /// Resolution scale at every chain position relative to the input
+    /// (`scale[0] = 1`).
+    pub fn scale_walk(&self) -> Vec<f64> {
+        let mut walk = Vec::with_capacity(self.layers.len() + 1);
+        walk.push(1.0);
+        for layer in &self.layers {
+            let prev = *walk.last().expect("walk is nonempty");
+            walk.push(prev * layer.op.scale_factor());
+        }
+        walk
+    }
+
+    /// Output resolution relative to the input (4.0 for SR×4, 1.0 for
+    /// denoising).
+    pub fn output_scale(&self) -> f64 {
+        *self.scale_walk().last().expect("walk is nonempty")
+    }
+
+    /// Total CONV3×3 stage count `D` — the truncated pyramid's depth driver.
+    pub fn depth_conv3x3(&self) -> usize {
+        self.layers.iter().map(|l| l.op.conv3x3_count()).sum()
+    }
+
+    /// Validates channel agreement and skip-connection well-formedness.
+    ///
+    /// # Errors
+    ///
+    /// See [`ModelError`].
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.layers.is_empty() {
+            return Err(ModelError::Empty);
+        }
+        let mut channels = self.in_channels;
+        let mut scale = 1.0f64;
+        // (channels, scale) of every produced tensor; index 0 = input.
+        let mut produced: Vec<(usize, f64)> = vec![(self.in_channels, 1.0)];
+        for (i, layer) in self.layers.iter().enumerate() {
+            if let Some(expect) = layer.op.in_channels() {
+                if expect != channels {
+                    return Err(ModelError::ChannelMismatch {
+                        layer: i,
+                        expected: channels,
+                        found: expect,
+                    });
+                }
+            }
+            channels = layer.op.out_channels(channels);
+            scale *= layer.op.scale_factor();
+            if let Some(skip) = layer.skip {
+                let src = match skip {
+                    SkipRef::Input => produced[0],
+                    SkipRef::Layer(j) => {
+                        if j >= i {
+                            return Err(ModelError::ForwardSkip { layer: i });
+                        }
+                        produced[j + 1]
+                    }
+                };
+                if src != (channels, scale) {
+                    return Err(ModelError::SkipShapeMismatch { layer: i });
+                }
+            }
+            produced.push((channels, scale));
+        }
+        Ok(())
+    }
+
+    /// Counts trainable parameters (weights + biases, logical channels).
+    pub fn param_count(&self) -> usize {
+        let walk = self.channel_walk();
+        self.layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| match l.op {
+                Op::Conv3x3 { in_c, out_c, .. } => {
+                    debug_assert_eq!(in_c, walk[i]);
+                    in_c * out_c * 9 + out_c
+                }
+                Op::Conv1x1 { in_c, out_c, .. } => in_c * out_c + out_c,
+                Op::ErModule { channels, expansion } => {
+                    let wide = channels * expansion;
+                    channels * wide * 9 + wide + wide * channels + channels
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} ({}ch -> {}ch, scale x{}, D={})",
+            self.name,
+            self.in_channels,
+            self.out_channels,
+            self.output_scale(),
+            self.depth_conv3x3()
+        )?;
+        for (i, layer) in self.layers.iter().enumerate() {
+            write!(f, "  [{i:2}] {}", layer.op)?;
+            match layer.skip {
+                Some(SkipRef::Input) => writeln!(f, "  (+input)")?,
+                Some(SkipRef::Layer(j)) => writeln!(f, "  (+layer {j})")?,
+                None => writeln!(f)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Activation, PoolKind};
+
+    fn conv(in_c: usize, out_c: usize) -> Layer {
+        Layer::new(Op::Conv3x3 { in_c, out_c, act: Activation::Relu })
+    }
+
+    #[test]
+    fn valid_chain_passes() {
+        let m = Model::new("m", 3, 16, vec![conv(3, 8), conv(8, 16)]).unwrap();
+        assert_eq!(m.channel_walk(), vec![3, 8, 16]);
+        assert_eq!(m.depth_conv3x3(), 2);
+    }
+
+    #[test]
+    fn empty_model_rejected() {
+        assert_eq!(Model::new("m", 3, 3, vec![]).unwrap_err(), ModelError::Empty);
+    }
+
+    #[test]
+    fn channel_mismatch_detected() {
+        let err = Model::new("m", 3, 16, vec![conv(3, 8), conv(9, 16)]).unwrap_err();
+        assert_eq!(err, ModelError::ChannelMismatch { layer: 1, expected: 8, found: 9 });
+    }
+
+    #[test]
+    fn forward_skip_rejected() {
+        let l = Layer::with_skip(
+            Op::Conv3x3 { in_c: 3, out_c: 3, act: Activation::None },
+            SkipRef::Layer(0),
+        );
+        let err = Model::new("m", 3, 3, vec![l]).unwrap_err();
+        assert_eq!(err, ModelError::ForwardSkip { layer: 0 });
+    }
+
+    #[test]
+    fn skip_channel_mismatch_rejected() {
+        // input has 3 channels, layer output has 8 -> inconsistent residual
+        let l = Layer::with_skip(
+            Op::Conv3x3 { in_c: 3, out_c: 8, act: Activation::None },
+            SkipRef::Input,
+        );
+        let err = Model::new("m", 3, 8, vec![l]).unwrap_err();
+        assert_eq!(err, ModelError::SkipShapeMismatch { layer: 0 });
+    }
+
+    #[test]
+    fn skip_scale_mismatch_rejected() {
+        // layer 0: 3 -> 12 channels; layer 1: shuffle to 3ch at 2x; skip from
+        // input has matching channels but wrong scale.
+        let layers = vec![
+            conv(3, 12),
+            Layer::with_skip(Op::PixelShuffle { factor: 2 }, SkipRef::Input),
+        ];
+        let err = Model::new("m", 3, 3, layers).unwrap_err();
+        assert_eq!(err, ModelError::SkipShapeMismatch { layer: 1 });
+    }
+
+    #[test]
+    fn valid_global_residual() {
+        // head conv 3->32, body conv 32->32 with skip from head output.
+        let layers = vec![
+            conv(3, 32),
+            Layer::with_skip(
+                Op::Conv3x3 { in_c: 32, out_c: 32, act: Activation::None },
+                SkipRef::Layer(0),
+            ),
+        ];
+        assert!(Model::new("m", 3, 32, layers).is_ok());
+    }
+
+    #[test]
+    fn scale_walk_tracks_shuffles() {
+        let layers = vec![
+            conv(3, 128),
+            Layer::new(Op::PixelShuffle { factor: 2 }),
+            Layer::new(Op::Downsample { kind: PoolKind::Max, factor: 2 }),
+        ];
+        let m = Model::new("m", 3, 32, layers).unwrap();
+        assert_eq!(m.scale_walk(), vec![1.0, 1.0, 2.0, 1.0]);
+        assert_eq!(m.output_scale(), 1.0);
+    }
+
+    #[test]
+    fn param_count_matches_hand_calculation() {
+        let m = Model::new(
+            "m",
+            3,
+            3,
+            vec![
+                conv(3, 32),                                            // 3*32*9+32 = 896
+                Layer::new(Op::ErModule { channels: 32, expansion: 2 }), // 32*64*9+64 + 64*32+32 = 20576
+                Layer::new(Op::Conv3x3 { in_c: 32, out_c: 3, act: Activation::None }), // 32*3*9+3 = 867
+            ],
+        )
+        .unwrap();
+        assert_eq!(m.param_count(), 896 + (32 * 64 * 9 + 64 + 64 * 32 + 32) + 867);
+    }
+
+    #[test]
+    fn display_lists_layers() {
+        let m = Model::new("demo", 3, 8, vec![conv(3, 8)]).unwrap();
+        let s = m.to_string();
+        assert!(s.contains("demo"));
+        assert!(s.contains("CONV3x3 3->8"));
+    }
+}

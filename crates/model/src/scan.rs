@@ -1,0 +1,191 @@
+//! The model-selection scan of Section 4.2 / Fig. 8.
+//!
+//! For each module count `B`, find the largest expansion ratio `RE = R + N/B`
+//! (capped at the paper's system bound `RE ≤ 4`) such that the *total*
+//! block-based complexity — `NCR × intrinsic` — fits the per-pixel budget.
+//! Deeper models suffer larger NCR (the truncated pyramid steepens), so the
+//! feasible `RE` and with it the intrinsic complexity fall as `B` grows —
+//! the paper's core observation that "deeper networks do not necessarily
+//! perform better now".
+
+use crate::blockflow::ncr;
+use crate::complexity::{ChannelMode, Complexity};
+use crate::ernet::{ErNetSpec, ErNetTask};
+use serde::{Deserialize, Serialize};
+
+/// The paper's system upper bound on the expansion ratio.
+pub const MAX_RE: f64 = 4.0;
+
+/// One feasible scan candidate.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// The model hyper-parameters.
+    pub spec: ErNetSpec,
+    /// Overall expansion ratio `R + N/B`.
+    pub re: f64,
+    /// Exact NCR at the scan's input-block size.
+    pub ncr: f64,
+    /// Intrinsic complexity in KOP per output pixel (hardware channels).
+    pub intrinsic_kop: f64,
+    /// Block-based complexity `NCR × intrinsic` in KOP per output pixel.
+    pub total_kop: f64,
+}
+
+/// Enumerates, for every `B` in `1..=b_max`, the largest-`RE` ERNet that fits
+/// `budget_kop` (total block-based KOP per output pixel) with input blocks of
+/// side `xi`. Models whose pyramid collapses at `xi` or that cannot fit the
+/// budget even at `RE = 1` are skipped, so the scan naturally terminates at
+/// the feasible depth range (top panel of Fig. 8).
+pub fn scan_candidates(task: ErNetTask, budget_kop: f64, xi: f64, b_max: usize) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for b in 1..=b_max {
+        // Candidate REs for this B, descending: R + N/B for R in 1..=4, N in 0..B,
+        // capped at MAX_RE.
+        let mut res: Vec<(usize, usize)> = Vec::new();
+        for r in 1..=(MAX_RE as usize) {
+            for n in 0..b {
+                if r as f64 + n as f64 / b as f64 <= MAX_RE {
+                    res.push((r, n));
+                }
+            }
+        }
+        res.sort_by(|a, b_| {
+            let rea = a.0 as f64 + a.1 as f64 / b as f64;
+            let reb = b_.0 as f64 + b_.1 as f64 / b as f64;
+            reb.partial_cmp(&rea).expect("finite")
+        });
+        for (r, n) in res {
+            let spec = ErNetSpec::new(task, b, r, n);
+            let Ok(model) = spec.build() else { continue };
+            let Some(model_ncr) = ncr(&model, xi, ChannelMode::Hardware) else {
+                continue; // pyramid collapsed: B too deep for this xi
+            };
+            let intrinsic = Complexity::of(&model, ChannelMode::Hardware).kop_per_pixel;
+            let total = model_ncr * intrinsic;
+            if total <= budget_kop {
+                out.push(Candidate {
+                    spec,
+                    re: spec.re(),
+                    ncr: model_ncr,
+                    intrinsic_kop: intrinsic,
+                    total_kop: total,
+                });
+                break; // largest feasible RE found for this B
+            }
+        }
+    }
+    out
+}
+
+/// Picks the candidate with the highest intrinsic complexity — the scan's
+/// proxy ordering before the lightweight-training quality pass (the paper
+/// trains all candidates; `ecnn-nn` provides that stage).
+pub fn best_by_intrinsic(candidates: &[Candidate]) -> Option<&Candidate> {
+    candidates.iter().max_by(|a, b| {
+        a.intrinsic_kop
+            .partial_cmp(&b.intrinsic_kop)
+            .expect("finite")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn re_frontier_decreases_with_depth() {
+        // Fig. 8 top panel: RE falls as B grows for a fixed budget.
+        let c = scan_candidates(ErNetTask::Sr4, 164.0, 128.0, 40);
+        assert!(!c.is_empty());
+        for w in c.windows(2) {
+            assert!(
+                w[1].re <= w[0].re + 1e-9,
+                "RE must be non-increasing: B={} re={} then B={} re={}",
+                w[0].spec.b,
+                w[0].re,
+                w[1].spec.b,
+                w[1].re
+            );
+        }
+    }
+
+    #[test]
+    fn larger_budget_admits_larger_re() {
+        let small = scan_candidates(ErNetTask::Sr4, 164.0, 128.0, 20);
+        let large = scan_candidates(ErNetTask::Sr4, 655.0, 128.0, 20);
+        for (s, l) in small.iter().zip(&large) {
+            assert_eq!(s.spec.b, l.spec.b);
+            assert!(l.re >= s.re, "B={}: {} vs {}", s.spec.b, l.re, s.re);
+        }
+    }
+
+    #[test]
+    fn all_candidates_respect_budget() {
+        for budget in [164.0, 328.0, 655.0] {
+            for c in scan_candidates(ErNetTask::Sr4, budget, 128.0, 40) {
+                assert!(c.total_kop <= budget + 1e-9);
+                assert!(c.re <= MAX_RE + 1e-9);
+                assert!((c.total_kop / c.intrinsic_kop - c.ncr).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn hd30_budget_reaches_deep_high_ncr_models() {
+        // Paper Section 4.2: "In the case of 655 KOP/pixel, NCR can be as
+        // high as 2.8-5.9×, and the corresponding intrinsic complexity is as
+        // low as 223-107 KOP/pixel."
+        let c = scan_candidates(ErNetTask::Sr4, 655.0, 128.0, 45);
+        let deepest = c.last().unwrap();
+        assert!(deepest.spec.b >= 40, "deepest B = {}", deepest.spec.b);
+        assert!(
+            deepest.ncr > 4.5 && deepest.ncr < 6.5,
+            "deep NCR = {}",
+            deepest.ncr
+        );
+        assert!(
+            deepest.intrinsic_kop < 130.0,
+            "deep intrinsic = {}",
+            deepest.intrinsic_kop
+        );
+        // Once RE saturates at 4, intrinsic peaks near the paper's 223 and
+        // then falls with depth: deeper ≠ better.
+        let peak = c.iter().map(|x| x.intrinsic_kop).fold(0.0, f64::max);
+        assert!((peak - 223.0).abs() < 15.0, "peak intrinsic = {peak}");
+        assert!(deepest.intrinsic_kop < peak * 0.6);
+    }
+
+    #[test]
+    fn paper_picks_are_feasible() {
+        // SR4ERNet-B17R3N1 fits the UHD30 budget; SR4ERNet-B34R4N0 fits HD30.
+        let uhd = scan_candidates(ErNetTask::Sr4, 164.0, 128.0, 40);
+        assert!(uhd
+            .iter()
+            .any(|c| c.spec.b == 17 && c.re >= 3.0), "B17 with RE>=3 must fit UHD30");
+        let hd = scan_candidates(ErNetTask::Sr4, 655.0, 128.0, 40);
+        assert!(hd
+            .iter()
+            .any(|c| c.spec.b == 34 && c.re >= 3.9), "B34 with RE~4 must fit HD30");
+    }
+
+    #[test]
+    fn denoiser_scan_is_shallower_than_sr() {
+        // Dn models run at full output resolution: far fewer layers fit.
+        let dn = scan_candidates(ErNetTask::Dn, 164.0, 128.0, 40);
+        let sr = scan_candidates(ErNetTask::Sr4, 164.0, 128.0, 40);
+        let dn_max_b = dn.iter().map(|c| c.spec.b).max().unwrap_or(0);
+        let sr_max_b = sr.iter().map(|c| c.spec.b).max().unwrap_or(0);
+        assert!(dn_max_b < sr_max_b, "dn {dn_max_b} vs sr {sr_max_b}");
+        // DnERNet-B3R1N0 (the paper's UHD30 pick) must be feasible.
+        assert!(dn.iter().any(|c| c.spec.b == 3 && c.re >= 1.0));
+    }
+
+    #[test]
+    fn best_by_intrinsic_returns_max() {
+        let c = scan_candidates(ErNetTask::Sr4, 328.0, 128.0, 30);
+        let best = best_by_intrinsic(&c).unwrap();
+        for cand in &c {
+            assert!(cand.intrinsic_kop <= best.intrinsic_kop + 1e-9);
+        }
+    }
+}

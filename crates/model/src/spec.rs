@@ -1,0 +1,116 @@
+//! Real-time throughput specifications (paper Table 2).
+//!
+//! Each specification fixes an output resolution and frame rate; combined
+//! with the processor's 41 TOPS peak it yields the per-pixel operation
+//! budget used by the model-scanning procedure: 164 KOP/px for UHD30,
+//! 328 KOP/px for HD60 and 655 KOP/px for HD30.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A real-time output specification: resolution × frame rate.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RealTimeSpec {
+    /// Human-readable name (`UHD30`, `HD60`, `HD30`).
+    pub name: &'static str,
+    /// Output width in pixels.
+    pub width: usize,
+    /// Output height in pixels.
+    pub height: usize,
+    /// Frames per second.
+    pub fps: f64,
+}
+
+impl RealTimeSpec {
+    /// 4K Ultra-HD at 30 fps.
+    pub const UHD30: RealTimeSpec = RealTimeSpec {
+        name: "UHD30",
+        width: 3840,
+        height: 2160,
+        fps: 30.0,
+    };
+
+    /// Full HD at 60 fps.
+    pub const HD60: RealTimeSpec = RealTimeSpec {
+        name: "HD60",
+        width: 1920,
+        height: 1080,
+        fps: 60.0,
+    };
+
+    /// Full HD at 30 fps.
+    pub const HD30: RealTimeSpec = RealTimeSpec {
+        name: "HD30",
+        width: 1920,
+        height: 1080,
+        fps: 30.0,
+    };
+
+    /// The three specifications evaluated in the paper, fastest first.
+    pub const ALL: [RealTimeSpec; 3] = [Self::UHD30, Self::HD60, Self::HD30];
+
+    /// Output pixels per frame.
+    pub fn pixels_per_frame(&self) -> f64 {
+        (self.width * self.height) as f64
+    }
+
+    /// Output pixels per second.
+    pub fn pixel_rate(&self) -> f64 {
+        self.pixels_per_frame() * self.fps
+    }
+
+    /// Per-pixel operation budget in KOP for a processor with `tops` peak
+    /// throughput (Fig. 8's three computation constraints with 41 TOPS).
+    pub fn kop_budget(&self, tops: f64) -> f64 {
+        tops * 1e12 / self.pixel_rate() / 1000.0
+    }
+
+    /// Frame period in seconds.
+    pub fn frame_period(&self) -> f64 {
+        1.0 / self.fps
+    }
+
+    /// Raw RGB (3 B/px) output-image bandwidth in bytes/second.
+    pub fn output_bandwidth_rgb(&self) -> f64 {
+        self.pixel_rate() * 3.0
+    }
+}
+
+impl fmt::Display for RealTimeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}x{}@{}fps)", self.name, self.width, self.height, self.fps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ECNN_TOPS: f64 = 40.96;
+
+    #[test]
+    fn budgets_match_paper_constraints() {
+        // Paper Fig. 8 / Section 4.2: 164, 328, 655 KOP/pixel.
+        assert!((RealTimeSpec::UHD30.kop_budget(ECNN_TOPS) - 164.0).abs() < 1.5);
+        assert!((RealTimeSpec::HD60.kop_budget(ECNN_TOPS) - 328.0).abs() < 2.5);
+        assert!((RealTimeSpec::HD30.kop_budget(ECNN_TOPS) - 655.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn pixel_rates() {
+        assert_eq!(RealTimeSpec::UHD30.pixel_rate(), 3840.0 * 2160.0 * 30.0);
+        assert_eq!(RealTimeSpec::HD60.pixel_rate(), 2.0 * RealTimeSpec::HD30.pixel_rate());
+    }
+
+    #[test]
+    fn output_bandwidth_matches_fig21_base() {
+        // UHD30 RGB output stream: ~746 MB/s (the base the NBR multiplies).
+        let bw = RealTimeSpec::UHD30.output_bandwidth_rgb();
+        assert!((bw / 1e6 - 746.5).abs() < 1.0, "bw {bw}");
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(RealTimeSpec::HD60.to_string(), "HD60 (1920x1080@60fps)");
+    }
+}

@@ -1,0 +1,181 @@
+//! The end-to-end model-optimization pipeline of Section 4.2:
+//! scan → pick → polish → quantize (+ fine-tune).
+
+use crate::data::{make_dataset, Sample, TaskKind};
+use crate::float_model::FloatModel;
+use crate::quant::{finetune, quantize, QuantConfig};
+use crate::schedule::StageSpec;
+use crate::train::{eval_psnr, train};
+use ecnn_isa::params::QuantizedModel;
+use ecnn_model::ernet::{ErNetSpec, ErNetTask};
+use ecnn_model::scan::{scan_candidates, Candidate};
+use ecnn_tensor::Tensor;
+
+/// A scanned candidate with its lightweight-training quality.
+#[derive(Clone, Debug)]
+pub struct ScoredCandidate {
+    /// The hardware-feasibility data from the analytical scan.
+    pub candidate: Candidate,
+    /// Validation PSNR after lightweight training.
+    pub psnr: f64,
+}
+
+/// Scan stage: lightweight-train every feasible `(B, RE)` candidate and
+/// score it on a validation set (Fig. 8 bottom panel).
+///
+/// `b_stride` subsamples the candidate list to bound CPU cost (1 = all).
+pub fn scan_stage(
+    task: ErNetTask,
+    data_task: TaskKind,
+    budget_kop: f64,
+    xi: f64,
+    b_max: usize,
+    b_stride: usize,
+    stage: &StageSpec,
+    seed: u64,
+) -> Vec<ScoredCandidate> {
+    let candidates = scan_candidates(task, budget_kop, xi, b_max);
+    let train_data = make_dataset(data_task, 12, stage.patch, seed);
+    let val = make_dataset(data_task, 4, stage.patch, seed ^ 0xFFFF);
+    candidates
+        .into_iter()
+        .step_by(b_stride.max(1))
+        .map(|candidate| {
+            let ir = candidate.spec.build().expect("scan produced valid spec");
+            let mut fm = FloatModel::from_model(&ir, seed ^ candidate.spec.b as u64);
+            train(&mut fm, &train_data, stage.to_train_config(seed));
+            let psnr = eval_psnr(&fm, &val);
+            ScoredCandidate { candidate, psnr }
+        })
+        .collect()
+}
+
+/// Picks the best-scoring candidate.
+pub fn pick_best(scored: &[ScoredCandidate]) -> Option<&ScoredCandidate> {
+    scored
+        .iter()
+        .max_by(|a, b| a.psnr.partial_cmp(&b.psnr).expect("finite"))
+}
+
+/// Polish stage: full training of one spec. Returns the float model and its
+/// validation PSNR.
+pub fn polish(
+    spec: ErNetSpec,
+    data_task: TaskKind,
+    stage: &StageSpec,
+    seed: u64,
+) -> (FloatModel, f64) {
+    let ir = spec.build().expect("valid spec");
+    let mut fm = FloatModel::from_model(&ir, seed);
+    let train_data = make_dataset(data_task, 16, stage.patch, seed ^ 0xAB);
+    let val = make_dataset(data_task, 4, stage.patch, seed ^ 0xCD);
+    train(&mut fm, &train_data, stage.to_train_config(seed));
+    let psnr = eval_psnr(&fm, &val);
+    (fm, psnr)
+}
+
+/// Quantization stage: Q-format search plus STE fine-tuning. Returns the
+/// deployable model and the fixed-point validation PSNR.
+pub fn quantize_stage(
+    fm: &mut FloatModel,
+    spec: ErNetSpec,
+    data_task: TaskKind,
+    stage: &StageSpec,
+    qcfg: QuantConfig,
+    seed: u64,
+) -> (QuantizedModel, f64) {
+    let ir = spec.build().expect("valid spec");
+    let data = make_dataset(data_task, 16, stage.patch, seed ^ 0xEF);
+    let val = make_dataset(data_task, 4, stage.patch, seed ^ 0x12);
+    let calib: Vec<Tensor<f32>> = data.iter().take(6).map(|s| s.input.clone()).collect();
+    let qm = finetune(fm, &ir, &data, &calib, qcfg, stage.to_train_config(seed));
+    let psnr = crate::quant::eval_psnr_fixed(&qm, &val);
+    (qm, psnr)
+}
+
+/// One-shot quantization without fine-tuning (for drop measurements).
+pub fn quantize_only(
+    fm: &FloatModel,
+    spec: ErNetSpec,
+    data_task: TaskKind,
+    patch: usize,
+    qcfg: QuantConfig,
+    seed: u64,
+) -> (QuantizedModel, f64) {
+    let ir = spec.build().expect("valid spec");
+    let data = make_dataset(data_task, 6, patch, seed ^ 0xEF);
+    let val = make_dataset(data_task, 4, patch, seed ^ 0x12);
+    let calib: Vec<Tensor<f32>> = data.iter().map(|s| s.input.clone()).collect();
+    let qm = quantize(fm, &ir, &calib, qcfg);
+    let psnr = crate::quant::eval_psnr_fixed(&qm, &val);
+    (qm, psnr)
+}
+
+/// Baseline PSNR of the degraded inputs themselves (noisy / bilinear).
+pub fn input_psnr(data: &[Sample]) -> f64 {
+    data.iter()
+        .map(|s| {
+            if s.input.shape() == s.target.shape() {
+                ecnn_tensor::psnr(&s.input, &s.target, 1.0)
+            } else {
+                let scale = s.target.height() / s.input.height();
+                let up = ecnn_tensor::image::upsample_bilinear(&s.input, scale);
+                ecnn_tensor::psnr(&up, &s.target, 1.0)
+            }
+        })
+        .sum::<f64>()
+        / data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::repro_stages;
+
+    #[test]
+    fn tiny_scan_scores_candidates() {
+        let stages = repro_stages(1);
+        let mut quick = stages[0].clone();
+        quick.steps = 8;
+        quick.patch = 16;
+        let scored = scan_stage(
+            ErNetTask::Dn,
+            TaskKind::denoise25(),
+            164.0,
+            128.0,
+            4,
+            2,
+            &quick,
+            1,
+        );
+        assert!(!scored.is_empty());
+        assert!(pick_best(&scored).is_some());
+        for s in &scored {
+            assert!(s.psnr.is_finite());
+        }
+    }
+
+    #[test]
+    fn polish_then_quantize_produces_deployable_model() {
+        let stages = repro_stages(1);
+        let spec = ErNetSpec::new(ErNetTask::Dn, 1, 1, 0);
+        let mut polish_stage = stages[1].clone();
+        polish_stage.steps = 40;
+        polish_stage.patch = 24;
+        let (mut fm, float_psnr) = polish(spec, TaskKind::denoise25(), &polish_stage, 2);
+        assert!(float_psnr > 10.0);
+        let mut ft = stages[2].clone();
+        ft.steps = 12;
+        ft.patch = 24;
+        let (qm, fixed_psnr) = quantize_stage(
+            &mut fm,
+            spec,
+            TaskKind::denoise25(),
+            &ft,
+            QuantConfig::default(),
+            3,
+        );
+        qm.check().unwrap();
+        assert!(fixed_psnr > float_psnr - 2.5, "float {float_psnr} fixed {fixed_psnr}");
+    }
+}

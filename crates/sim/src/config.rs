@@ -1,0 +1,96 @@
+//! Machine configuration constants (paper Table 2).
+
+use serde::{Deserialize, Serialize};
+
+/// eCNN hardware configuration. [`EcnnConfig::paper`] reproduces Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EcnnConfig {
+    /// Core clock in Hz (250 MHz).
+    pub clock_hz: f64,
+    /// Multipliers in the LCONV3×3 engine (32×32 filters × 9 taps × 8 px).
+    pub lconv3_multipliers: u64,
+    /// Multipliers in the LCONV1×1 engine (32×32 × 8 px).
+    pub lconv1_multipliers: u64,
+    /// Number of physical block buffers.
+    pub block_buffers: usize,
+    /// Capacity of each block buffer in bytes (512 KB).
+    pub block_buffer_bytes: usize,
+    /// Sub-buffer banks per block buffer (Fig. 17).
+    pub banks_per_buffer: usize,
+    /// Parameter-memory capacity in bytes (1288 KB across 21 memories).
+    pub param_memory_bytes: usize,
+    /// IDU decode cycles per leaf-module (512 coeffs / 2 per cycle).
+    pub idu_cycles_per_leaf: u64,
+}
+
+impl EcnnConfig {
+    /// The configuration laid out in the paper (Table 2).
+    pub const fn paper() -> Self {
+        Self {
+            clock_hz: 250e6,
+            lconv3_multipliers: 32 * 32 * 9 * 8,
+            lconv1_multipliers: 32 * 32 * 8,
+            block_buffers: 3,
+            block_buffer_bytes: 512 * 1024,
+            banks_per_buffer: 8,
+            param_memory_bytes: 1288 * 1024,
+            idu_cycles_per_leaf: 256,
+        }
+    }
+
+    /// Variant with the parameter memory scaled by `factor` (the object
+    /// recognition case study triples it; Section 7.3).
+    pub fn with_param_memory_scale(mut self, factor: usize) -> Self {
+        self.param_memory_bytes *= factor;
+        self
+    }
+
+    /// Total multipliers (81,920 on the paper configuration).
+    pub fn total_multipliers(&self) -> u64 {
+        self.lconv3_multipliers + self.lconv1_multipliers
+    }
+
+    /// Peak throughput in TOPS (2 ops per multiplier per cycle).
+    pub fn peak_tops(&self) -> f64 {
+        self.total_multipliers() as f64 * 2.0 * self.clock_hz / 1e12
+    }
+
+    /// Peak throughput of the LCONV3×3 engine alone, in TOPS.
+    pub fn lconv3_tops(&self) -> f64 {
+        self.lconv3_multipliers as f64 * 2.0 * self.clock_hz / 1e12
+    }
+
+    /// Total block-buffer capacity in bytes (3 × 512 KB = 1536 KB).
+    pub fn total_bb_bytes(&self) -> usize {
+        self.block_buffers * self.block_buffer_bytes
+    }
+}
+
+impl Default for EcnnConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table2() {
+        let c = EcnnConfig::paper();
+        assert_eq!(c.total_multipliers(), 81_920);
+        // 41 TOPS at 250 MHz.
+        assert!((c.peak_tops() - 40.96).abs() < 0.01);
+        // LCONV3x3 delivers 90% of inference performance.
+        assert!((c.lconv3_tops() / c.peak_tops() - 0.9).abs() < 0.001);
+        assert_eq!(c.total_bb_bytes(), 1536 * 1024);
+        assert_eq!(c.param_memory_bytes, 1288 * 1024);
+    }
+
+    #[test]
+    fn param_memory_scaling_for_recognition() {
+        let c = EcnnConfig::paper().with_param_memory_scale(3);
+        assert_eq!(c.param_memory_bytes, 3 * 1288 * 1024);
+    }
+}

@@ -1,0 +1,191 @@
+//! Area and power models calibrated to the paper's layout results
+//! (Table 6: 55.23 mm², 6.94 W average on TSMC 40 nm at 250 MHz / 0.9 V).
+//!
+//! We cannot re-run Synopsys IC Compiler, so absolute constants are pinned
+//! to the published totals and breakdown percentages; everything that
+//! *varies across experiments* (engine busy fractions, SRAM activity, frame
+//! times) comes from the cycle simulator. See DESIGN.md §4.
+
+use crate::timing::FrameReport;
+use serde::{Deserialize, Serialize};
+
+/// Area breakdown in mm² (40 nm).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AreaReport {
+    /// LCONV3×3 engine (65.8% of the paper total).
+    pub lconv3_mm2: f64,
+    /// LCONV1×1 engine (7.0%).
+    pub lconv1_mm2: f64,
+    /// Three block buffers (11.3%).
+    pub block_buffers_mm2: f64,
+    /// Parameter memories (7.9% at the 1288 KB baseline).
+    pub param_memory_mm2: f64,
+    /// IDU logic, datapath glue, pipeline registers (remainder).
+    pub other_mm2: f64,
+}
+
+impl AreaReport {
+    /// The paper's Table 6 breakdown, with the parameter memory scaled by
+    /// `param_scale` (3.0 reproduces the 63.99 mm² recognition variant of
+    /// Section 7.3).
+    pub fn paper_40nm(param_scale: f64) -> Self {
+        const TOTAL: f64 = 55.23;
+        Self {
+            lconv3_mm2: TOTAL * 0.658,
+            lconv1_mm2: TOTAL * 0.070,
+            block_buffers_mm2: TOTAL * 0.113,
+            param_memory_mm2: TOTAL * 0.079 * param_scale,
+            other_mm2: TOTAL * (1.0 - 0.658 - 0.070 - 0.113 - 0.079),
+        }
+    }
+
+    /// Total area in mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.lconv3_mm2
+            + self.lconv1_mm2
+            + self.block_buffers_mm2
+            + self.param_memory_mm2
+            + self.other_mm2
+    }
+}
+
+/// Power breakdown in watts for one workload.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// LCONV3×3 engine power (combinational datapath).
+    pub lconv3_w: f64,
+    /// LCONV1×1 engine power.
+    pub lconv1_w: f64,
+    /// Sequential power: locally-distributed parameter registers, 4×2-tile
+    /// pipeline registers and clock tree (roughly constant while clocked).
+    pub sequential_w: f64,
+    /// SRAM power: block buffers + parameter memories.
+    pub sram_w: f64,
+}
+
+impl PowerReport {
+    /// Total power in watts.
+    pub fn total_w(&self) -> f64 {
+        self.lconv3_w + self.lconv1_w + self.sequential_w + self.sram_w
+    }
+
+    /// Combinational share (the engines' datapaths).
+    pub fn combinational_w(&self) -> f64 {
+        self.lconv3_w + self.lconv1_w
+    }
+
+    /// Fractional breakdown `(combinational, sequential, sram)` as plotted
+    /// in Fig. 20 (right).
+    pub fn circuit_fractions(&self) -> (f64, f64, f64) {
+        let t = self.total_w();
+        (
+            self.combinational_w() / t,
+            self.sequential_w / t,
+            self.sram_w / t,
+        )
+    }
+}
+
+/// The calibrated power model.
+///
+/// `P = busy3 × P3 + busy1 × P1 + P_seq + sram_activity × P_sram`, with the
+/// full-activity constants chosen so the paper's six polished ERNets average
+/// 6.94 W and DnERNet lands near its 7.34 W figure.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// LCONV3×3 power at 100% busy (W).
+    pub p3_full_w: f64,
+    /// LCONV1×1 power at 100% busy (W).
+    pub p1_full_w: f64,
+    /// Sequential/clock power while running (W).
+    pub p_seq_w: f64,
+    /// SRAM power at nominal block-buffer activity (W).
+    pub p_sram_w: f64,
+}
+
+impl PowerModel {
+    /// Constants calibrated to Table 6 / Fig. 20 (see module docs).
+    pub const fn paper_40nm() -> Self {
+        Self {
+            p3_full_w: 6.05,
+            p1_full_w: 0.46,
+            p_seq_w: 0.70,
+            p_sram_w: 0.25,
+        }
+    }
+
+    /// Evaluates the model for a simulated frame workload.
+    pub fn evaluate(&self, frame: &FrameReport) -> PowerReport {
+        PowerReport {
+            lconv3_w: self.p3_full_w * frame.lconv3_busy,
+            lconv1_w: self.p1_full_w * frame.lconv1_busy,
+            sequential_w: self.p_seq_w,
+            // Block-buffer traffic scales with the 3x3 engine's duty cycle;
+            // keep SRAM power proportional to overall activity.
+            sram_w: self.p_sram_w * frame.lconv3_busy.max(frame.lconv1_busy),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EcnnConfig;
+    use crate::timing::simulate_frame;
+    use ecnn_isa::compile::compile;
+    use ecnn_isa::params::QuantizedModel;
+    use ecnn_model::ernet::{ErNetSpec, ErNetTask};
+
+    #[test]
+    fn area_totals_match_table6() {
+        let a = AreaReport::paper_40nm(1.0);
+        assert!((a.total_mm2() - 55.23).abs() < 0.01);
+        // LCONV3x3 dominates at 65.8%.
+        assert!((a.lconv3_mm2 / a.total_mm2() - 0.658).abs() < 0.001);
+    }
+
+    #[test]
+    fn tripled_param_memory_matches_recognition_area() {
+        // Section 7.3: "the area of eCNN would become 63.99 mm²".
+        let a = AreaReport::paper_40nm(3.0);
+        assert!((a.total_mm2() - 63.99).abs() < 0.35, "{}", a.total_mm2());
+    }
+
+    fn frame_for(task: ErNetTask, b: usize, r: usize, n: usize) -> FrameReport {
+        let m = ErNetSpec::new(task, b, r, n).build().unwrap();
+        let qm = QuantizedModel::uniform(&m);
+        let c = compile(&qm, 128).unwrap();
+        simulate_frame(&c, &m, &EcnnConfig::paper(), 3840, 2160)
+    }
+
+    #[test]
+    fn ernet_power_lands_near_paper_average() {
+        // Fig. 20: model powers cluster around the 6.94 W average; DnERNet
+        // at UHD30 is ~7.34 W (Table 7).
+        let f = frame_for(ErNetTask::Dn, 3, 1, 0);
+        let p = PowerModel::paper_40nm().evaluate(&f);
+        assert!(
+            p.total_w() > 6.2 && p.total_w() < 7.8,
+            "total {}",
+            p.total_w()
+        );
+    }
+
+    #[test]
+    fn circuit_breakdown_matches_fig20_shares() {
+        // Fig. 20 right: combinational 82-87%, sequential ~10%, SRAM 3-7%.
+        let f = frame_for(ErNetTask::Dn, 3, 1, 0);
+        let p = PowerModel::paper_40nm().evaluate(&f);
+        let (comb, seq, sram) = p.circuit_fractions();
+        assert!(comb > 0.80 && comb < 0.89, "comb {comb}");
+        assert!(seq > 0.07 && seq < 0.13, "seq {seq}");
+        assert!(sram > 0.02 && sram < 0.08, "sram {sram}");
+    }
+
+    #[test]
+    fn er_heavy_models_draw_more_power() {
+        let light = PowerModel::paper_40nm().evaluate(&frame_for(ErNetTask::Dn, 3, 1, 0));
+        let heavy = PowerModel::paper_40nm().evaluate(&frame_for(ErNetTask::Dn, 6, 4, 0));
+        assert!(heavy.total_w() > light.total_w());
+    }
+}

@@ -1,0 +1,773 @@
+//! Functional (bit-exact) execution of FBISA programs on one image block.
+//!
+//! The executor mirrors the CIU datapath of Section 6.3 exactly:
+//!
+//! * features are 8-bit Q-format codes in block buffers;
+//! * every convolution accumulates in full precision (`i64` here; the
+//!   hardware's carry-save trees never round internally);
+//! * `srcS` operands are aligned to the accumulator's fractional position
+//!   and added before activation (the ADDE adder);
+//! * ER leaf-modules requantize the expanded features to 8 bits between the
+//!   LCONV3×3 and LCONV1×1 engines (the area-saving quantizer of
+//!   Section 6.3.1);
+//! * the single output rounding happens at the Q-format of the destination
+//!   operand, then the Dst Reorder applies pixel-shuffle or pooling.
+
+use crate::config::EcnnConfig;
+use ecnn_isa::instr::{FeatLoc, Instruction, Opcode, LEAF_CH};
+use ecnn_isa::params::LeafParams;
+use ecnn_isa::program::Program;
+use ecnn_model::layer::PoolKind;
+use ecnn_model::model::InferenceKind;
+use ecnn_tensor::qformat::rescale_code;
+use ecnn_tensor::Tensor;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Execution errors (all indicate compiler/simulator bugs, not user error).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// An operand referenced a plane that was never written.
+    MissingPlane(FeatLoc),
+    /// An instruction tried to read the DO stream.
+    ReadFromDo,
+    /// Spatial sizes disagreed with the instruction's attributes.
+    Shape(String),
+    /// Instruction/leaf bookkeeping mismatch.
+    Leafs(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::MissingPlane(l) => write!(f, "operand {l} was never written"),
+            ExecError::ReadFromDo => write!(f, "cannot read from DO"),
+            ExecError::Shape(m) => write!(f, "shape mismatch: {m}"),
+            ExecError::Leafs(m) => write!(f, "leaf bookkeeping: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Activity counters accumulated over one block execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// LCONV3×3 multiply-accumulates actually performed.
+    pub mac3: u64,
+    /// LCONV1×1 multiply-accumulates actually performed.
+    pub mac1: u64,
+    /// Bytes read from block buffers.
+    pub bb_read_bytes: u64,
+    /// Bytes written to block buffers.
+    pub bb_write_bytes: u64,
+    /// Bytes consumed from the DI stream.
+    pub di_bytes: u64,
+    /// Bytes produced on the DO stream.
+    pub do_bytes: u64,
+    /// Instructions executed.
+    pub instructions: u64,
+}
+
+/// Executes one program over one input block.
+///
+/// # Example
+///
+/// See the crate-level tests and `tests/pipeline.rs` for end-to-end usage;
+/// the executor is normally driven by `ecnn-core`'s block pipeline.
+pub struct BlockExecutor<'a> {
+    program: &'a Program,
+    leafs: &'a [Vec<LeafParams>],
+    /// 32-channel planes living in (virtual) block buffers.
+    planes: HashMap<(u8, u8), Tensor<i16>>,
+    /// DI planes (32-channel, possibly pre-unshuffled).
+    di: Vec<Tensor<i16>>,
+    /// DO planes keyed by output group.
+    dout: HashMap<u8, Tensor<i16>>,
+    stats: ExecStats,
+}
+
+impl<'a> BlockExecutor<'a> {
+    /// Creates an executor for `program` with the IDU-decoded `leafs` (one
+    /// vector per instruction, as produced by the compiler or by
+    /// `PackedParams::unpack`).
+    pub fn new(program: &'a Program, leafs: &'a [Vec<LeafParams>]) -> Self {
+        Self {
+            program,
+            leafs,
+            planes: HashMap::new(),
+            di: Vec::new(),
+            dout: HashMap::new(),
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// Runs the program on one input block.
+    ///
+    /// `input` holds the *logical* input channels (e.g. 3 for RGB) as codes
+    /// in the program's `di_q` format, with side `program.di_side`. Returns
+    /// the logical output block (side `program.do_side`).
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecError`].
+    pub fn run(&mut self, input: &Tensor<i16>) -> Result<Tensor<i16>, ExecError> {
+        let p = self.program;
+        if input.height() != p.di_side || input.width() != p.di_side {
+            return Err(ExecError::Shape(format!(
+                "input {}x{} vs DI side {}",
+                input.height(),
+                input.width(),
+                p.di_side
+            )));
+        }
+        if input.channels() != p.di_channels {
+            return Err(ExecError::Shape(format!(
+                "input channels {} vs {}",
+                input.channels(),
+                p.di_channels
+            )));
+        }
+        self.stats.di_bytes += (input.len()) as u64;
+
+        // DI-side unshuffle (DnERNet-12ch) and 32-channel plane packing.
+        let streamed = match p.input_unshuffle {
+            Some(f) => input.pixel_unshuffle(f),
+            None => input.clone(),
+        };
+        let groups = streamed.channels().div_ceil(LEAF_CH);
+        let padded = streamed.with_channels(groups * LEAF_CH);
+        self.di = (0..groups)
+            .map(|g| {
+                Tensor::from_fn(LEAF_CH, padded.height(), padded.width(), |c, y, x| {
+                    padded.at(g * LEAF_CH + c, y, x)
+                })
+            })
+            .collect();
+
+        if self.leafs.len() != p.instructions.len() {
+            return Err(ExecError::Leafs(format!(
+                "{} leaf sets for {} instructions",
+                self.leafs.len(),
+                p.instructions.len()
+            )));
+        }
+        for (ins, leafs) in p.instructions.iter().zip(self.leafs) {
+            self.exec(ins, leafs)?;
+            self.stats.instructions += 1;
+        }
+
+        // Assemble the logical output from DO planes.
+        let out_groups = p.do_channels.div_ceil(LEAF_CH);
+        let mut out = Tensor::zeros(p.do_channels, p.do_side, p.do_side);
+        for g in 0..out_groups {
+            let plane = self
+                .dout
+                .get(&(g as u8))
+                .ok_or(ExecError::MissingPlane(FeatLoc::Do { group: g as u8 }))?;
+            if plane.height() != p.do_side {
+                return Err(ExecError::Shape(format!(
+                    "DO plane side {} vs {}",
+                    plane.height(),
+                    p.do_side
+                )));
+            }
+            for c in 0..LEAF_CH {
+                let oc = g * LEAF_CH + c;
+                if oc >= p.do_channels {
+                    break;
+                }
+                for y in 0..p.do_side {
+                    for x in 0..p.do_side {
+                        *out.at_mut(oc, y, x) = plane.at(c, y, x);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    fn read_plane(&mut self, loc: FeatLoc) -> Result<Tensor<i16>, ExecError> {
+        match loc {
+            FeatLoc::Bb { id, group } => {
+                let t = self
+                    .planes
+                    .get(&(id, group))
+                    .ok_or(ExecError::MissingPlane(loc))?
+                    .clone();
+                self.stats.bb_read_bytes += t.len() as u64;
+                Ok(t)
+            }
+            FeatLoc::Di { group } => self
+                .di
+                .get(group as usize)
+                .cloned()
+                .ok_or(ExecError::MissingPlane(loc)),
+            FeatLoc::Do { .. } => Err(ExecError::ReadFromDo),
+        }
+    }
+
+    fn write_plane(&mut self, loc: FeatLoc, plane: Tensor<i16>) -> Result<(), ExecError> {
+        match loc {
+            FeatLoc::Bb { id, group } => {
+                self.stats.bb_write_bytes += plane.len() as u64;
+                self.planes.insert((id, group), plane);
+                Ok(())
+            }
+            FeatLoc::Do { group } => {
+                self.stats.do_bytes += plane.len().min(
+                    // Only logical channels leave the chip.
+                    LEAF_CH.min(
+                        self.program
+                            .do_channels
+                            .saturating_sub(group as usize * LEAF_CH),
+                    ) * plane.height()
+                        * plane.width(),
+                ) as u64;
+                self.dout.insert(group, plane);
+                Ok(())
+            }
+            FeatLoc::Di { .. } => Err(ExecError::Shape("cannot write to DI".into())),
+        }
+    }
+
+    /// Gathers `groups` consecutive planes into one wide tensor.
+    fn gather(&mut self, base: FeatLoc, groups: usize, side: usize) -> Result<Tensor<i16>, ExecError> {
+        let mut wide = Tensor::zeros(groups * LEAF_CH, side, side);
+        for g in 0..groups {
+            let plane = self.read_plane(base.offset(g))?;
+            if plane.height() != side || plane.width() != side {
+                return Err(ExecError::Shape(format!(
+                    "plane {}x{} vs expected side {side}",
+                    plane.height(),
+                    plane.width()
+                )));
+            }
+            for c in 0..LEAF_CH {
+                for y in 0..side {
+                    for x in 0..side {
+                        *wide.at_mut(g * LEAF_CH + c, y, x) = plane.at(c, y, x);
+                    }
+                }
+            }
+        }
+        Ok(wide)
+    }
+
+    fn exec(&mut self, ins: &Instruction, leafs: &[LeafParams]) -> Result<(), ExecError> {
+        if leafs.len() != ins.leaf_modules() {
+            return Err(ExecError::Leafs(format!(
+                "{} leafs but instruction declares {}",
+                leafs.len(),
+                ins.leaf_modules()
+            )));
+        }
+        let input = self.gather(ins.src, ins.in_groups, ins.in_size.0)?;
+        match ins.opcode {
+            Opcode::Conv | Opcode::Dnx2 | Opcode::Upx2 => self.exec_conv3(ins, leafs, &input),
+            Opcode::Conv1 => self.exec_conv1(ins, leafs, &input),
+            Opcode::Er => self.exec_er(ins, leafs, &input),
+        }
+    }
+
+    fn exec_conv3(
+        &mut self,
+        ins: &Instruction,
+        leafs: &[LeafParams],
+        input: &Tensor<i16>,
+    ) -> Result<(), ExecError> {
+        let prod_frac = ins.q.w3.frac() as i32 + ins.q.src.frac() as i32;
+        // Leaf ordering (see compiler): UPX2 has one leaf per pre-shuffle
+        // output plane; CONV/DNX2 have one leaf per input group.
+        let out_planes = if ins.opcode == Opcode::Upx2 { ins.out_groups } else { 1 };
+        let weights = |op_: usize, ig: usize| {
+            let leaf = if ins.opcode == Opcode::Upx2 { &leafs[op_] } else { &leafs[ig] };
+            leaf.w3.as_slice()
+        };
+        let b3_frac = ins.q.b3.frac() as i32;
+        let biases = |op_: usize| -> Vec<i64> {
+            let mut b = vec![0i64; LEAF_CH];
+            if ins.opcode == Opcode::Upx2 {
+                for (oc, bv) in b.iter_mut().enumerate() {
+                    *bv = align(leafs[op_].b3[oc] as i64, b3_frac, prod_frac);
+                }
+            } else {
+                for leaf in leafs {
+                    for (oc, bv) in b.iter_mut().enumerate() {
+                        *bv += align(leaf.b3[oc] as i64, b3_frac, prod_frac);
+                    }
+                }
+            }
+            b
+        };
+        let mut acc = conv3_acc(ins, input, &weights, &biases, out_planes, &mut self.stats);
+
+        if ins.opcode == Opcode::Upx2 {
+            acc = acc.pixel_shuffle(2);
+        }
+        // srcS accumulation (ADDE) in the destination domain.
+        if let Some(srcs) = ins.src_s {
+            let sq = ins.q.src_s.expect("checked by Instruction::check");
+            let plane = self.read_plane(srcs)?;
+            add_aligned(&mut acc, &plane, sq.frac() as i32, prod_frac);
+        }
+        if ins.relu {
+            for v in acc.as_mut_slice() {
+                if *v < 0 {
+                    *v = 0;
+                }
+            }
+        }
+        // Requantize to the destination format.
+        let dst_frac = ins.q.dst.frac() as i32;
+        let quantized: Tensor<i16> = acc.map(|a| {
+            ins.q
+                .dst
+                .clamp_code(rescale_code(a, prod_frac, dst_frac))
+        });
+        // Dst Reorder: pooling.
+        let final_plane = if ins.opcode == Opcode::Dnx2 {
+            pool(&quantized, ins.pool.expect("DNX2 carries a pool"), ins.pool_factor)
+        } else {
+            quantized
+        };
+        if final_plane.height() != ins.out_size.1 || final_plane.width() != ins.out_size.0 {
+            return Err(ExecError::Shape(format!(
+                "produced {}x{} vs declared {:?}",
+                final_plane.width(),
+                final_plane.height(),
+                ins.out_size
+            )));
+        }
+        self.write_plane(ins.dst, final_plane)
+    }
+
+    fn exec_conv1(
+        &mut self,
+        ins: &Instruction,
+        leafs: &[LeafParams],
+        input: &Tensor<i16>,
+    ) -> Result<(), ExecError> {
+        let w1q = ins.q.w1.expect("checked");
+        let b1q = ins.q.b1.expect("checked");
+        let prod_frac = w1q.frac() as i32 + ins.q.src.frac() as i32;
+        let side = input.height();
+        let mut acc = Tensor::<i64>::zeros(LEAF_CH, side, side);
+        for (oc, _) in (0..LEAF_CH).enumerate() {
+            let mut b = 0i64;
+            for leaf in leafs {
+                b += align(leaf.b1[oc] as i64, b1q.frac() as i32, prod_frac);
+            }
+            for y in 0..side {
+                for x in 0..side {
+                    *acc.at_mut(oc, y, x) = b;
+                }
+            }
+        }
+        for (ig, leaf) in leafs.iter().enumerate() {
+            for oc in 0..LEAF_CH {
+                for ic in 0..LEAF_CH {
+                    let wv = leaf.w1[oc * LEAF_CH + ic] as i64;
+                    if wv == 0 {
+                        continue;
+                    }
+                    for y in 0..side {
+                        for x in 0..side {
+                            *acc.at_mut(oc, y, x) +=
+                                wv * input.at(ig * LEAF_CH + ic, y, x) as i64;
+                        }
+                    }
+                }
+            }
+        }
+        self.stats.mac1 += (leafs.len() * LEAF_CH * LEAF_CH * side * side) as u64;
+        if let Some(srcs) = ins.src_s {
+            let sq = ins.q.src_s.expect("checked");
+            let plane = self.read_plane(srcs)?;
+            add_aligned(&mut acc, &plane, sq.frac() as i32, prod_frac);
+        }
+        if ins.relu {
+            for v in acc.as_mut_slice() {
+                if *v < 0 {
+                    *v = 0;
+                }
+            }
+        }
+        let dst_frac = ins.q.dst.frac() as i32;
+        let out: Tensor<i16> =
+            acc.map(|a| ins.q.dst.clamp_code(rescale_code(a, prod_frac, dst_frac)));
+        self.write_plane(ins.dst, out)
+    }
+
+    fn exec_er(
+        &mut self,
+        ins: &Instruction,
+        leafs: &[LeafParams],
+        input: &Tensor<i16>,
+    ) -> Result<(), ExecError> {
+        let midq = ins.q.mid.expect("ER carries a mid format");
+        let w1q = ins.q.w1.expect("checked");
+        let b1q = ins.q.b1.expect("checked");
+        let prod3 = ins.q.w3.frac() as i32 + ins.q.src.frac() as i32;
+        let prod1 = w1q.frac() as i32 + midq.frac() as i32;
+        let (cw, chh) = ins.conv_out_size();
+        let mut acc1 = Tensor::<i64>::zeros(LEAF_CH, chh, cw);
+        // 1x1 biases (first leaf only carries nonzero values).
+        for leaf in leafs {
+            for oc in 0..LEAF_CH {
+                let b = align(leaf.b1[oc] as i64, b1q.frac() as i32, prod1);
+                if b != 0 {
+                    for y in 0..chh {
+                        for x in 0..cw {
+                            *acc1.at_mut(oc, y, x) += b;
+                        }
+                    }
+                }
+            }
+        }
+        for (e, leaf) in leafs.iter().enumerate() {
+            // Expansion plane e: CONV3x3 -> ReLU -> quantize to mid format.
+            let weights = |_: usize, _: usize| leaf.w3.as_slice();
+            let b3_frac = ins.q.b3.frac() as i32;
+            let biases = |_: usize| -> Vec<i64> {
+                (0..LEAF_CH)
+                    .map(|oc| align(leaf.b3[oc] as i64, b3_frac, prod3))
+                    .collect()
+            };
+            let mut single = Instruction::clone(ins);
+            single.in_groups = 1;
+            // The plane convolves the single 32ch input group.
+            let acc3 = conv3_acc(&single, input, &weights, &biases, 1, &mut self.stats);
+            let mid: Tensor<i16> = acc3.map(|a| {
+                let v = if a < 0 { 0 } else { a }; // ER's internal ReLU
+                midq.clamp_code(rescale_code(v, prod3, midq.frac() as i32))
+            });
+            // LCONV1x1: plane e's columns accumulate into the 32ch output.
+            for oc in 0..LEAF_CH {
+                for ic in 0..LEAF_CH {
+                    let wv = leaf.w1[oc * LEAF_CH + ic] as i64;
+                    if wv == 0 {
+                        continue;
+                    }
+                    for y in 0..chh {
+                        for x in 0..cw {
+                            *acc1.at_mut(oc, y, x) += wv * mid.at(ic, y, x) as i64;
+                        }
+                    }
+                }
+            }
+            let _ = e;
+        }
+        self.stats.mac1 += (leafs.len() * LEAF_CH * LEAF_CH * cw * chh) as u64;
+        // Module residual via srcS.
+        if let Some(srcs) = ins.src_s {
+            let sq = ins.q.src_s.expect("checked");
+            let plane = self.read_plane(srcs)?;
+            add_aligned(&mut acc1, &plane, sq.frac() as i32, prod1);
+        }
+        let dst_frac = ins.q.dst.frac() as i32;
+        let out: Tensor<i16> =
+            acc1.map(|a| ins.q.dst.clamp_code(rescale_code(a, prod1, dst_frac)));
+        self.write_plane(ins.dst, out)
+    }
+}
+
+/// Full-precision 3×3 convolution of `input` (all groups) producing
+/// `out_planes × 32` channels of `i64` accumulators. `weights(out_plane,
+/// in_group)` yields one leaf's 32×32×9 filter; `biases(out_plane)` yields
+/// accumulator-aligned biases.
+fn conv3_acc<'w>(
+    ins: &Instruction,
+    input: &Tensor<i16>,
+    weights: &dyn Fn(usize, usize) -> &'w [i16],
+    biases: &dyn Fn(usize) -> Vec<i64>,
+    out_planes: usize,
+    stats: &mut ExecStats,
+) -> Tensor<i64> {
+    let (cw, chh) = ins.conv_out_size();
+    let (ih, iw) = (input.height(), input.width());
+    let origin: isize = match ins.inference {
+        InferenceKind::TruncatedPyramid => 1,
+        InferenceKind::ZeroPadded => 0,
+    };
+    let mut acc = Tensor::<i64>::zeros(out_planes * LEAF_CH, chh, cw);
+    for op_ in 0..out_planes {
+        let b = biases(op_);
+        for oc in 0..LEAF_CH {
+            for y in 0..chh {
+                for x in 0..cw {
+                    *acc.at_mut(op_ * LEAF_CH + oc, y, x) = b[oc];
+                }
+            }
+        }
+        for ig in 0..ins.in_groups {
+            let w = weights(op_, ig);
+            for oc in 0..LEAF_CH {
+                for ic in 0..LEAF_CH {
+                    let wbase = (oc * LEAF_CH + ic) * 9;
+                    let chan = ig * LEAF_CH + ic;
+                    for ky in 0..3usize {
+                        for kx in 0..3usize {
+                            let wv = w[wbase + ky * 3 + kx] as i64;
+                            if wv == 0 {
+                                continue;
+                            }
+                            for y in 0..chh {
+                                let sy = y as isize + ky as isize - 1 + origin;
+                                if sy < 0 || sy >= ih as isize {
+                                    continue;
+                                }
+                                for x in 0..cw {
+                                    let sx = x as isize + kx as isize - 1 + origin;
+                                    if sx < 0 || sx >= iw as isize {
+                                        continue;
+                                    }
+                                    *acc.at_mut(op_ * LEAF_CH + oc, y, x) +=
+                                        wv * input.at(chan, sy as usize, sx as usize) as i64;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    stats.mac3 += (out_planes * ins.in_groups * LEAF_CH * LEAF_CH * 9 * cw * chh) as u64;
+    acc
+}
+
+/// Aligns a code from `from_frac` to `to_frac` (upshift exact, downshift
+/// rounds like the datapath).
+#[inline]
+fn align(code: i64, from_frac: i32, to_frac: i32) -> i64 {
+    if to_frac >= from_frac {
+        code << (to_frac - from_frac)
+    } else {
+        rescale_code(code, from_frac, to_frac) as i64
+    }
+}
+
+/// Adds a quantized plane into an accumulator tensor, center-cropping the
+/// plane when it is larger than the accumulator (truncated-pyramid skips).
+fn add_aligned(acc: &mut Tensor<i64>, plane: &Tensor<i16>, plane_frac: i32, acc_frac: i32) {
+    let (ac, ah, aw) = acc.shape();
+    let (pc, ph, pw) = plane.shape();
+    assert!(pc >= ac.min(LEAF_CH), "srcS channel mismatch");
+    assert!(ph >= ah && pw >= aw, "srcS smaller than accumulator");
+    let oy = (ph - ah) / 2;
+    let ox = (pw - aw) / 2;
+    for c in 0..ac.min(pc) {
+        for y in 0..ah {
+            for x in 0..aw {
+                *acc.at_mut(c, y, x) +=
+                    align(plane.at(c, y + oy, x + ox) as i64, plane_frac, acc_frac);
+            }
+        }
+    }
+}
+
+/// Pooling on quantized codes (Dst Reorder).
+fn pool(t: &Tensor<i16>, kind: PoolKind, factor: usize) -> Tensor<i16> {
+    let (c, h, w) = t.shape();
+    Tensor::from_fn(c, h / factor, w / factor, |ch, y, x| match kind {
+        PoolKind::Stride => t.at(ch, y * factor, x * factor),
+        PoolKind::Max => {
+            let mut m = i16::MIN;
+            for dy in 0..factor {
+                for dx in 0..factor {
+                    m = m.max(t.at(ch, y * factor + dy, x * factor + dx));
+                }
+            }
+            m
+        }
+    })
+}
+
+/// Convenience: quantize a float image block into input codes for
+/// [`BlockExecutor::run`].
+pub fn quantize_input(block: &Tensor<f32>, program: &Program) -> Tensor<i16> {
+    block.map(|v| program.di_q.quantize(v))
+}
+
+/// Convenience: dequantize an output block back to floats.
+pub fn dequantize_output(block: &Tensor<i16>, program: &Program) -> Tensor<f32> {
+    block.map(|c| program.do_q.dequantize(c))
+}
+
+/// Peak MACs available in `cycles` CIU cycles (for utilization reports).
+pub fn peak_macs(config: &EcnnConfig, cycles: u64) -> u64 {
+    cycles * config.total_multipliers()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecnn_isa::compile::compile;
+    use ecnn_isa::params::QuantizedModel;
+    use ecnn_model::ernet::{ErNetSpec, ErNetTask};
+    use ecnn_model::layer::{Activation, Layer, Op};
+    use ecnn_model::model::Model;
+    use ecnn_tensor::conv::{conv3x3_fixed, FixedConvParams, Padding};
+    use ecnn_tensor::SyntheticImage;
+
+    /// Single 3->32 conv: the simulator must agree with the golden fixed
+    /// kernel exactly.
+    #[test]
+    fn single_conv_matches_golden_kernel() {
+        let m = Model::new(
+            "one-conv",
+            3,
+            32,
+            vec![Layer::new(Op::Conv3x3 { in_c: 3, out_c: 32, act: Activation::None })],
+        )
+        .unwrap();
+        let qm = QuantizedModel::uniform(&m);
+        let c = compile(&qm, 16).unwrap();
+        let img = SyntheticImage::new(ecnn_tensor::ImageKind::Mixed, 3).rgb(16, 16);
+        let input = img.map(|v| qm.input_q.quantize(v));
+
+        let mut ex = BlockExecutor::new(&c.program, &c.leafs);
+        let out = ex.run(&input).unwrap();
+        assert_eq!(out.shape(), (32, 14, 14));
+
+        // Golden: hardware-padded 32ch input into conv3x3_fixed.
+        let p = qm.layers[0].as_ref().unwrap();
+        let padded = input.with_channels(32);
+        let golden = conv3x3_fixed(
+            &padded,
+            qm.input_q.frac() as i32,
+            &FixedConvParams {
+                weights: &p.w3,
+                w_format: p.w3_q,
+                bias: &p.b3,
+                b_format: p.b3_q,
+                out_format: p.out_q,
+            },
+            32,
+            Padding::Valid,
+        );
+        assert_eq!(out, golden);
+    }
+
+    #[test]
+    fn er_module_residual_is_exact_identity_with_zero_weights() {
+        // An ER module with all-zero weights must reduce to the residual:
+        // output == center crop of input (requantized).
+        let m = Model::new(
+            "er-id",
+            32,
+            32,
+            vec![Layer::new(Op::ErModule { channels: 32, expansion: 2 })],
+        )
+        .unwrap();
+        let mut qm = QuantizedModel::uniform(&m);
+        {
+            let p = qm.layers[0].as_mut().unwrap();
+            p.w3.iter_mut().for_each(|w| *w = 0);
+            p.w1.iter_mut().for_each(|w| *w = 0);
+            p.b3.iter_mut().for_each(|b| *b = 0);
+            p.b1.iter_mut().for_each(|b| *b = 0);
+            p.out_q = qm.input_q; // same format => exact pass-through
+        }
+        let c = compile(&qm, 12).unwrap();
+        let input = Tensor::from_fn(32, 12, 12, |ch, y, x| ((ch + y * 3 + x) % 200) as i16);
+        let mut ex = BlockExecutor::new(&c.program, &c.leafs);
+        let out = ex.run(&input).unwrap();
+        assert_eq!(out.shape(), (32, 10, 10));
+        for ch in 0..32 {
+            for y in 0..10 {
+                for x in 0..10 {
+                    assert_eq!(out.at(ch, y, x), input.at(ch, y + 1, x + 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dnernet_runs_end_to_end() {
+        let m = ErNetSpec::new(ErNetTask::Dn, 3, 1, 0).build().unwrap();
+        let qm = QuantizedModel::uniform(&m);
+        let c = compile(&qm, 64).unwrap();
+        let img = SyntheticImage::new(ecnn_tensor::ImageKind::Texture, 9).rgb(64, 64);
+        let input = quantize_input(&img, &c.program);
+        let mut ex = BlockExecutor::new(&c.program, &c.leafs);
+        let out = ex.run(&input).unwrap();
+        assert_eq!(out.shape(), (3, 52, 52));
+        let stats = ex.stats();
+        assert_eq!(stats.instructions, 6);
+        assert!(stats.mac3 > 0 && stats.mac1 > 0);
+        assert!(stats.di_bytes > 0 && stats.do_bytes > 0);
+    }
+
+    #[test]
+    fn sr2_upsamples_block() {
+        let m = ErNetSpec::new(ErNetTask::Sr2, 2, 1, 0).build().unwrap();
+        let qm = QuantizedModel::uniform(&m);
+        let c = compile(&qm, 32).unwrap();
+        // 32 - 2*5 convs at LR = 22 -> x2 = 44 -> tail conv -> 42.
+        assert_eq!(c.program.do_side, 42);
+        let img = SyntheticImage::new(ecnn_tensor::ImageKind::Smooth, 4).rgb(32, 32);
+        let input = quantize_input(&img, &c.program);
+        let mut ex = BlockExecutor::new(&c.program, &c.leafs);
+        let out = ex.run(&input).unwrap();
+        assert_eq!(out.shape(), (3, 42, 42));
+    }
+
+    #[test]
+    fn dn12_shuffle_path_round_trips_shape() {
+        let m = ErNetSpec::new(ErNetTask::Dn12, 2, 1, 0).build().unwrap();
+        let qm = QuantizedModel::uniform(&m);
+        let c = compile(&qm, 64).unwrap();
+        let img = SyntheticImage::new(ecnn_tensor::ImageKind::Mixed, 5).rgb(64, 64);
+        let input = quantize_input(&img, &c.program);
+        let mut ex = BlockExecutor::new(&c.program, &c.leafs);
+        let out = ex.run(&input).unwrap();
+        // 64 -> unshuffle 32 -> 5 convs -> 22 -> shuffle -> 44.
+        assert_eq!(out.shape(), (3, 44, 44));
+    }
+
+    #[test]
+    fn unpacked_params_execute_identically() {
+        // Executing with Huffman-decoded parameters must match the directly
+        // compiled leafs bit-for-bit.
+        let m = ErNetSpec::new(ErNetTask::Dn, 2, 2, 1).build().unwrap();
+        let qm = QuantizedModel::uniform(&m);
+        let c = compile(&qm, 48).unwrap();
+        let decoded: Vec<_> = (0..c.program.instructions.len())
+            .map(|i| c.packed.unpack(i).unwrap())
+            .collect();
+        let img = SyntheticImage::new(ecnn_tensor::ImageKind::Edges, 2).rgb(48, 48);
+        let input = quantize_input(&img, &c.program);
+        let out_a = BlockExecutor::new(&c.program, &c.leafs).run(&input).unwrap();
+        let out_b = BlockExecutor::new(&c.program, &decoded).run(&input).unwrap();
+        assert_eq!(out_a, out_b);
+    }
+
+    #[test]
+    fn missing_plane_is_reported() {
+        let m = ErNetSpec::new(ErNetTask::Dn, 1, 1, 0).build().unwrap();
+        let qm = QuantizedModel::uniform(&m);
+        let c = compile(&qm, 32).unwrap();
+        // Run with too few leaf sets.
+        let mut ex = BlockExecutor::new(&c.program, &c.leafs[..2]);
+        let img = SyntheticImage::new(ecnn_tensor::ImageKind::Smooth, 1).rgb(32, 32);
+        let input = quantize_input(&img, &c.program);
+        assert!(matches!(ex.run(&input), Err(ExecError::Leafs(_))));
+    }
+
+    #[test]
+    fn wrong_input_shape_is_reported() {
+        let m = ErNetSpec::new(ErNetTask::Dn, 1, 1, 0).build().unwrap();
+        let qm = QuantizedModel::uniform(&m);
+        let c = compile(&qm, 32).unwrap();
+        let img = SyntheticImage::new(ecnn_tensor::ImageKind::Smooth, 1).rgb(16, 16);
+        let input = quantize_input(&img, &c.program);
+        let mut ex = BlockExecutor::new(&c.program, &c.leafs);
+        assert!(matches!(ex.run(&input), Err(ExecError::Shape(_))));
+    }
+}

@@ -1,0 +1,31 @@
+//! The eCNN processor simulator (paper Section 6).
+//!
+//! Three complementary views of the machine:
+//!
+//! * [`exec`] — a **functional**, bit-exact executor of FBISA programs:
+//!   8-bit Q-format features and weights, full-precision accumulation, the
+//!   ER internal requantization, `srcS` residual/partial-sum accumulation,
+//!   pixel-shuffle and pooling write reorders. Validated against the
+//!   `ecnn-tensor` golden kernels and the `ecnn-nn` fixed-point reference.
+//! * [`timing`] — the **cycle** model: the two-stage instruction pipeline
+//!   (IDU parameter decoding for instruction *i+1* overlaps CIU compute of
+//!   instruction *i*), one leaf-module per 4×2 tile per cycle in the CIU,
+//!   256 decode cycles per leaf-module in the IDU, per-frame block counts
+//!   and DRAM traffic.
+//! * [`cost`] — the **area/power** model calibrated to the paper's Table 6
+//!   layout results (55.23 mm², 6.94 W average at 40 nm; see DESIGN.md §4
+//!   for the substitution rationale), plus the eight-bank block-buffer
+//!   conflict model of Fig. 17 in [`banking`].
+//!
+//! [`config`] holds the Table 2 machine constants shared by all views.
+
+pub mod banking;
+pub mod config;
+pub mod cost;
+pub mod exec;
+pub mod timing;
+
+pub use config::EcnnConfig;
+pub use cost::{AreaReport, PowerReport};
+pub use exec::{BlockExecutor, ExecError, ExecStats};
+pub use timing::{simulate_frame, FrameReport};

@@ -1,0 +1,408 @@
+//! Reference convolution kernels.
+//!
+//! These are the "golden" implementations the cycle-accurate simulator and
+//! the training substrate are validated against. Two families exist:
+//!
+//! * `*_f32`: straightforward floating-point convolution used by training.
+//! * `*_fixed`: full-precision integer convolution over Q-format codes —
+//!   8-bit inputs and weights, 32/64-bit accumulation, single rounding at the
+//!   output — matching the eCNN datapath (Section 6.3.2).
+//!
+//! Weight layout is `[out_channel][in_channel][ky][kx]` flattened, i.e. index
+//! `((oc * in_c + ic) * 9) + ky * 3 + kx` for 3×3 filters.
+
+use crate::qformat::{rescale_code, QFormat};
+use crate::tensor::Tensor;
+
+/// Spatial boundary handling for 3×3 convolution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Padding {
+    /// No padding: output is `(H-2)×(W-2)`. This is the truncated-pyramid
+    /// inference type — each CONV3×3 trims one pixel per side.
+    Valid,
+    /// Zero padding: output matches the input size. FBISA's "zero-padded
+    /// inference type" (Section 5).
+    Zero,
+}
+
+impl Padding {
+    /// Output spatial size for a 3×3 convolution on `(h, w)` input.
+    pub fn output_size(self, h: usize, w: usize) -> (usize, usize) {
+        match self {
+            Padding::Valid => (h - 2, w - 2),
+            Padding::Zero => (h, w),
+        }
+    }
+
+    /// Offset of the first output pixel's kernel center in input coordinates.
+    fn origin(self) -> isize {
+        match self {
+            Padding::Valid => 1,
+            Padding::Zero => 0,
+        }
+    }
+}
+
+/// Floating-point 3×3 convolution.
+///
+/// `weights.len()` must be `out_c * in_c * 9` and `bias.len()` must be
+/// `out_c` (pass zeros for a bias-free layer).
+///
+/// # Panics
+///
+/// Panics on shape mismatch, or if the input is smaller than 3×3 with
+/// [`Padding::Valid`].
+pub fn conv3x3_f32(
+    input: &Tensor<f32>,
+    weights: &[f32],
+    bias: &[f32],
+    out_c: usize,
+    padding: Padding,
+) -> Tensor<f32> {
+    let (in_c, h, w) = input.shape();
+    assert_eq!(weights.len(), out_c * in_c * 9, "weight count mismatch");
+    assert_eq!(bias.len(), out_c, "bias count mismatch");
+    if padding == Padding::Valid {
+        assert!(h >= 3 && w >= 3, "input {h}x{w} too small for valid conv");
+    }
+    let (oh, ow) = padding.output_size(h, w);
+    let org = padding.origin();
+    let mut out = Tensor::zeros(out_c, oh, ow);
+    for oc in 0..out_c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = bias[oc];
+                for ic in 0..in_c {
+                    let wbase = (oc * in_c + ic) * 9;
+                    for ky in 0..3 {
+                        let sy = oy as isize + ky as isize - 1 + org;
+                        if sy < 0 || sy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..3 {
+                            let sx = ox as isize + kx as isize - 1 + org;
+                            if sx < 0 || sx >= w as isize {
+                                continue;
+                            }
+                            acc += weights[wbase + ky * 3 + kx]
+                                * input.at(ic, sy as usize, sx as usize);
+                        }
+                    }
+                }
+                *out.at_mut(oc, oy, ox) = acc;
+            }
+        }
+    }
+    out
+}
+
+/// Floating-point 1×1 convolution (the ERModule reduction layer).
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn conv1x1_f32(input: &Tensor<f32>, weights: &[f32], bias: &[f32], out_c: usize) -> Tensor<f32> {
+    let (in_c, h, w) = input.shape();
+    assert_eq!(weights.len(), out_c * in_c, "weight count mismatch");
+    assert_eq!(bias.len(), out_c, "bias count mismatch");
+    let mut out = Tensor::zeros(out_c, h, w);
+    for oc in 0..out_c {
+        for ic in 0..in_c {
+            let wv = weights[oc * in_c + ic];
+            if wv == 0.0 {
+                continue;
+            }
+            for y in 0..h {
+                for x in 0..w {
+                    *out.at_mut(oc, y, x) += wv * input.at(ic, y, x);
+                }
+            }
+        }
+        if bias[oc] != 0.0 {
+            for y in 0..h {
+                for x in 0..w {
+                    *out.at_mut(oc, y, x) += bias[oc];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parameters for one fixed-point convolution: integer codes plus formats.
+#[derive(Clone, Debug)]
+pub struct FixedConvParams<'a> {
+    /// Weight codes, layout `[oc][ic][k]`.
+    pub weights: &'a [i16],
+    /// Weight format (per-layer, from Eq. 4).
+    pub w_format: QFormat,
+    /// Bias codes (one per output channel).
+    pub bias: &'a [i16],
+    /// Bias format.
+    pub b_format: QFormat,
+    /// Output feature format (requantization target).
+    pub out_format: QFormat,
+}
+
+/// Fixed-point 3×3 convolution over Q-format codes with full-precision
+/// accumulation and a single requantization at the output, mirroring the
+/// LCONV3×3 engine.
+///
+/// `in_frac` is the fractional position of the input codes. Accumulation is
+/// exact in `i64`; the bias is aligned to the product format
+/// (`w_frac + in_frac`) before the sum, and the result is rounded/clipped to
+/// `out_format`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn conv3x3_fixed(
+    input: &Tensor<i16>,
+    in_frac: i32,
+    params: &FixedConvParams<'_>,
+    out_c: usize,
+    padding: Padding,
+) -> Tensor<i16> {
+    let (in_c, h, w) = input.shape();
+    assert_eq!(params.weights.len(), out_c * in_c * 9);
+    assert_eq!(params.bias.len(), out_c);
+    let (oh, ow) = padding.output_size(h, w);
+    let org = padding.origin();
+    let prod_frac = params.w_format.frac() as i32 + in_frac;
+    let mut out = Tensor::zeros(out_c, oh, ow);
+    for oc in 0..out_c {
+        let bias_aligned = align_code(
+            params.bias[oc] as i64,
+            params.b_format.frac() as i32,
+            prod_frac,
+        );
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc: i64 = bias_aligned;
+                for ic in 0..in_c {
+                    let wbase = (oc * in_c + ic) * 9;
+                    for ky in 0..3 {
+                        let sy = oy as isize + ky as isize - 1 + org;
+                        if sy < 0 || sy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..3 {
+                            let sx = ox as isize + kx as isize - 1 + org;
+                            if sx < 0 || sx >= w as isize {
+                                continue;
+                            }
+                            acc += params.weights[wbase + ky * 3 + kx] as i64
+                                * input.at(ic, sy as usize, sx as usize) as i64;
+                        }
+                    }
+                }
+                let code = rescale_code(acc, prod_frac, params.out_format.frac() as i32);
+                *out.at_mut(oc, oy, ox) = params.out_format.clamp_code(code);
+            }
+        }
+    }
+    out
+}
+
+/// Fixed-point 1×1 convolution (LCONV1×1 engine reference).
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn conv1x1_fixed(
+    input: &Tensor<i16>,
+    in_frac: i32,
+    params: &FixedConvParams<'_>,
+    out_c: usize,
+) -> Tensor<i16> {
+    let (in_c, h, w) = input.shape();
+    assert_eq!(params.weights.len(), out_c * in_c);
+    assert_eq!(params.bias.len(), out_c);
+    let prod_frac = params.w_format.frac() as i32 + in_frac;
+    let mut out = Tensor::zeros(out_c, h, w);
+    for oc in 0..out_c {
+        let bias_aligned = align_code(
+            params.bias[oc] as i64,
+            params.b_format.frac() as i32,
+            prod_frac,
+        );
+        for y in 0..h {
+            for x in 0..w {
+                let mut acc: i64 = bias_aligned;
+                for ic in 0..in_c {
+                    acc += params.weights[oc * in_c + ic] as i64 * input.at(ic, y, x) as i64;
+                }
+                let code = rescale_code(acc, prod_frac, params.out_format.frac() as i32);
+                *out.at_mut(oc, y, x) = params.out_format.clamp_code(code);
+            }
+        }
+    }
+    out
+}
+
+/// Shifts a code from `from_frac` to `to_frac` fractional bits without
+/// rounding loss when upshifting; downshifting rounds like the datapath.
+#[inline]
+pub fn align_code(code: i64, from_frac: i32, to_frac: i32) -> i64 {
+    if to_frac >= from_frac {
+        code << (to_frac - from_frac)
+    } else {
+        rescale_code(code, from_frac, to_frac) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn identity_3x3(channels: usize) -> Vec<f32> {
+        let mut w = vec![0.0; channels * channels * 9];
+        for c in 0..channels {
+            w[(c * channels + c) * 9 + 4] = 1.0;
+        }
+        w
+    }
+
+    #[test]
+    fn identity_kernel_valid_crops_border() {
+        let input = Tensor::from_fn(2, 5, 5, |c, y, x| (c * 25 + y * 5 + x) as f32);
+        let w = identity_3x3(2);
+        let out = conv3x3_f32(&input, &w, &[0.0, 0.0], 2, Padding::Valid);
+        assert_eq!(out.shape(), (2, 3, 3));
+        for c in 0..2 {
+            for y in 0..3 {
+                for x in 0..3 {
+                    assert_eq!(out.at(c, y, x), input.at(c, y + 1, x + 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identity_kernel_zero_padding_keeps_size() {
+        let input = Tensor::from_fn(1, 4, 4, |_, y, x| (y * 4 + x) as f32);
+        let w = identity_3x3(1);
+        let out = conv3x3_f32(&input, &w, &[0.0], 1, Padding::Zero);
+        assert_eq!(out.shape(), (1, 4, 4));
+        assert_eq!(out.at(0, 0, 0), input.at(0, 0, 0));
+        assert_eq!(out.at(0, 3, 3), input.at(0, 3, 3));
+    }
+
+    #[test]
+    fn box_filter_sums_neighborhood() {
+        let input = Tensor::from_fn(1, 3, 3, |_, _, _| 1.0);
+        let w = vec![1.0; 9];
+        let out = conv3x3_f32(&input, &w, &[0.5], 1, Padding::Valid);
+        assert_eq!(out.shape(), (1, 1, 1));
+        assert_eq!(out.at(0, 0, 0), 9.5);
+    }
+
+    #[test]
+    fn zero_padding_border_sees_fewer_taps() {
+        let input = Tensor::from_fn(1, 3, 3, |_, _, _| 1.0);
+        let w = vec![1.0; 9];
+        let out = conv3x3_f32(&input, &w, &[0.0], 1, Padding::Zero);
+        assert_eq!(out.at(0, 1, 1), 9.0);
+        assert_eq!(out.at(0, 0, 0), 4.0); // corner: 2x2 valid taps
+        assert_eq!(out.at(0, 0, 1), 6.0); // edge: 2x3 valid taps
+    }
+
+    #[test]
+    fn conv1x1_mixes_channels() {
+        let input = Tensor::from_fn(2, 2, 2, |c, y, x| ((c + 1) * (y * 2 + x + 1)) as f32);
+        // out0 = in0 + in1, out1 = 2*in0 - in1 + 1
+        let w = vec![1.0, 1.0, 2.0, -1.0];
+        let out = conv1x1_f32(&input, &w, &[0.0, 1.0], 2);
+        assert_eq!(out.at(0, 0, 1), input.at(0, 0, 1) + input.at(1, 0, 1));
+        assert_eq!(out.at(1, 1, 1), 2.0 * input.at(0, 1, 1) - input.at(1, 1, 1) + 1.0);
+    }
+
+    #[test]
+    fn fixed_matches_float_within_quantization_error() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(42);
+        let in_c = 4;
+        let out_c = 3;
+        let input_f = Tensor::from_fn(in_c, 6, 6, |_, _, _| rng.gen_range(-1.0f32..1.0));
+        let weights_f: Vec<f32> = (0..out_c * in_c * 9)
+            .map(|_| rng.gen_range(-0.5f32..0.5))
+            .collect();
+        let bias_f: Vec<f32> = (0..out_c).map(|_| rng.gen_range(-0.2f32..0.2)).collect();
+
+        let in_q = QFormat::signed(6);
+        let w_q = QFormat::signed(7);
+        let b_q = QFormat::signed(7);
+        let out_q = QFormat::signed(4);
+
+        let input_codes = input_f.map(|v| in_q.quantize(v));
+        let w_codes: Vec<i16> = weights_f.iter().map(|&v| w_q.quantize(v)).collect();
+        let b_codes: Vec<i16> = bias_f.iter().map(|&v| b_q.quantize(v)).collect();
+
+        let params = FixedConvParams {
+            weights: &w_codes,
+            w_format: w_q,
+            bias: &b_codes,
+            b_format: b_q,
+            out_format: out_q,
+        };
+        let out_fixed = conv3x3_fixed(&input_codes, in_q.frac() as i32, &params, out_c, Padding::Valid);
+
+        // Float reference on the *quantized* values.
+        let input_deq = input_codes.map(|c| in_q.dequantize(c));
+        let w_deq: Vec<f32> = w_codes.iter().map(|&c| w_q.dequantize(c)).collect();
+        let b_deq: Vec<f32> = b_codes.iter().map(|&c| b_q.dequantize(c)).collect();
+        let out_float = conv3x3_f32(&input_deq, &w_deq, &b_deq, out_c, Padding::Valid);
+
+        for oc in 0..out_c {
+            for y in 0..4 {
+                for x in 0..4 {
+                    let fx = out_q.dequantize(out_fixed.at(oc, y, x));
+                    let fl = out_float.at(oc, y, x).clamp(out_q.min_value(), out_q.max_value());
+                    assert!(
+                        (fx - fl).abs() <= out_q.step() * 0.51,
+                        "mismatch at ({oc},{y},{x}): fixed {fx} vs float {fl}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_conv1x1_exact_on_integer_data() {
+        // With frac=0 everywhere the fixed path is plain integer arithmetic.
+        let input = Tensor::from_fn(2, 2, 2, |c, y, x| (c as i16 + 1) * (y as i16 * 2 + x as i16));
+        let q0 = QFormat::signed(0);
+        let params = FixedConvParams {
+            weights: &[1, 1, 2, -1],
+            w_format: q0,
+            bias: &[0, 3],
+            b_format: q0,
+            out_format: QFormat::signed(0),
+        };
+        let out = conv1x1_fixed(&input, 0, &params, 2);
+        assert_eq!(out.at(0, 1, 1), input.at(0, 1, 1) + input.at(1, 1, 1));
+        assert_eq!(out.at(1, 1, 0), 2 * input.at(0, 1, 0) - input.at(1, 1, 0) + 3);
+    }
+
+    #[test]
+    fn fixed_output_clamps_to_format() {
+        let input = Tensor::from_fn(1, 3, 3, |_, _, _| 127i16);
+        let q0 = QFormat::signed(0);
+        let params = FixedConvParams {
+            weights: &[127; 9],
+            w_format: q0,
+            bias: &[0],
+            b_format: q0,
+            out_format: QFormat::signed(0),
+        };
+        let out = conv3x3_fixed(&input, 0, &params, 1, Padding::Valid);
+        assert_eq!(out.at(0, 0, 0), 127); // saturated
+    }
+
+    #[test]
+    fn align_code_round_trips_upshift() {
+        assert_eq!(align_code(5, 2, 6), 80);
+        assert_eq!(align_code(80, 6, 2), 5);
+        assert_eq!(align_code(-7, 0, 3), -56);
+    }
+}

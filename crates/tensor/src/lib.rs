@@ -1,0 +1,37 @@
+//! Tensors, dynamic fixed-point formats, and image utilities for the eCNN
+//! reproduction.
+//!
+//! This crate is the lowest layer of the workspace. It provides:
+//!
+//! * [`Tensor`] — a dense channel-major (CHW) tensor used both by the f32
+//!   training substrate and by the bit-exact fixed-point simulator.
+//! * [`QFormat`] — the paper's dynamic 8-bit Q-format (Section 4.3): signed
+//!   `Qn` and unsigned `UQn` with per-layer fractional precision, including
+//!   the L1-/L2-norm precision search of Eq. (4).
+//! * [`conv`] — reference convolution kernels (floating point and
+//!   full-precision fixed point) that the hardware simulator is validated
+//!   against.
+//! * [`image`] — procedural image synthesis (the offline stand-in for
+//!   DIV2K/Waterloo), degradation operators (noise, downsampling) and PSNR.
+//!
+//! # Example
+//!
+//! ```
+//! use ecnn_tensor::{Tensor, QFormat};
+//!
+//! let t = Tensor::from_fn(3, 4, 4, |c, y, x| (c + y + x) as f32 * 0.1);
+//! let q = QFormat::signed(5);
+//! let fixed = q.quantize_tensor(&t);
+//! let back = q.dequantize_tensor(&fixed);
+//! assert!((back.at(1, 2, 3) - t.at(1, 2, 3)).abs() <= q.step());
+//! ```
+
+pub mod conv;
+pub mod image;
+pub mod qformat;
+pub mod tensor;
+
+pub use conv::{conv1x1_f32, conv3x3_f32, conv3x3_fixed, Padding};
+pub use image::{psnr, ImageKind, SyntheticImage};
+pub use qformat::{QFormat, QuantizedTensor};
+pub use tensor::Tensor;

@@ -1,0 +1,388 @@
+//! Dynamic fixed-point Q-formats (paper Section 4.3, Fig. 9).
+//!
+//! The paper quantizes weights, biases and feature maps to 8-bit values with
+//! a per-layer fractional position: `Qn` for signed values and `UQn` for
+//! unsigned values (post-ReLU features). Internal partial sums are kept in
+//! full precision. The fractional position `n̂` is chosen per value group by
+//! minimizing the L1 or L2 quantization error (Eq. 4), and selected parameter
+//! groups may be narrowed to 7 bits when the parameter memory overflows
+//! (Section 7.1, Table 5).
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fixed-point format: `bits`-wide two's-complement (or unsigned) integer
+/// code with `frac` fractional bits. The represented value is
+/// `code * 2^-frac`.
+///
+/// # Example
+///
+/// ```
+/// use ecnn_tensor::QFormat;
+/// let q = QFormat::signed(6); // Q6: range [-2, 127/64]
+/// assert_eq!(q.quantize(0.5), 32);
+/// assert_eq!(q.dequantize(32), 0.5);
+/// assert_eq!(q.quantize(100.0), 127); // clipped
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QFormat {
+    signed: bool,
+    frac: i8,
+    bits: u8,
+}
+
+impl QFormat {
+    /// 8-bit signed `Qn` format with `frac` fractional bits.
+    pub const fn signed(frac: i8) -> Self {
+        Self {
+            signed: true,
+            frac,
+            bits: 8,
+        }
+    }
+
+    /// 8-bit unsigned `UQn` format with `frac` fractional bits.
+    pub const fn unsigned(frac: i8) -> Self {
+        Self {
+            signed: false,
+            frac,
+            bits: 8,
+        }
+    }
+
+    /// Format with an explicit bit width (7-bit narrowing in Table 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 15 (codes are stored in `i16`).
+    pub fn with_bits(signed: bool, frac: i8, bits: u8) -> Self {
+        assert!(bits >= 1 && bits <= 15, "bit width {bits} out of range");
+        Self { signed, frac, bits }
+    }
+
+    /// Whether the format is signed (`Qn`) rather than unsigned (`UQn`).
+    #[inline]
+    pub fn is_signed(&self) -> bool {
+        self.signed
+    }
+
+    /// Fractional bit count `n` (may be negative for large dynamic ranges).
+    #[inline]
+    pub fn frac(&self) -> i8 {
+        self.frac
+    }
+
+    /// Total bit width of the code.
+    #[inline]
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Quantization step `2^-n`.
+    #[inline]
+    pub fn step(&self) -> f32 {
+        (2.0f32).powi(-(self.frac as i32))
+    }
+
+    /// Smallest representable code.
+    #[inline]
+    pub fn min_code(&self) -> i32 {
+        if self.signed {
+            -(1 << (self.bits - 1))
+        } else {
+            0
+        }
+    }
+
+    /// Largest representable code.
+    #[inline]
+    pub fn max_code(&self) -> i32 {
+        if self.signed {
+            (1 << (self.bits - 1)) - 1
+        } else {
+            (1 << self.bits) - 1
+        }
+    }
+
+    /// Largest representable value.
+    #[inline]
+    pub fn max_value(&self) -> f32 {
+        self.max_code() as f32 * self.step()
+    }
+
+    /// Smallest representable value.
+    #[inline]
+    pub fn min_value(&self) -> f32 {
+        self.min_code() as f32 * self.step()
+    }
+
+    /// Quantizes `x`: round to nearest (ties away from zero), then clip to the
+    /// representable code range. This is the `Qn(·)` function of Eq. (4).
+    #[inline]
+    pub fn quantize(&self, x: f32) -> i16 {
+        let scaled = x as f64 * (2.0f64).powi(self.frac as i32);
+        let rounded = scaled.round(); // f64::round = ties away from zero
+        let clipped = rounded.clamp(self.min_code() as f64, self.max_code() as f64);
+        clipped as i16
+    }
+
+    /// Reconstructs the real value of a code.
+    #[inline]
+    pub fn dequantize(&self, code: i16) -> f32 {
+        code as f32 * self.step()
+    }
+
+    /// Quantize-dequantize: the value actually realized in hardware.
+    #[inline]
+    pub fn round_trip(&self, x: f32) -> f32 {
+        self.dequantize(self.quantize(x))
+    }
+
+    /// Clamps a full-precision accumulator code to this format's code range.
+    #[inline]
+    pub fn clamp_code(&self, code: i32) -> i16 {
+        code.clamp(self.min_code(), self.max_code()) as i16
+    }
+
+    /// Quantizes every element of a tensor, returning codes plus format.
+    pub fn quantize_tensor(&self, t: &Tensor<f32>) -> QuantizedTensor {
+        QuantizedTensor {
+            codes: t.map(|v| self.quantize(v)),
+            format: *self,
+        }
+    }
+
+    /// Dequantizes a code tensor back to f32.
+    pub fn dequantize_tensor(&self, q: &QuantizedTensor) -> Tensor<f32> {
+        assert_eq!(q.format, *self, "format mismatch");
+        q.codes.map(|c| self.dequantize(c))
+    }
+
+    /// Sum of `|x - Qn(x)|^l` over `values` for this format (Eq. 4 inner sum).
+    pub fn error_norm(&self, values: &[f32], l: NormOrder) -> f64 {
+        values
+            .iter()
+            .map(|&x| {
+                let e = (x - self.round_trip(x)) as f64;
+                match l {
+                    NormOrder::L1 => e.abs(),
+                    NormOrder::L2 => e * e,
+                }
+            })
+            .sum()
+    }
+
+    /// Searches the fractional position `n̂ ∈ [-8, 15]` minimizing the L1 or
+    /// L2 quantization error over `values` (Eq. 4).
+    ///
+    /// Returns the best format; ties favour the larger `n` (finer step).
+    pub fn fit(values: &[f32], signed: bool, bits: u8, l: NormOrder) -> QFormat {
+        let mut best = QFormat::with_bits(signed, -8, bits);
+        let mut best_err = f64::INFINITY;
+        for n in -8i8..=15 {
+            let q = QFormat::with_bits(signed, n, bits);
+            let err = q.error_norm(values, l);
+            if err <= best_err {
+                best_err = err;
+                best = q;
+            }
+        }
+        best
+    }
+}
+
+impl fmt::Debug for QFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for QFormat {
+    /// Prints the paper's notation: `Q5`, `UQ7`, with a bit-width suffix when
+    /// narrower than 8 bits (e.g. `Q5/7b`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.signed {
+            write!(f, "U")?;
+        }
+        write!(f, "Q{}", self.frac)?;
+        if self.bits != 8 {
+            write!(f, "/{}b", self.bits)?;
+        }
+        Ok(())
+    }
+}
+
+/// Which error norm Eq. (4) minimizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NormOrder {
+    /// `l = 1`: favoured by the paper for final models (better PSNR after
+    /// fine-tuning despite higher initial cropping).
+    L1,
+    /// `l = 2`.
+    L2,
+}
+
+/// A tensor of fixed-point codes together with its [`QFormat`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedTensor {
+    /// Integer codes (always materialized as `i16`, range-limited by the
+    /// format).
+    pub codes: Tensor<i16>,
+    /// The format giving the codes meaning.
+    pub format: QFormat,
+}
+
+impl QuantizedTensor {
+    /// Reconstructs the floating-point tensor.
+    pub fn to_f32(&self) -> Tensor<f32> {
+        self.format.dequantize_tensor(self)
+    }
+}
+
+/// Rounds and arithmetic-shifts a full-precision accumulator from `from_frac`
+/// fractional bits to `to_frac`, matching the hardware's requantization stage
+/// (round-to-nearest, ties away from zero for non-negative shift results).
+///
+/// # Example
+///
+/// ```
+/// use ecnn_tensor::qformat::rescale_code;
+/// // 1.5 in Q4 (code 24) -> Q1 (code 3)
+/// assert_eq!(rescale_code(24, 4, 1), 3);
+/// // 0.40625 in Q5 (code 13) -> Q2: 1.625 steps -> rounds to 2
+/// assert_eq!(rescale_code(13, 5, 2), 2);
+/// ```
+#[inline]
+pub fn rescale_code(acc: i64, from_frac: i32, to_frac: i32) -> i32 {
+    let shift = from_frac - to_frac;
+    if shift > 0 {
+        // Round half away from zero, then arithmetic shift.
+        let half = 1i64 << (shift - 1);
+        if acc >= 0 {
+            ((acc + half) >> shift) as i32
+        } else {
+            -(((-acc + half) >> shift) as i32)
+        }
+    } else {
+        (acc << -shift) as i32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(QFormat::signed(5).to_string(), "Q5");
+        assert_eq!(QFormat::unsigned(7).to_string(), "UQ7");
+        assert_eq!(QFormat::with_bits(true, 4, 7).to_string(), "Q4/7b");
+    }
+
+    #[test]
+    fn ranges() {
+        let q = QFormat::signed(7);
+        assert_eq!(q.min_code(), -128);
+        assert_eq!(q.max_code(), 127);
+        assert!((q.max_value() - 127.0 / 128.0).abs() < 1e-6);
+        let u = QFormat::unsigned(8);
+        assert_eq!(u.min_code(), 0);
+        assert_eq!(u.max_code(), 255);
+        let s7 = QFormat::with_bits(true, 4, 7);
+        assert_eq!(s7.min_code(), -64);
+        assert_eq!(s7.max_code(), 63);
+    }
+
+    #[test]
+    fn quantize_rounds_and_clips() {
+        let q = QFormat::signed(4); // step 1/16
+        assert_eq!(q.quantize(0.5), 8);
+        assert_eq!(q.quantize(0.49), 8); // 7.84 -> 8
+        assert_eq!(q.quantize(-0.5), -8);
+        assert_eq!(q.quantize(1000.0), 127);
+        assert_eq!(q.quantize(-1000.0), -128);
+        // ties away from zero
+        assert_eq!(q.quantize(0.09375), 2); // 1.5 -> 2
+        assert_eq!(q.quantize(-0.09375), -2);
+    }
+
+    #[test]
+    fn unsigned_clips_negative_to_zero() {
+        let u = QFormat::unsigned(4);
+        assert_eq!(u.quantize(-3.0), 0);
+        assert_eq!(u.quantize(2.0), 32);
+    }
+
+    #[test]
+    fn negative_frac_for_large_values() {
+        let q = QFormat::signed(-2); // step 4
+        assert_eq!(q.quantize(100.0), 25);
+        assert_eq!(q.dequantize(25), 100.0);
+    }
+
+    #[test]
+    fn fit_picks_reasonable_precision() {
+        // Values in [-0.9, 0.9]: Q7 maximizes resolution without clipping much.
+        let vals: Vec<f32> = (-9..=9).map(|i| i as f32 * 0.1).collect();
+        let q = QFormat::fit(&vals, true, 8, NormOrder::L2);
+        assert_eq!(q.frac(), 7);
+        // Values up to 100 need n = 0 or less.
+        let vals = vec![100.0f32, -50.0, 25.0];
+        let q = QFormat::fit(&vals, true, 8, NormOrder::L2);
+        assert!(q.frac() <= 0, "got {q}");
+        assert!((q.round_trip(100.0) - 100.0).abs() <= q.step());
+    }
+
+    #[test]
+    fn fit_l1_crops_more_than_l2() {
+        // Heavy-tailed data: L1 tolerates cropping the rare large value.
+        let mut vals: Vec<f32> = vec![0.01; 1000];
+        vals.push(3.0);
+        let l1 = QFormat::fit(&vals, true, 8, NormOrder::L1);
+        let l2 = QFormat::fit(&vals, true, 8, NormOrder::L2);
+        assert!(
+            l1.frac() >= l2.frac(),
+            "L1 should choose at least as fine a step: {l1} vs {l2}"
+        );
+    }
+
+    #[test]
+    fn tensor_round_trip_within_step() {
+        let t = Tensor::from_fn(2, 3, 3, |c, y, x| (c as f32 - 0.5) * 0.3 + (y * 3 + x) as f32 * 0.01);
+        let q = QFormat::signed(6);
+        let qt = q.quantize_tensor(&t);
+        let back = qt.to_f32();
+        for (a, b) in t.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() <= q.step() / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn rescale_code_matches_round_half_away() {
+        assert_eq!(rescale_code(24, 4, 1), 3);
+        assert_eq!(rescale_code(20, 4, 1), 3); // 2.5 -> 3 (away from zero)
+        assert_eq!(rescale_code(-20, 4, 1), -3); // -2.5 -> -3
+        assert_eq!(rescale_code(-19, 4, 1), -2); // -2.375 -> -2
+        assert_eq!(rescale_code(3, 0, 2), 12); // upshift
+        assert_eq!(rescale_code(0, 8, 0), 0);
+    }
+
+    #[test]
+    fn rescale_equivalent_to_float_rounding() {
+        for acc in -1000i64..1000 {
+            let got = rescale_code(acc, 6, 2);
+            let want = {
+                let v = acc as f64 / 64.0 * 4.0;
+                // ties away from zero
+                let r = v.abs().fract();
+                if (r - 0.5).abs() < 1e-12 {
+                    (v.abs().trunc() + 1.0).copysign(v) as i32
+                } else {
+                    v.round() as i32
+                }
+            };
+            assert_eq!(got, want, "acc={acc}");
+        }
+    }
+}

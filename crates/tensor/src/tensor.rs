@@ -1,0 +1,480 @@
+//! Dense channel-major (CHW) tensors.
+//!
+//! [`Tensor`] is deliberately small: the eCNN datapath only needs 3-D feature
+//! volumes with channel-major layout (the hardware streams 4×2 pixel tiles of
+//! 32 channels, so channel-major keeps tile extraction contiguous per
+//! channel). Batching is handled by the training substrate as `Vec<Tensor>`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A dense 3-D tensor in channel-major (CHW) layout.
+///
+/// `T` is the element type: `f32` for the reference/training path, `i8` for
+/// quantized features and weights, `i32` for full-precision accumulators.
+///
+/// # Example
+///
+/// ```
+/// use ecnn_tensor::Tensor;
+/// let mut t = Tensor::<f32>::zeros(2, 3, 4);
+/// *t.at_mut(1, 2, 3) = 7.0;
+/// assert_eq!(t.at(1, 2, 3), 7.0);
+/// assert_eq!(t.shape(), (2, 3, 4));
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor<T = f32> {
+    channels: usize,
+    height: usize,
+    width: usize,
+    data: Vec<T>,
+}
+
+impl<T: fmt::Debug> fmt::Debug for Tensor<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tensor")
+            .field("channels", &self.channels)
+            .field("height", &self.height)
+            .field("width", &self.width)
+            .field("len", &self.data.len())
+            .finish()
+    }
+}
+
+impl<T: Copy + Default> Tensor<T> {
+    /// Creates a tensor filled with `T::default()` (zero for numeric types).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn zeros(channels: usize, height: usize, width: usize) -> Self {
+        assert!(
+            channels > 0 && height > 0 && width > 0,
+            "tensor dimensions must be nonzero: {channels}x{height}x{width}"
+        );
+        Self {
+            channels,
+            height,
+            width,
+            data: vec![T::default(); channels * height * width],
+        }
+    }
+
+    /// Creates a tensor by evaluating `f(c, y, x)` at every element.
+    pub fn from_fn(
+        channels: usize,
+        height: usize,
+        width: usize,
+        mut f: impl FnMut(usize, usize, usize) -> T,
+    ) -> Self {
+        let mut t = Self::zeros(channels, height, width);
+        for c in 0..channels {
+            for y in 0..height {
+                for x in 0..width {
+                    *t.at_mut(c, y, x) = f(c, y, x);
+                }
+            }
+        }
+        t
+    }
+
+    /// Builds a tensor from a flat CHW vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != channels * height * width`.
+    pub fn from_vec(channels: usize, height: usize, width: usize, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            channels * height * width,
+            "data length does not match shape"
+        );
+        assert!(channels > 0 && height > 0 && width > 0);
+        Self {
+            channels,
+            height,
+            width,
+            data,
+        }
+    }
+
+    /// Extracts the `channels`-deep rectangle with top-left `(y0, x0)` and
+    /// size `h×w`, zero-padding (default-padding) out-of-bounds samples.
+    ///
+    /// Out-of-bounds reads appear when the block-based flow gathers the
+    /// receptive field of a border block; the paper's zero-padded inference
+    /// type maps to exactly this behaviour.
+    pub fn crop_padded(&self, y0: isize, x0: isize, h: usize, w: usize) -> Self {
+        let mut out = Self::zeros(self.channels, h, w);
+        for c in 0..self.channels {
+            for y in 0..h {
+                let sy = y0 + y as isize;
+                if sy < 0 || sy >= self.height as isize {
+                    continue;
+                }
+                for x in 0..w {
+                    let sx = x0 + x as isize;
+                    if sx < 0 || sx >= self.width as isize {
+                        continue;
+                    }
+                    *out.at_mut(c, y, x) = self.at(c, sy as usize, sx as usize);
+                }
+            }
+        }
+        out
+    }
+
+    /// Copies `src` into `self` with its top-left corner at `(y0, x0)`.
+    ///
+    /// Used by the block stitcher to paste finished output blocks into the
+    /// frame. Samples of `src` that fall outside `self` are ignored.
+    pub fn paste(&mut self, src: &Tensor<T>, y0: usize, x0: usize) {
+        assert_eq!(self.channels, src.channels, "channel mismatch in paste");
+        for c in 0..self.channels {
+            for y in 0..src.height {
+                if y0 + y >= self.height {
+                    break;
+                }
+                for x in 0..src.width {
+                    if x0 + x >= self.width {
+                        break;
+                    }
+                    *self.at_mut(c, y0 + y, x0 + x) = src.at(c, y, x);
+                }
+            }
+        }
+    }
+
+    /// Returns a new tensor with channels grown (zero-filled) or truncated to
+    /// `channels`. The paper pads RGB inputs with 29 zero channels to present
+    /// 32-channel features to the datapath.
+    pub fn with_channels(&self, channels: usize) -> Self {
+        let mut out = Self::zeros(channels, self.height, self.width);
+        for c in 0..channels.min(self.channels) {
+            for y in 0..self.height {
+                for x in 0..self.width {
+                    *out.at_mut(c, y, x) = self.at(c, y, x);
+                }
+            }
+        }
+        out
+    }
+
+    /// Space-to-depth: packs `s×s` spatial neighborhoods into channels
+    /// (`C → C·s²`, `H → H/s`, `W → W/s`). This is the "pixel unshuffle" used
+    /// by DnERNet-12ch (Appendix A).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spatial dimensions are not divisible by `s`.
+    pub fn pixel_unshuffle(&self, s: usize) -> Self {
+        assert!(s > 0 && self.height % s == 0 && self.width % s == 0);
+        let (c, h, w) = (self.channels, self.height / s, self.width / s);
+        Tensor::from_fn(c * s * s, h, w, |oc, y, x| {
+            let ic = oc / (s * s);
+            let rem = oc % (s * s);
+            let (dy, dx) = (rem / s, rem % s);
+            self.at(ic, y * s + dy, x * s + dx)
+        })
+    }
+
+    /// Depth-to-space: the inverse of [`Tensor::pixel_unshuffle`]
+    /// (`C → C/s²`, `H → H·s`, `W → W·s`), i.e. the sub-pixel upsampler used
+    /// by the SR heads (Fig. 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel count is not divisible by `s²`.
+    pub fn pixel_shuffle(&self, s: usize) -> Self {
+        assert!(s > 0 && self.channels % (s * s) == 0);
+        let c = self.channels / (s * s);
+        Tensor::from_fn(c, self.height * s, self.width * s, |oc, y, x| {
+            let (dy, dx) = (y % s, x % s);
+            let ic = oc * s * s + dy * s + dx;
+            self.at(ic, y / s, x / s)
+        })
+    }
+}
+
+impl<T: Copy> Tensor<T> {
+    /// Element at `(c, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds via the index check) if out of bounds.
+    #[inline(always)]
+    pub fn at(&self, c: usize, y: usize, x: usize) -> T {
+        debug_assert!(c < self.channels && y < self.height && x < self.width);
+        self.data[(c * self.height + y) * self.width + x]
+    }
+
+    /// Mutable element at `(c, y, x)`.
+    #[inline(always)]
+    pub fn at_mut(&mut self, c: usize, y: usize, x: usize) -> &mut T {
+        debug_assert!(c < self.channels && y < self.height && x < self.width);
+        &mut self.data[(c * self.height + y) * self.width + x]
+    }
+
+    /// Shape as `(channels, height, width)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.channels, self.height, self.width)
+    }
+
+    /// Number of channels.
+    #[inline]
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Spatial height.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Spatial width.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Always false: zero-sized tensors cannot be constructed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Flat CHW view of the data.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable flat CHW view of the data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Contiguous row `y` of channel `c`.
+    #[inline]
+    pub fn row(&self, c: usize, y: usize) -> &[T] {
+        let base = (c * self.height + y) * self.width;
+        &self.data[base..base + self.width]
+    }
+
+    /// Consumes the tensor, returning the flat CHW data.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Applies `f` elementwise, producing a tensor of a possibly different
+    /// element type.
+    pub fn map<U: Copy + Default>(&self, mut f: impl FnMut(T) -> U) -> Tensor<U> {
+        Tensor {
+            channels: self.channels,
+            height: self.height,
+            width: self.width,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+}
+
+impl Tensor<f32> {
+    /// Elementwise sum with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add(&self, other: &Tensor<f32>) -> Tensor<f32> {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn sub(&self, other: &Tensor<f32>) -> Tensor<f32> {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise combination of two same-shaped tensors.
+    pub fn zip(&self, other: &Tensor<f32>, mut f: impl FnMut(f32, f32) -> f32) -> Tensor<f32> {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch");
+        Tensor {
+            channels: self.channels,
+            height: self.height,
+            width: self.width,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// In-place `self += other`.
+    pub fn add_assign(&mut self, other: &Tensor<f32>) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += *b;
+        }
+    }
+
+    /// In-place scaling by `s`.
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Mean of squared elements; the building block of MSE/PSNR.
+    pub fn mean_sq(&self) -> f64 {
+        self.data.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Largest absolute element.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+}
+
+/// Generic scalar arithmetic used by the fixed-point reference kernels.
+pub trait Scalar:
+    Copy + Default + Add<Output = Self> + Sub<Output = Self> + Mul<Output = Self> + AddAssign
+{
+}
+impl<T> Scalar for T where
+    T: Copy + Default + Add<Output = T> + Sub<Output = T> + Mul<Output = T> + AddAssign
+{
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_index() {
+        let mut t = Tensor::<f32>::zeros(2, 3, 4);
+        assert_eq!(t.shape(), (2, 3, 4));
+        assert_eq!(t.len(), 24);
+        *t.at_mut(1, 2, 3) = 5.0;
+        assert_eq!(t.at(1, 2, 3), 5.0);
+        assert_eq!(t.at(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dim_panics() {
+        let _ = Tensor::<f32>::zeros(0, 1, 1);
+    }
+
+    #[test]
+    fn from_fn_layout_is_chw() {
+        let t = Tensor::from_fn(2, 2, 2, |c, y, x| (c * 100 + y * 10 + x) as f32);
+        assert_eq!(t.as_slice(), &[0., 1., 10., 11., 100., 101., 110., 111.]);
+    }
+
+    #[test]
+    fn crop_padded_zero_fills() {
+        let t = Tensor::from_fn(1, 4, 4, |_, y, x| (y * 4 + x) as f32);
+        let c = t.crop_padded(-1, -1, 3, 3);
+        assert_eq!(c.at(0, 0, 0), 0.0); // out of bounds
+        assert_eq!(c.at(0, 1, 1), 0.0); // t[0,0]
+        assert_eq!(c.at(0, 2, 2), 5.0); // t[1,1]
+    }
+
+    #[test]
+    fn crop_then_paste_round_trips_interior() {
+        let t = Tensor::from_fn(2, 6, 6, |c, y, x| (c * 36 + y * 6 + x) as f32);
+        let block = t.crop_padded(2, 3, 3, 2);
+        let mut out = Tensor::<f32>::zeros(2, 6, 6);
+        out.paste(&block, 2, 3);
+        for c in 0..2 {
+            for y in 2..5 {
+                for x in 3..5 {
+                    assert_eq!(out.at(c, y, x), t.at(c, y, x));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paste_clips_at_border() {
+        let mut big = Tensor::<f32>::zeros(1, 4, 4);
+        let small = Tensor::from_fn(1, 3, 3, |_, _, _| 1.0);
+        big.paste(&small, 2, 2);
+        assert_eq!(big.at(0, 3, 3), 1.0);
+        assert_eq!(big.at(0, 2, 2), 1.0);
+        assert_eq!(big.at(0, 1, 1), 0.0);
+    }
+
+    #[test]
+    fn with_channels_pads_and_truncates() {
+        let t = Tensor::from_fn(3, 2, 2, |c, _, _| c as f32);
+        let padded = t.with_channels(5);
+        assert_eq!(padded.at(2, 0, 0), 2.0);
+        assert_eq!(padded.at(4, 1, 1), 0.0);
+        let cut = padded.with_channels(2);
+        assert_eq!(cut.channels(), 2);
+        assert_eq!(cut.at(1, 0, 0), 1.0);
+    }
+
+    #[test]
+    fn shuffle_unshuffle_round_trip() {
+        let t = Tensor::from_fn(3, 4, 6, |c, y, x| (c * 1000 + y * 10 + x) as f32);
+        let u = t.pixel_unshuffle(2);
+        assert_eq!(u.shape(), (12, 2, 3));
+        let back = u.pixel_shuffle(2);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn pixel_shuffle_matches_subpixel_definition() {
+        // channel layout: oc*s*s + dy*s + dx
+        let t = Tensor::from_fn(4, 1, 1, |c, _, _| c as f32);
+        let s = t.pixel_shuffle(2);
+        assert_eq!(s.shape(), (1, 2, 2));
+        assert_eq!(s.at(0, 0, 0), 0.0);
+        assert_eq!(s.at(0, 0, 1), 1.0);
+        assert_eq!(s.at(0, 1, 0), 2.0);
+        assert_eq!(s.at(0, 1, 1), 3.0);
+    }
+
+    #[test]
+    fn map_changes_type() {
+        let t = Tensor::from_fn(1, 2, 2, |_, y, x| (y * 2 + x) as f32);
+        let q: Tensor<i8> = t.map(|v| v as i8);
+        assert_eq!(q.at(0, 1, 1), 3i8);
+    }
+
+    #[test]
+    fn arithmetic_helpers() {
+        let a = Tensor::from_fn(1, 2, 2, |_, y, x| (y + x) as f32);
+        let b = Tensor::from_fn(1, 2, 2, |_, _, _| 1.0);
+        assert_eq!(a.add(&b).at(0, 1, 1), 3.0);
+        assert_eq!(a.sub(&b).at(0, 0, 0), -1.0);
+        let mut c = a.clone();
+        c.add_assign(&b);
+        c.scale(2.0);
+        assert_eq!(c.at(0, 1, 1), 6.0);
+        assert_eq!(b.mean_sq(), 1.0);
+        assert_eq!(a.max_abs(), 2.0);
+    }
+
+    #[test]
+    fn row_is_contiguous() {
+        let t = Tensor::from_fn(2, 3, 4, |c, y, x| (c * 100 + y * 10 + x) as f32);
+        assert_eq!(t.row(1, 2), &[120.0, 121.0, 122.0, 123.0]);
+    }
+}

@@ -1,0 +1,42 @@
+//! x4 super-resolution end to end: train a small SR4ERNet, quantize it,
+//! deploy on the simulated eCNN and compare PSNR against bilinear scaling.
+//!
+//! ```sh
+//! cargo run --release --example super_resolution
+//! ```
+
+use ecnn_repro::core::Accelerator;
+use ecnn_repro::model::ernet::{ErNetSpec, ErNetTask};
+use ecnn_repro::model::RealTimeSpec;
+use ecnn_repro::nn::data::{make_dataset, TaskKind};
+use ecnn_repro::nn::float_model::FloatModel;
+use ecnn_repro::nn::quant::{quantize, QuantConfig};
+use ecnn_repro::nn::train::{train, TrainConfig};
+use ecnn_repro::tensor::image::{downsample_box, upsample_bilinear};
+use ecnn_repro::tensor::{psnr, ImageKind, SyntheticImage, Tensor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small SR4ERNet (B=2, RE=2) keeps the example fast on CPU.
+    let spec = ErNetSpec::new(ErNetTask::Sr4, 2, 2, 0);
+    let ir = spec.build()?;
+    println!("training {} ({} params)...", spec, ir.param_count());
+
+    let data = make_dataset(TaskKind::Sr { scale: 4 }, 12, 48, 11);
+    let mut fm = FloatModel::from_model(&ir, 11);
+    train(&mut fm, &data, TrainConfig { steps: 400, batch: 4, lr: 2e-3, seed: 1, threads: 2 });
+
+    let calib: Vec<Tensor<f32>> = data.iter().take(4).map(|s| s.input.clone()).collect();
+    let qm = quantize(&fm, &ir, &calib, QuantConfig::default());
+
+    // Deploy and super-resolve a held-out image.
+    let dep = Accelerator::paper().deploy(&qm, 64)?;
+    let hr = SyntheticImage::new(ImageKind::Texture, 505).rgb(128, 128);
+    let lr = downsample_box(&hr, 4);
+    let (sr, _) = dep.run_image(&lr)?;
+    let bilinear = upsample_bilinear(&lr, 4);
+    println!("bilinear x4: {:.2} dB", psnr(&bilinear, &hr, 1.0));
+    println!("SR4ERNet on eCNN: {:.2} dB", psnr(&sr, &hr, 1.0));
+
+    println!("{}", dep.system_report(RealTimeSpec::UHD30));
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! The paper's full model-optimization pipeline on a denoiser: scan
+//! candidates under a compute budget, polish the best, quantize with L1
+//! Q-format search, fine-tune, and verify the deployed model bit-exactly.
+//!
+//! ```sh
+//! cargo run --release --example train_and_quantize
+//! ```
+
+use ecnn_repro::core::Accelerator;
+use ecnn_repro::model::ernet::ErNetTask;
+use ecnn_repro::model::RealTimeSpec;
+use ecnn_repro::nn::data::TaskKind;
+use ecnn_repro::nn::pipeline::{pick_best, polish, quantize_stage, scan_stage};
+use ecnn_repro::nn::quant::QuantConfig;
+use ecnn_repro::nn::schedule::repro_stages;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let stages = repro_stages(2);
+    let budget = RealTimeSpec::UHD30.kop_budget(40.96);
+
+    println!("— stage 1: scan (budget {budget:.0} KOP/px) —");
+    let scored = scan_stage(
+        ErNetTask::Dn,
+        TaskKind::denoise25(),
+        budget,
+        128.0,
+        4,
+        1,
+        &stages[0],
+        42,
+    );
+    for s in &scored {
+        println!(
+            "  {}: RE={:.2} NCR={:.2} intrinsic={:.0} KOP/px -> {:.2} dB",
+            s.candidate.spec, s.candidate.re, s.candidate.ncr, s.candidate.intrinsic_kop, s.psnr
+        );
+    }
+    let best = pick_best(&scored).expect("scan found candidates").candidate.spec;
+    println!("picked {best}");
+
+    println!("— stage 2: polish —");
+    let (mut fm, float_psnr) = polish(best, TaskKind::denoise25(), &stages[1], 42);
+    println!("  float PSNR {float_psnr:.2} dB");
+
+    println!("— stage 3: quantize + fine-tune —");
+    let (qm, fixed_psnr) = quantize_stage(
+        &mut fm,
+        best,
+        TaskKind::denoise25(),
+        &stages[2],
+        QuantConfig::default(),
+        42,
+    );
+    println!("  8-bit PSNR {fixed_psnr:.2} dB (drop {:.2} dB)", float_psnr - fixed_psnr);
+
+    let dep = Accelerator::paper().deploy(&qm, 128)?;
+    println!("{}", dep.system_report(RealTimeSpec::UHD30));
+    Ok(())
+}

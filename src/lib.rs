@@ -1,0 +1,14 @@
+//! Umbrella crate for the eCNN reproduction workspace.
+//!
+//! Re-exports the public API of every member crate so that examples and
+//! integration tests can depend on a single package. See [`ecnn_core`] for
+//! the high-level entry points.
+
+pub use ecnn_baselines as baselines;
+pub use ecnn_core as core;
+pub use ecnn_dram as dram;
+pub use ecnn_isa as isa;
+pub use ecnn_model as model;
+pub use ecnn_nn as nn;
+pub use ecnn_sim as sim;
+pub use ecnn_tensor as tensor;

@@ -1,0 +1,92 @@
+//! Cross-crate property tests on the core invariants.
+
+use ecnn_isa::coding::{decode_segment, encode_segment};
+use ecnn_isa::compile::compile;
+use ecnn_isa::params::QuantizedModel;
+use ecnn_model::blockflow::{nbr, ncr, plain_nbr, plain_ncr, FootprintWalk};
+use ecnn_model::ernet::{ErNetSpec, ErNetTask};
+use ecnn_model::layer::{Activation, Layer, Op};
+use ecnn_model::{ChannelMode, Model};
+use ecnn_tensor::QFormat;
+use proptest::prelude::*;
+
+fn plain(depth: usize) -> Model {
+    let mut layers = vec![Layer::new(Op::Conv3x3 { in_c: 3, out_c: 3, act: Activation::Relu })];
+    for _ in 1..depth {
+        layers.push(Layer::new(Op::Conv3x3 { in_c: 3, out_c: 3, act: Activation::Relu }));
+    }
+    Model::new("plain", 3, 3, layers).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eq. (2) equals the exact walk on plain networks for any feasible
+    /// (depth, block) pair.
+    #[test]
+    fn nbr_closed_form_matches_walk(depth in 1usize..15, xi in 40usize..200) {
+        prop_assume!(xi > 2 * depth + 4);
+        let m = plain(depth);
+        let beta = depth as f64 / xi as f64;
+        let exact = nbr(&m, xi as f64, 1.0).unwrap();
+        prop_assert!((exact - plain_nbr(beta)).abs() < 1e-9);
+    }
+
+    /// NCR decreases monotonically with block size.
+    #[test]
+    fn ncr_monotone_in_block_size(depth in 2usize..10) {
+        let m = plain(depth);
+        let a = ncr(&m, 64.0, ChannelMode::Algorithmic).unwrap();
+        let b = ncr(&m, 128.0, ChannelMode::Algorithmic).unwrap();
+        let c = ncr(&m, 256.0, ChannelMode::Algorithmic).unwrap();
+        prop_assert!(a > b && b > c);
+        prop_assert!(c > 1.0);
+        // And the closed form brackets the discrete sum within 10%.
+        let closed = plain_ncr(depth as f64 / 128.0);
+        prop_assert!((b - closed).abs() / closed < 0.10);
+    }
+
+    /// Forward/backward footprint walks are inverses.
+    #[test]
+    fn footprint_walks_invert(depth in 1usize..12, xi in 30usize..200) {
+        prop_assume!(xi > 2 * depth + 2);
+        let m = plain(depth);
+        let f = FootprintWalk::forward(&m, xi as f64).unwrap();
+        let b = FootprintWalk::backward(&m, f.xo()).unwrap();
+        prop_assert!((b.xi() - xi as f64).abs() < 1e-9);
+    }
+
+    /// Entropy coding round-trips arbitrary i16 parameter segments.
+    #[test]
+    fn coding_round_trip(values in proptest::collection::vec(-255i16..=255, 0..200)) {
+        let bytes = encode_segment(&values);
+        let (decoded, _) = decode_segment(&bytes, values.len()).unwrap();
+        prop_assert_eq!(decoded, values);
+    }
+
+    /// Q-format quantization error is bounded by half a step inside range.
+    #[test]
+    fn qformat_error_bound(frac in -4i8..10, x in -100.0f32..100.0) {
+        let q = QFormat::signed(frac);
+        let clipped = x.clamp(q.min_value(), q.max_value());
+        let err = (q.round_trip(x) - clipped).abs();
+        prop_assert!(err <= q.step() / 2.0 + 1e-5, "err {} step {}", err, q.step());
+    }
+
+    /// Every feasible ERNet compiles, respects the 4-leaf cap, and its
+    /// packed parameters decode to the compiler's leafs.
+    #[test]
+    fn ernets_compile_and_roundtrip(b in 1usize..6, r in 1usize..4, sel in 0usize..3) {
+        let n = sel.min(b);
+        let task = match sel % 3 { 0 => ErNetTask::Dn, 1 => ErNetTask::Sr2, _ => ErNetTask::Sr4 };
+        let spec = ErNetSpec::new(task, b, r, n);
+        let m = spec.build().unwrap();
+        let qm = QuantizedModel::uniform(&m);
+        let c = compile(&qm, 64).unwrap();
+        for ins in &c.program.instructions {
+            prop_assert!(ins.leaf_modules() <= 4);
+        }
+        let first = c.packed.unpack(0).unwrap();
+        prop_assert_eq!(&first, &c.leafs[0]);
+    }
+}

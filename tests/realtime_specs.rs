@@ -1,0 +1,85 @@
+//! System-level real-time claims (paper Section 7.2, Figs. 19/21, Table 7).
+
+use ecnn_core::Accelerator;
+use ecnn_isa::params::QuantizedModel;
+use ecnn_model::ernet::{ErNetSpec, ErNetTask};
+use ecnn_model::RealTimeSpec;
+
+fn report(task: ErNetTask, b: usize, r: usize, n: usize, xi: usize, spec: RealTimeSpec) -> ecnn_core::SystemReport {
+    let m = ErNetSpec::new(task, b, r, n).build().unwrap();
+    let qm = QuantizedModel::uniform(&m);
+    Accelerator::paper().deploy(&qm, xi).unwrap().system_report(spec)
+}
+
+#[test]
+fn paper_model_spec_matrix_is_realtime() {
+    // (model pick, spec) pairs from Figs. 19/21 — every pick meets its spec.
+    let cases = [
+        (ErNetTask::Dn, 3, 1, 0, 128, RealTimeSpec::UHD30),
+        (ErNetTask::Sr4, 17, 3, 1, 128, RealTimeSpec::UHD30),
+        (ErNetTask::Sr4, 34, 4, 0, 128, RealTimeSpec::HD30),
+        (ErNetTask::Dn12, 8, 2, 5, 256, RealTimeSpec::UHD30),
+    ];
+    for (task, b, r, n, xi, spec) in cases {
+        let rep = report(task, b, r, n, xi, spec);
+        assert!(
+            rep.meets_realtime,
+            "{task:?}-B{b}R{r}N{n} @ {spec}: {:.1} fps",
+            rep.frame.fps
+        );
+    }
+}
+
+#[test]
+fn dram_interfaces_match_fig21() {
+    // DnERNet is the bandwidth-heaviest family; its three specs map onto
+    // DDR-400 / DDR-266 / DDR-200 (Section 7.2).
+    let uhd = report(ErNetTask::Dn, 3, 1, 0, 128, RealTimeSpec::UHD30);
+    assert_eq!(uhd.dram_config.unwrap().name, "DDR-400");
+    let bw = uhd.dram_bandwidth_bps() / 1e9;
+    assert!((bw - 1.66).abs() < 0.15, "UHD30 bw {bw} GB/s");
+
+    // Feasible (budget-respecting) DnERNet picks for the slower specs:
+    // B8R1N0 (11 convs, 267 KOP/px total) for HD60 and B12R1N6 (15 convs,
+    // ~570 KOP/px) for HD30 — the paper's exact picks are unpublished, but
+    // any in-budget pick reproduces the Fig. 21 NBR and bandwidth.
+    let hd60 = report(ErNetTask::Dn, 8, 1, 0, 128, RealTimeSpec::HD60);
+    assert!(hd60.meets_realtime, "HD60 pick must be real-time");
+    let bw60 = hd60.dram_bandwidth_bps() / 1e9;
+    assert!((bw60 - 0.94).abs() < 0.12, "HD60 bw {bw60} GB/s");
+
+    let hd30 = report(ErNetTask::Dn, 12, 1, 6, 128, RealTimeSpec::HD30);
+    assert!(hd30.meets_realtime, "HD30 pick must be real-time");
+    let bw30 = hd30.dram_bandwidth_bps() / 1e9;
+    assert!((bw30 - 0.50).abs() < 0.10, "HD30 bw {bw30} GB/s");
+}
+
+#[test]
+fn sr_models_use_less_bandwidth_than_denoisers() {
+    // Fig. 21's shape: SR inputs are 1/16-size, so SR4 traffic sits well
+    // below the denoisers' despite similar output streams.
+    let dn = report(ErNetTask::Dn, 3, 1, 0, 128, RealTimeSpec::UHD30);
+    let sr = report(ErNetTask::Sr4, 17, 3, 1, 128, RealTimeSpec::UHD30);
+    assert!(sr.dram_bandwidth_bps() < dn.dram_bandwidth_bps() * 0.6);
+}
+
+#[test]
+fn power_stays_in_the_7w_class_across_models() {
+    // Fig. 20: all polished ERNets sit near the 6.94 W average — an order
+    // of magnitude below Diffy's 27-54 W.
+    let mut total = 0.0;
+    let cases = [
+        (ErNetTask::Dn, 3, 1, 0),
+        (ErNetTask::Sr4, 17, 3, 1),
+        (ErNetTask::Sr4, 34, 4, 0),
+        (ErNetTask::Sr2, 8, 2, 0),
+    ];
+    for (task, b, r, n) in cases {
+        let rep = report(task, b, r, n, 128, RealTimeSpec::HD30);
+        let w = rep.power.total_w();
+        assert!(w > 5.0 && w < 8.5, "{task:?}-B{b}: {w} W");
+        total += w;
+    }
+    let avg = total / cases.len() as f64;
+    assert!((avg - 6.94).abs() < 0.8, "average {avg} W");
+}
