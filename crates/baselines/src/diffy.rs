@@ -8,7 +8,10 @@
 //! their category cost (the same value model as our parameter coder), which
 //! yields the compression factor applied to the frame-based flow.
 
-use ecnn_tensor::Tensor;
+use crate::framebased::{frame_based_feature_bandwidth, IsoComputeFlow, ISO_COMPUTE_TOPS};
+use ecnn_core::engine::{Backend, EngineError, FrameReport, Workload};
+use ecnn_dram::DramConfig;
+use ecnn_tensor::{ImageKind, QFormat, SyntheticImage, Tensor};
 use serde::{Deserialize, Serialize};
 
 /// Mean encoded bits per activation when storing horizontal differences
@@ -111,10 +114,80 @@ pub const ECNN_SR4: PublishedPoint = PublishedPoint {
     power_w: 7.08,
 };
 
+/// The Diffy flow as an engine [`Backend`]: frame-based traffic shrunk by
+/// the activation-difference compression factor.
+#[derive(Clone, Debug)]
+pub struct DiffyBackend {
+    /// Peak compute available to the flow, TOPS.
+    pub tops: f64,
+    /// DRAM interface the flow runs on.
+    pub dram: DramConfig,
+    /// Compression factor applied to feature traffic.
+    pub compression: f64,
+}
+
+impl DiffyBackend {
+    /// Calibrates the compression factor on a deterministic smooth
+    /// synthetic feature map (the favourable case for differential
+    /// storage; noisy inputs compress far worse — the paper's critique).
+    pub fn calibrated() -> Self {
+        let img = SyntheticImage::new(ImageKind::Smooth, 4).rgb(64, 64);
+        let q = QFormat::unsigned(8);
+        let codes = img.map(|v| q.quantize(v));
+        Self {
+            tops: ISO_COMPUTE_TOPS,
+            dram: DramConfig::DDR3_2133_X2,
+            compression: diff_compression_factor(&codes, 16),
+        }
+    }
+}
+
+impl Default for DiffyBackend {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+impl Backend for DiffyBackend {
+    fn name(&self) -> &'static str {
+        "diffy"
+    }
+
+    fn frame_report(&self, workload: &Workload) -> Result<FrameReport, EngineError> {
+        let spec = workload.spec;
+        let features = frame_based_feature_bandwidth(
+            workload.model(),
+            spec.width,
+            spec.height,
+            1.0,
+            workload.feature_bits,
+        ) / self.compression;
+        // Published operating points (Table 7): 27.16 W for denoising
+        // (FFDNet, 8 tiles), 54.32 W for x4 SR (VDSR, 16 tiles), @65nm.
+        let power = if workload.model().output_scale() > 1.0 {
+            DIFFY_VDSR.power_w
+        } else {
+            DIFFY_FFDNET.power_w
+        };
+        Ok(IsoComputeFlow {
+            backend: self.name(),
+            tops: self.tops,
+            dram: self.dram,
+            feature_bytes_per_frame: features,
+            feature_sram_bytes: 0.0,
+            power_w: Some(power),
+            note: format!(
+                "activation-difference compression x{:.1} (input-dependent); power from the published 65nm point",
+                self.compression
+            ),
+        }
+        .report(workload))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ecnn_tensor::{ImageKind, QFormat, SyntheticImage};
 
     #[test]
     fn smooth_activations_compress_well() {
@@ -142,6 +215,8 @@ mod tests {
     }
 
     #[test]
+    // The published points are consts; the test documents their invariants.
+    #[allow(clippy::assertions_on_constants)]
     fn published_points_are_consistent_with_table7() {
         assert!(DIFFY_VDSR.power_w > 7.0 * ECNN_SR4.power_w / 1.1);
         assert_eq!(IDEAL_BM3D.tech_nm, 65);

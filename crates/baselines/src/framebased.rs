@@ -5,7 +5,78 @@
 //! DRAM and read back. [`frame_based_feature_bandwidth`] generalizes this to
 //! arbitrary models by walking the layer chain.
 
+use ecnn_core::engine::{Backend, EngineError, FrameReport, Workload};
+use ecnn_dram::DramConfig;
 use ecnn_model::Model;
+
+/// Compute budget granted to iso-compute baselines by default: the eCNN
+/// configuration's 40.96 TOPS effective peak (Table 2).
+pub const ISO_COMPUTE_TOPS: f64 = 40.96;
+
+/// Sustainable fraction of a DRAM interface's theoretical peak.
+pub(crate) const DRAM_UTILIZATION: f64 = 0.7;
+
+/// Bytes of the 8-bit input and output images of one output frame.
+pub(crate) fn image_io_bytes(model: &Model, out_width: usize, out_height: usize) -> f64 {
+    let scale = model.output_scale();
+    let channels = model.channel_walk();
+    let out_px = (out_width * out_height) as f64;
+    let in_px = out_px / (scale * scale);
+    in_px * channels[0] as f64 + out_px * *channels.last().expect("nonempty") as f64
+}
+
+/// Hardware ops per output frame (algorithmic channels).
+pub(crate) fn ops_per_frame(model: &Model, out_width: usize, out_height: usize) -> f64 {
+    required_tops(model, out_width, out_height, 1.0) * 1e12
+}
+
+/// Shared throughput model of the frame-based-style flows (frame-based,
+/// Diffy, fused-layer): an iso-compute accelerator capped by either its
+/// compute budget or its DRAM interface.
+pub(crate) struct IsoComputeFlow {
+    /// Backend name for the report.
+    pub backend: &'static str,
+    /// Peak compute, TOPS.
+    pub tops: f64,
+    /// DRAM interface.
+    pub dram: DramConfig,
+    /// Feature-map DRAM bytes per frame (0 when features stay on chip).
+    pub feature_bytes_per_frame: f64,
+    /// On-chip feature SRAM, bytes.
+    pub feature_sram_bytes: f64,
+    /// Power estimate, if the flow has one.
+    pub power_w: Option<f64>,
+    /// Flow-specific remark.
+    pub note: String,
+}
+
+impl IsoComputeFlow {
+    /// Assembles the [`FrameReport`] for `workload` under this flow.
+    pub fn report(self, workload: &Workload) -> FrameReport {
+        let model = workload.model();
+        let spec = workload.spec;
+        let bytes = self.feature_bytes_per_frame + image_io_bytes(model, spec.width, spec.height);
+        let opf = ops_per_frame(model, spec.width, spec.height);
+        let compute_fps = self.tops * 1e12 / opf;
+        let bw_fps = self.dram.peak_bytes_per_sec * DRAM_UTILIZATION / bytes;
+        let fps = compute_fps.min(bw_fps);
+        let rate = fps.min(spec.fps);
+        FrameReport {
+            backend: self.backend.into(),
+            workload: model.name().to_string(),
+            spec,
+            fps,
+            meets_realtime: fps >= spec.fps,
+            dram_bytes_per_frame: bytes,
+            dram_bps: bytes * rate,
+            feature_sram_bytes: self.feature_sram_bytes,
+            power_w: self.power_w,
+            tops: Some(opf * rate / 1e12),
+            utilization: None,
+            note: self.note,
+        }
+    }
+}
 
 /// Eq. (1) verbatim, for a plain `D`-layer, `C`-channel network.
 /// `feature_bits` is `L`; returns bytes per second.
@@ -60,6 +131,58 @@ pub fn required_tops(model: &Model, out_width: usize, out_height: usize, fps: f6
 /// by the block flow's own NBR when comparing the two flows directly.
 pub fn frame_vs_block_ratio(channels: usize, depth: usize, nbr: f64) -> f64 {
     2.0 * channels as f64 * (depth as f64 - 1.0) / (3.0 * nbr)
+}
+
+/// The conventional layer-by-layer flow as an engine [`Backend`]: an
+/// iso-compute accelerator whose every intermediate feature map
+/// round-trips DRAM (the Section 2 motivation).
+#[derive(Clone, Debug)]
+pub struct FrameBasedBackend {
+    /// Peak compute available to the flow, TOPS.
+    pub tops: f64,
+    /// DRAM interface the flow runs on.
+    pub dram: DramConfig,
+}
+
+impl Default for FrameBasedBackend {
+    fn default() -> Self {
+        Self {
+            tops: ISO_COMPUTE_TOPS,
+            dram: DramConfig::DDR4_3200,
+        }
+    }
+}
+
+impl Backend for FrameBasedBackend {
+    fn name(&self) -> &'static str {
+        "frame-based"
+    }
+
+    fn frame_report(&self, workload: &Workload) -> Result<FrameReport, EngineError> {
+        let spec = workload.spec;
+        let features = frame_based_feature_bandwidth(
+            workload.model(),
+            spec.width,
+            spec.height,
+            1.0,
+            workload.feature_bits,
+        );
+        Ok(IsoComputeFlow {
+            backend: self.name(),
+            tops: self.tops,
+            dram: self.dram,
+            feature_bytes_per_frame: features,
+            feature_sram_bytes: 0.0,
+            power_w: None,
+            note: format!(
+                "Eq. (1) flow at {:.1} TOPS on {}: features {:.2} GB/frame round-trip DRAM",
+                self.tops,
+                self.dram.name,
+                features / 1e9
+            ),
+        }
+        .report(workload))
+    }
 }
 
 #[cfg(test)]

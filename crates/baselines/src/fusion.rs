@@ -2,6 +2,9 @@
 //! paper rejects: it avoids DRAM traffic like the block flow but its SRAM
 //! grows linearly with depth × image width × channels.
 
+use crate::framebased::{IsoComputeFlow, ISO_COMPUTE_TOPS};
+use ecnn_core::engine::{Backend, EngineError, FrameReport, Workload};
+use ecnn_dram::DramConfig;
 use ecnn_model::layer::Op;
 use ecnn_model::Model;
 
@@ -33,6 +36,55 @@ pub fn crossover_depth(
     (block_buffer_bytes / per_layer).ceil() as usize + 1
 }
 
+/// The fused-layer line-buffer flow as an engine [`Backend`]: DRAM sees
+/// only the input/output images, but on-chip SRAM grows with depth ×
+/// width × channels.
+#[derive(Clone, Debug)]
+pub struct FusionBackend {
+    /// Peak compute available to the flow, TOPS.
+    pub tops: f64,
+    /// DRAM interface the flow runs on.
+    pub dram: DramConfig,
+}
+
+impl Default for FusionBackend {
+    fn default() -> Self {
+        Self {
+            tops: ISO_COMPUTE_TOPS,
+            dram: DramConfig::DDR4_3200,
+        }
+    }
+}
+
+impl Backend for FusionBackend {
+    fn name(&self) -> &'static str {
+        "fused-layer"
+    }
+
+    fn frame_report(&self, workload: &Workload) -> Result<FrameReport, EngineError> {
+        let model = workload.model();
+        let spec = workload.spec;
+        // Line buffers live in the input/intermediate domain; for SR
+        // bodies that is the low-resolution width.
+        let lr_width = (spec.width as f64 / model.output_scale()).round() as usize;
+        let sram = fused_line_buffer_bytes(model, lr_width, workload.feature_bits);
+        Ok(IsoComputeFlow {
+            backend: self.name(),
+            tops: self.tops,
+            dram: self.dram,
+            feature_bytes_per_frame: 0.0,
+            feature_sram_bytes: sram,
+            power_w: None,
+            note: format!(
+                "Alwani-style fusion at {:.1} TOPS: {:.1} MB of line buffers (depth-linear)",
+                self.tops,
+                sram / 1e6
+            ),
+        }
+        .report(workload))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -43,11 +95,7 @@ mod tests {
         // Section 1: "9.3MB of SRAM will be required for supporting VDSR in
         // Full HD resolution" (64ch, 16-bit features, 1920 wide).
         let bytes = fused_line_buffer_bytes(&zoo::vdsr(), 1920, 16);
-        assert!(
-            (bytes / 1e6 - 9.3).abs() < 0.4,
-            "{} MB",
-            bytes / 1e6
-        );
+        assert!((bytes / 1e6 - 9.3).abs() < 0.4, "{} MB", bytes / 1e6);
     }
 
     #[test]

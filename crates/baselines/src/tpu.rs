@@ -13,6 +13,7 @@
 //! magnitude and resolution scaling of the paper's SCALE-Sim numbers; see
 //! EXPERIMENTS.md for the residual gap.
 
+use ecnn_core::engine::{Backend, EngineError, FrameReport, Workload};
 use ecnn_model::layer::Op;
 use ecnn_model::Model;
 use serde::{Deserialize, Serialize};
@@ -70,7 +71,13 @@ pub struct TpuReport {
 }
 
 /// Simulates frame-based inference of `model` on the systolic array.
-pub fn simulate(model: &Model, cfg: &TpuConfig, out_width: usize, out_height: usize, feature_bits: u32) -> TpuReport {
+pub fn simulate(
+    model: &Model,
+    cfg: &TpuConfig,
+    out_width: usize,
+    out_height: usize,
+    feature_bits: u32,
+) -> TpuReport {
     let scales = model.scale_walk();
     let channels = model.channel_walk();
     let out_scale = model.output_scale();
@@ -88,7 +95,10 @@ pub fn simulate(model: &Model, cfg: &TpuConfig, out_width: usize, out_height: us
         let convs: Vec<(usize, usize, usize)> = match layer.op {
             Op::Conv3x3 { in_c, out_c, .. } => vec![(in_c, out_c, 9)],
             Op::Conv1x1 { in_c, out_c, .. } => vec![(in_c, out_c, 1)],
-            Op::ErModule { channels: c, expansion } => {
+            Op::ErModule {
+                channels: c,
+                expansion,
+            } => {
                 vec![(c, c * expansion, 9), (c * expansion, c, 1)]
             }
             _ => vec![],
@@ -123,6 +133,74 @@ pub fn simulate(model: &Model, cfg: &TpuConfig, out_width: usize, out_height: us
         utilization,
         fps_per_tops: fps / cfg.peak_tops(),
         tops_per_gbps: tops / (dram_bytes * fps / 1e9),
+    }
+}
+
+/// The systolic-array model as an engine [`Backend`].
+#[derive(Clone, Debug)]
+pub struct TpuBackend {
+    /// Array configuration.
+    pub config: TpuConfig,
+    /// Feature width used on-wire (the Section 7.2 comparison runs the
+    /// TPU with 8-bit features, independent of the workload's Eq.-1
+    /// feature width).
+    pub feature_bits: u32,
+    /// Reported board power, when known.
+    pub power_w: Option<f64>,
+}
+
+impl TpuBackend {
+    /// The classical TPU: 92 TOPS @ 40 W, 28 MB of unified buffer.
+    pub fn classic() -> Self {
+        Self {
+            config: TpuConfig::classic(),
+            feature_bits: 8,
+            power_w: Some(40.0),
+        }
+    }
+}
+
+impl Default for TpuBackend {
+    fn default() -> Self {
+        Self::classic()
+    }
+}
+
+impl Backend for TpuBackend {
+    fn name(&self) -> &'static str {
+        "tpu"
+    }
+
+    fn frame_report(&self, workload: &Workload) -> Result<FrameReport, EngineError> {
+        let model = workload.model();
+        let spec = workload.spec;
+        let r = simulate(
+            model,
+            &self.config,
+            spec.width,
+            spec.height,
+            self.feature_bits,
+        );
+        let rate = r.fps.min(spec.fps);
+        Ok(FrameReport {
+            backend: self.name().into(),
+            workload: model.name().to_string(),
+            spec,
+            fps: r.fps,
+            meets_realtime: r.fps >= spec.fps,
+            dram_bytes_per_frame: r.dram_bytes_per_frame,
+            dram_bps: r.dram_bytes_per_frame * rate,
+            feature_sram_bytes: self.config.sram_bytes,
+            power_w: self.power_w,
+            tops: Some(r.tops_per_gbps * r.dram_bytes_per_frame * rate / 1e9),
+            utilization: Some(r.utilization),
+            note: format!(
+                "SCALE-Sim-style {}x{} output-stationary array ({:.0} TOPS peak)",
+                self.config.rows,
+                self.config.cols,
+                self.config.peak_tops()
+            ),
+        })
     }
 }
 

@@ -46,7 +46,9 @@ fn bench_compiler(c: &mut Criterion) {
 
 fn bench_train_conv(c: &mut Criterion) {
     let x = Tensor::from_fn(32, 32, 32, |ch, y, xx| ((ch + y + xx) as f32 * 0.01).sin());
-    let w: Vec<f32> = (0..32 * 32 * 9).map(|i| (i as f32 * 0.001).sin() * 0.1).collect();
+    let w: Vec<f32> = (0..32 * 32 * 9)
+        .map(|i| (i as f32 * 0.001).sin() * 0.1)
+        .collect();
     let bias = vec![0.0f32; 32];
     c.bench_function("train/conv3_same_32ch_32px", |b| {
         b.iter(|| black_box(conv3_same(black_box(&x), &w, &bias, 32)))

@@ -6,7 +6,10 @@ use ecnn_sim::banking::{shuffle_write_stalls, BankMapping};
 
 fn main() {
     section("Fig. 17 ablation: bank conflicts for pixel-shuffle writes");
-    println!("{:>14} {:>12} {:>14}", "block (tiles)", "normal", "interleaved");
+    println!(
+        "{:>14} {:>12} {:>14}",
+        "block (tiles)", "normal", "interleaved"
+    );
     for (w, h) in [(16, 16), (24, 24), (29, 29), (32, 32), (32, 63), (48, 48)] {
         println!(
             "{:>10}x{:<3} {:>12} {:>14}",

@@ -6,12 +6,12 @@ use ecnn_bench::{bench_scale, section};
 use ecnn_isa::compile::compile;
 use ecnn_isa::params::QuantizedModel;
 use ecnn_model::zoo;
-use ecnn_sim::cost::{AreaReport, PowerModel};
-use ecnn_sim::timing::simulate_frame;
-use ecnn_sim::EcnnConfig;
 use ecnn_nn::data::make_classification_dataset;
 use ecnn_nn::float_model::FloatModel;
 use ecnn_nn::train::{eval_accuracy, train_classifier, TrainConfig};
+use ecnn_sim::cost::{AreaReport, PowerModel};
+use ecnn_sim::timing::simulate_frame;
+use ecnn_sim::EcnnConfig;
 
 fn main() {
     section("Section 7.3: object recognition on eCNN (Fig. 22b)");
@@ -53,7 +53,17 @@ fn main() {
     let data = make_classification_dataset(32, 32, 4, 5);
     let val = make_classification_dataset(16, 32, 4, 9999);
     let steps = 60 * bench_scale();
-    train_classifier(&mut fm, &data, TrainConfig { steps, batch: 4, lr: 1e-3, seed: 2, threads: 2 });
+    train_classifier(
+        &mut fm,
+        &data,
+        TrainConfig {
+            steps,
+            batch: 4,
+            lr: 1e-3,
+            seed: 2,
+            threads: 2,
+        },
+    );
     println!(
         "tiny classifier top-1 on synthetic 4-class: {:.0}% (chance 25%)",
         eval_accuracy(&fm, &val) * 100.0

@@ -25,7 +25,13 @@ fn main() {
     let fd = simulate_frame(&cd, &dec, &cfg, 1920, 1080);
     let secs = fe.seconds_per_frame + fd.seconds_per_frame;
     let fps = 1.0 / secs;
-    let bytes = fe.di_bytes_per_frame + fe.do_bytes_per_frame + fd.di_bytes_per_frame + fd.do_bytes_per_frame;
+    let bytes = fe.di_bytes_per_frame
+        + fe.do_bytes_per_frame
+        + fd.di_bytes_per_frame
+        + fd.do_bytes_per_frame;
     println!("Full HD: {fps:.1} fps (paper: 29.5 fps; Titan X GPU: 512x512 @ 20 fps)");
-    println!("DRAM: {:.2} GB/s at that rate (paper: 1.91 GB/s)", bytes as f64 * fps / 1e9);
+    println!(
+        "DRAM: {:.2} GB/s at that rate (paper: 1.91 GB/s)",
+        bytes as f64 * fps / 1e9
+    );
 }

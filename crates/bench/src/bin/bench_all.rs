@@ -1,6 +1,12 @@
 //! Runs every table/figure regeneration binary in sequence (the full
-//! evaluation suite). Equivalent to invoking each `--bin` by hand.
+//! evaluation suite), then closes with the unified cross-backend summary.
+//! Equivalent to invoking each `--bin` by hand.
 
+use ecnn_baselines::registry;
+use ecnn_bench::{section, workload_row};
+use ecnn_core::engine::FrameReport;
+use ecnn_model::ernet::{ErNetSpec, ErNetTask};
+use ecnn_model::RealTimeSpec;
 use std::process::Command;
 
 fn main() {
@@ -45,4 +51,16 @@ fn main() {
         std::process::exit(1);
     }
     println!("\nall {} experiments regenerated", bins.len());
+
+    section("cross-backend summary (one workload, all five flows)");
+    let w = workload_row(
+        ErNetSpec::new(ErNetTask::Dn, 3, 1, 0),
+        128,
+        RealTimeSpec::UHD30,
+    );
+    let reports: Vec<FrameReport> = registry()
+        .iter()
+        .map(|b| b.frame_report(&w).expect("all backends report"))
+        .collect();
+    println!("{}", FrameReport::table(&reports));
 }

@@ -1,11 +1,11 @@
 //! Fig. 18: the six-line FBISA program of DnERNet-B3R1N0 (UHD30 blocks).
 
-use ecnn_bench::{deploy, section};
+use ecnn_bench::{engine, section};
 use ecnn_model::ernet::{ErNetSpec, ErNetTask};
 
 fn main() {
     section("Fig. 18: FBISA program of DnERNet-B3R1N0 (xi = 128)");
-    let dep = deploy(ErNetSpec::new(ErNetTask::Dn, 3, 1, 0), 128);
+    let dep = engine(ErNetSpec::new(ErNetTask::Dn, 3, 1, 0), 128);
     print!("{}", dep.compiled().program);
     println!(
         "\nparameter streams: {} bytes packed (compression {:.2}x), {} restart segments",

@@ -1,6 +1,7 @@
-//! Fig. 19: inference time (left) and NCR (right) for every polished ERNet.
+//! Fig. 19: inference time (left) and NCR (right) for every polished ERNet,
+//! evaluated through the unified `Engine` API.
 
-use ecnn_bench::{model_matrix, report_row, section};
+use ecnn_bench::{engine_for, model_matrix, section};
 
 fn main() {
     section("Fig. 19: inference time and NCR per (model, spec)");
@@ -9,7 +10,7 @@ fn main() {
         "model", "spec", "ms/frame", "fps", "NCR", "RT?"
     );
     for (rt, spec, xi) in model_matrix() {
-        let r = report_row(spec, xi, rt);
+        let r = engine_for(spec, xi, rt).system_report();
         println!(
             "{:<24} {:>6} {:>10.2} {:>8.1} {:>6.2} {:>6}",
             spec.name(),

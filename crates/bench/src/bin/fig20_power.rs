@@ -4,7 +4,10 @@ use ecnn_bench::{model_matrix, report_row, section};
 
 fn main() {
     section("Fig. 20 (left): power per (model, spec)");
-    println!("{:<24} {:>6} {:>8} {:>8} {:>8} {:>8}", "model", "spec", "total W", "3x3 W", "1x1 W", "SRAM W");
+    println!(
+        "{:<24} {:>6} {:>8} {:>8} {:>8} {:>8}",
+        "model", "spec", "total W", "3x3 W", "1x1 W", "SRAM W"
+    );
     let mut total = 0.0;
     let mut n = 0;
     for (rt, spec, xi) in model_matrix() {

@@ -13,8 +13,20 @@ use ecnn_nn::train::{eval_psnr, train, TrainConfig};
 
 fn main() {
     let scale = bench_scale();
-    let cfg = TrainConfig { steps: 250 * scale, batch: 4, lr: 2e-3, seed: 1, threads: 2 };
-    let ft = TrainConfig { steps: 60 * scale, batch: 4, lr: 5e-4, seed: 2, threads: 2 };
+    let cfg = TrainConfig {
+        steps: 250 * scale,
+        batch: 4,
+        lr: 2e-3,
+        seed: 1,
+        threads: 2,
+    };
+    let ft = TrainConfig {
+        steps: 60 * scale,
+        batch: 4,
+        lr: 5e-4,
+        seed: 2,
+        threads: 2,
+    };
 
     section("Fig. 2(a): weight pruning on a DnERNet denoiser");
     // A scaled-down stand-in for DnERNet-B16R1N0 (B=4 keeps CPU cost sane).
@@ -43,7 +55,13 @@ fn main() {
     let sr_data = make_dataset(TaskKind::Sr { scale: 2 }, 10, 24, 5);
     let sr_val = make_dataset(TaskKind::Sr { scale: 2 }, 4, 24, 9002);
     // The 16-block EDSR bodies are heavy on CPU: shorter budget here.
-    let sr_cfg = TrainConfig { steps: 80 * scale, batch: 2, lr: 1e-4, seed: 3, threads: 2 };
+    let sr_cfg = TrainConfig {
+        steps: 80 * scale,
+        batch: 2,
+        lr: 1e-4,
+        seed: 3,
+        threads: 2,
+    };
     let mut full = FloatModel::from_model(&zoo::edsr_baseline(2), 6);
     train(&mut full, &sr_data, sr_cfg);
     let full_psnr = eval_psnr(&full, &sr_val);

@@ -11,14 +11,21 @@ fn main() {
     println!("{:>6} {:>10} {:>10}", "beta", "NBR", "NCR");
     for i in 0..=9 {
         let beta = 0.05 * i as f64;
-        println!("{beta:>6.2} {:>10.2} {:>10.2}", plain_nbr(beta), plain_ncr(beta));
+        println!(
+            "{beta:>6.2} {:>10.2} {:>10.2}",
+            plain_nbr(beta),
+            plain_ncr(beta)
+        );
     }
     println!("(paper anchors: NBR=26x at beta=0.4; ~90% recompute as beta->0.4)");
 
     section("Fig. 5(b): NCR vs block-buffer size (64ch, 16-bit features)");
     let vdsr = zoo::vdsr();
     let srresnet = zoo::srresnet();
-    println!("{:>10} {:>12} {:>12}", "buffer", "VDSR(D=20)", "SRResNet(D=37)");
+    println!(
+        "{:>10} {:>12} {:>12}",
+        "buffer", "VDSR(D=20)", "SRResNet(D=37)"
+    );
     for kb in [256, 512, 768, 1024, 1536, 2048, 3072, 4096] {
         let bytes = kb as f64 * 1024.0;
         let v = ncr_vs_buffer(&vdsr, bytes, 64, 16, ChannelMode::Algorithmic);

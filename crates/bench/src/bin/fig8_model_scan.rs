@@ -12,7 +12,10 @@ use ecnn_nn::schedule::repro_stages;
 
 fn main() {
     section("Fig. 8 (top): largest feasible RE per B, xi=128");
-    println!("{:>4} {:>12} {:>12} {:>12}", "B", "UHD30(164)", "HD60(328)", "HD30(655)");
+    println!(
+        "{:>4} {:>12} {:>12} {:>12}",
+        "B", "UHD30(164)", "HD60(328)", "HD30(655)"
+    );
     let frontiers: Vec<Vec<_>> = RealTimeSpec::ALL
         .iter()
         .map(|s| scan_candidates(ErNetTask::Sr4, s.kop_budget(ECNN_TOPS), 128.0, 45))

@@ -1,10 +1,14 @@
 //! Section 2 motivation: frame-based DRAM bandwidth (Eq. 1), the fused-layer
-//! SRAM alternative, and the compute wall.
+//! SRAM alternative, and the compute wall — closed forms first, then the
+//! same story through the unified backend API on an in-budget ERNet.
 
 use ecnn_baselines::framebased::{eq1_plain_bandwidth, frame_vs_block_ratio, required_tops};
 use ecnn_baselines::fusion::fused_line_buffer_bytes;
-use ecnn_bench::section;
-use ecnn_model::zoo;
+use ecnn_baselines::registry;
+use ecnn_bench::{section, workload_row};
+use ecnn_core::engine::FrameReport;
+use ecnn_model::ernet::{ErNetSpec, ErNetTask};
+use ecnn_model::{zoo, RealTimeSpec};
 
 fn main() {
     section("Eq. 1: frame-based feature bandwidth for VDSR (64ch, D=20, L=16)");
@@ -36,4 +40,16 @@ fn main() {
         "  VDSR at NBR=26 (beta=0.4): {:.0}x more DRAM traffic frame-based",
         frame_vs_block_ratio(64, 20, 26.0)
     );
+
+    section("the same story through the unified backend API (DnERNet-B3R1N0 @UHD30)");
+    let w = workload_row(
+        ErNetSpec::new(ErNetTask::Dn, 3, 1, 0),
+        128,
+        RealTimeSpec::UHD30,
+    );
+    let reports: Vec<FrameReport> = registry()
+        .iter()
+        .map(|b| b.frame_report(&w).expect("all backends report"))
+        .collect();
+    println!("{}", FrameReport::table(&reports));
 }

@@ -10,11 +10,26 @@ fn main() {
         "opcode", "3x3 stage", "1x1 stage", "purpose"
     );
     let rows: [(Opcode, &str); 5] = [
-        (Opcode::Conv, "plain CONV3x3; partial sums accumulate across leaf-modules"),
-        (Opcode::Er, "ERModule: expand 3x3 + reduce 1x1 + self residual via srcS"),
-        (Opcode::Upx2, "CONV3x3 with pixel-shuffle write order (x2 upsampling)"),
-        (Opcode::Dnx2, "CONV3x3 with strided/max-pooled write (x2 downsampling)"),
-        (Opcode::Conv1, "CONV1x1 only (classifier heads on the LCONV1x1 engine)"),
+        (
+            Opcode::Conv,
+            "plain CONV3x3; partial sums accumulate across leaf-modules",
+        ),
+        (
+            Opcode::Er,
+            "ERModule: expand 3x3 + reduce 1x1 + self residual via srcS",
+        ),
+        (
+            Opcode::Upx2,
+            "CONV3x3 with pixel-shuffle write order (x2 upsampling)",
+        ),
+        (
+            Opcode::Dnx2,
+            "CONV3x3 with strided/max-pooled write (x2 downsampling)",
+        ),
+        (
+            Opcode::Conv1,
+            "CONV1x1 only (classifier heads on the LCONV1x1 engine)",
+        ),
     ];
     for (op, why) in rows {
         println!(

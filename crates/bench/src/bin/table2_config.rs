@@ -18,10 +18,20 @@ fn main() {
         c.block_buffer_bytes / 1024,
         c.banks_per_buffer
     );
-    println!("parameter memory      : {} KB (21 streams)", c.param_memory_bytes / 1024);
-    println!("IDU decode            : {} cycles per leaf-module", c.idu_cycles_per_leaf);
+    println!(
+        "parameter memory      : {} KB (21 streams)",
+        c.param_memory_bytes / 1024
+    );
+    println!(
+        "IDU decode            : {} cycles per leaf-module",
+        c.idu_cycles_per_leaf
+    );
     println!("\ncomputation constraints (41 TOPS / pixel rate):");
     for s in RealTimeSpec::ALL {
-        println!("  {:>6}: {:>5.0} KOP/pixel", s.name, s.kop_budget(ECNN_TOPS));
+        println!(
+            "  {:>6}: {:>5.0} KOP/pixel",
+            s.name,
+            s.kop_budget(ECNN_TOPS)
+        );
     }
 }

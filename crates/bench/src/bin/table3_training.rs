@@ -13,7 +13,10 @@ fn main() {
             s.name, s.patch, s.batch, s.steps, s.lr
         );
     }
-    println!("\nthis reproduction (CPU, synthetic textures, scale={}):", bench_scale());
+    println!(
+        "\nthis reproduction (CPU, synthetic textures, scale={}):",
+        bench_scale()
+    );
     for s in repro_stages(bench_scale()) {
         println!(
             "  {:<26} patch {:>3}  batch {:>3}  steps {:>7}  lr {:.0e}",

@@ -15,10 +15,26 @@ fn main() {
     // Per family: the UHD30 (shallow) and HD30 (deep) picks. Deeper models
     // with more budget should score at least as well.
     let rows = [
-        ("SR2ERNet UHD30", ErNetSpec::new(ErNetTask::Sr2, 4, 2, 0), TaskKind::Sr { scale: 2 }),
-        ("SR2ERNet HD30", ErNetSpec::new(ErNetTask::Sr2, 8, 2, 0), TaskKind::Sr { scale: 2 }),
-        ("DnERNet UHD30", ErNetSpec::new(ErNetTask::Dn, 3, 1, 0), TaskKind::denoise25()),
-        ("DnERNet HD30", ErNetSpec::new(ErNetTask::Dn, 6, 1, 0), TaskKind::denoise25()),
+        (
+            "SR2ERNet UHD30",
+            ErNetSpec::new(ErNetTask::Sr2, 4, 2, 0),
+            TaskKind::Sr { scale: 2 },
+        ),
+        (
+            "SR2ERNet HD30",
+            ErNetSpec::new(ErNetTask::Sr2, 8, 2, 0),
+            TaskKind::Sr { scale: 2 },
+        ),
+        (
+            "DnERNet UHD30",
+            ErNetSpec::new(ErNetTask::Dn, 3, 1, 0),
+            TaskKind::denoise25(),
+        ),
+        (
+            "DnERNet HD30",
+            ErNetSpec::new(ErNetTask::Dn, 6, 1, 0),
+            TaskKind::denoise25(),
+        ),
     ];
     for (label, spec, task) in rows {
         let (_, psnr) = polish(spec, task, stage, 11);

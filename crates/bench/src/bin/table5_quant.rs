@@ -25,25 +25,47 @@ fn main() {
             spec,
             task,
             stages[1].patch,
-            QuantConfig { norm, ..Default::default() },
+            QuantConfig {
+                norm,
+                ..Default::default()
+            },
             21,
         );
-        println!("  {norm:?}-norm 8-bit, no fine-tune: {p:.2} dB (drop {:.2})", float_psnr - p);
+        println!(
+            "  {norm:?}-norm 8-bit, no fine-tune: {p:.2} dB (drop {:.2})",
+            float_psnr - p
+        );
     }
 
     let (qm, tuned) = quantize_stage(&mut fm, spec, task, &stages[2], QuantConfig::default(), 21);
-    println!("  L1-norm 8-bit + fine-tune:   {tuned:.2} dB (drop {:.2})", float_psnr - tuned);
+    println!(
+        "  L1-norm 8-bit + fine-tune:   {tuned:.2} dB (drop {:.2})",
+        float_psnr - tuned
+    );
     println!("(paper: up to 3.69 dB initial loss; 0.05-0.14 dB after fine-tuning)");
 
     let c = compile(&qm, 128).expect("compiles");
     println!("\nentropy coding (trained weights):");
-    println!("  shannon limit : {:.2} bits/coeff", c.packed.stats.shannon_bits);
-    println!("  encoded       : {:.2} bits/coeff", c.packed.stats.encoded_bits);
-    println!("  compression   : {:.2}x (paper: 1.1-1.5x)", c.packed.stats.compression_ratio);
+    println!(
+        "  shannon limit : {:.2} bits/coeff",
+        c.packed.stats.shannon_bits
+    );
+    println!(
+        "  encoded       : {:.2} bits/coeff",
+        c.packed.stats.encoded_bits
+    );
+    println!(
+        "  compression   : {:.2}x (paper: 1.1-1.5x)",
+        c.packed.stats.compression_ratio
+    );
     println!(
         "  parameter mem : {} KB of 1288 KB {}",
         c.packed.total_bytes() / 1024,
-        if c.packed.total_bytes() <= 1288 * 1024 { "(fits)" } else { "(OVERFLOW)" }
+        if c.packed.total_bytes() <= 1288 * 1024 {
+            "(fits)"
+        } else {
+            "(OVERFLOW)"
+        }
     );
 
     // Per-layer Q-formats, as Table 5 lists.

@@ -1,14 +1,18 @@
-//! Table 7: comparison of computational-imaging processors — eCNN (our
-//! simulator) vs IDEAL / Diffy (published points) vs a SCALE-Sim-style TPU.
+//! Table 7: comparison of computational-imaging processors — every flow
+//! (eCNN, frame-based, fused-layer, TPU, Diffy) runs the same workloads
+//! through the unified `Backend` registry, plus the published IDEAL/Diffy
+//! operating points.
 
 use ecnn_baselines::diffy::{DIFFY_FFDNET, DIFFY_VDSR, IDEAL_BM3D};
-use ecnn_baselines::tpu::{simulate, TpuConfig};
-use ecnn_bench::{report_row, section};
+use ecnn_baselines::registry;
+use ecnn_baselines::tpu::TpuBackend;
+use ecnn_bench::{section, workload_row};
+use ecnn_core::engine::{Backend, EcnnBackend, FrameReport};
 use ecnn_model::ernet::{ErNetSpec, ErNetTask};
 use ecnn_model::RealTimeSpec;
 
 fn main() {
-    section("Table 7 (left): specification comparison");
+    section("Table 7 (left): published specification comparison");
     println!(
         "{:<16} {:<28} {:<14} {:<14} {:>8}",
         "processor", "workload", "spec", "DRAM", "power W"
@@ -19,44 +23,62 @@ fn main() {
             p.name, p.workload, p.spec, p.dram, p.power_w
         );
     }
-    // eCNN rows measured on our simulator.
+
+    section("Table 7 (unified backend comparison, our simulators)");
     for (label, spec, rt) in [
-        ("DnERNet denoise", ErNetSpec::new(ErNetTask::Dn, 3, 1, 0), RealTimeSpec::UHD30),
-        ("SR4ERNet x4 SR", ErNetSpec::new(ErNetTask::Sr4, 17, 3, 1), RealTimeSpec::UHD30),
+        (
+            "DnERNet denoise",
+            ErNetSpec::new(ErNetTask::Dn, 3, 1, 0),
+            RealTimeSpec::UHD30,
+        ),
+        (
+            "SR4ERNet x4 SR",
+            ErNetSpec::new(ErNetTask::Sr4, 17, 3, 1),
+            RealTimeSpec::UHD30,
+        ),
     ] {
-        let r = report_row(spec, 128, rt);
-        println!(
-            "{:<16} {:<28} {:<14} {:<14} {:>8.2}",
-            "eCNN (ours)",
-            label,
-            if r.meets_realtime { "4K UHD 30fps" } else { "below spec" },
-            r.dram_config.map_or("(none)", |c| c.name),
-            r.power.total_w()
-        );
+        println!("\n-- {label} @ {} --", rt.name);
+        let w = workload_row(spec, 128, rt);
+        let reports: Vec<FrameReport> = registry()
+            .iter()
+            .map(|b| b.frame_report(&w).expect("all backends report"))
+            .collect();
+        println!("{}", FrameReport::table(&reports));
     }
 
-    section("Table 7 (TPU / SCALE-Sim comparison)");
-    let cfg = TpuConfig::classic();
-    println!("TPU config: {:.0} TOPS, 28 MB SRAM", cfg.peak_tops());
-    for (name, spec, w, h, paper_fps, paper_bw) in [
-        ("SR4ERNet-B17R3N1 @4K", ErNetSpec::new(ErNetTask::Sr4, 17, 3, 1), 3840, 2160, 21.9, 12.2),
-        ("SR4ERNet-B34R4N0 @HD", ErNetSpec::new(ErNetTask::Sr4, 34, 4, 0), 1920, 1080, 55.3, 8.3),
+    section("Table 7 (TPU / SCALE-Sim arithmetic-intensity detail)");
+    let tpu = TpuBackend::classic();
+    println!("TPU config: {:.0} TOPS, 28 MB SRAM", tpu.config.peak_tops());
+    for (name, spec, rt, paper_fps, paper_bw) in [
+        (
+            "SR4ERNet-B17R3N1 @4K",
+            ErNetSpec::new(ErNetTask::Sr4, 17, 3, 1),
+            RealTimeSpec::UHD30,
+            21.9,
+            12.2,
+        ),
+        (
+            "SR4ERNet-B34R4N0 @HD",
+            ErNetSpec::new(ErNetTask::Sr4, 34, 4, 0),
+            RealTimeSpec::HD30,
+            55.3,
+            8.3,
+        ),
     ] {
-        let m = spec.build().unwrap();
-        let t = simulate(&m, &cfg, w, h, 8);
-        let e = report_row(spec, 128, if w == 3840 { RealTimeSpec::UHD30 } else { RealTimeSpec::HD30 });
-        let e_tops_per_gbps = e.frame.achieved_tops / (e.dram_bandwidth_bps() / 1e9);
+        let w = workload_row(spec, 128, rt);
+        let t = tpu.frame_report(&w).expect("tpu report");
+        let e = EcnnBackend::paper().frame_report(&w).expect("ecnn report");
+        let e_intensity = e.tops.expect("modelled") / (e.dram_bps / 1e9);
+        let t_intensity = t.tops.expect("modelled") / (t.dram_bps / 1e9);
         println!(
             "{name}: TPU {:.1} fps @ {:.1} GB/s (paper {paper_fps} fps @ {paper_bw} GB/s), util {:.0}%",
             t.fps,
             t.dram_bps / 1e9,
-            t.utilization * 100.0
+            t.utilization.expect("modelled") * 100.0
         );
         println!(
-            "  arithmetic intensity: eCNN {:.1} vs TPU {:.1} TOPS/(GB/s)  ->  {:.1}x advantage",
-            e_tops_per_gbps,
-            t.tops_per_gbps,
-            e_tops_per_gbps / t.tops_per_gbps
+            "  arithmetic intensity: eCNN {e_intensity:.1} vs TPU {t_intensity:.1} TOPS/(GB/s)  ->  {:.1}x advantage",
+            e_intensity / t_intensity
         );
     }
     println!("(paper: 3.1x / 1.2x fps/TOPS and 6.4x / 14.4x TOPS per GB/s in eCNN's favour)");

@@ -9,7 +9,10 @@ use ecnn_nn::schedule::repro_stages;
 
 fn main() {
     section("Table A.1: DnERNet-12ch hardware behaviour");
-    println!("{:<26} {:>6} {:>8} {:>8} {:>8}", "model", "spec", "fps", "GB/s", "RT?");
+    println!(
+        "{:<26} {:>6} {:>8} {:>8} {:>8}",
+        "model", "spec", "fps", "GB/s", "RT?"
+    );
     for (rt, spec, xi) in dn12_matrix() {
         let r = report_row(spec, xi, rt);
         println!(

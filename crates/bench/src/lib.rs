@@ -3,9 +3,13 @@
 //! Each binary in `src/bin/` regenerates one table or figure of the paper's
 //! evaluation (see DESIGN.md §5 for the index). Training-based experiments
 //! read `ECNN_BENCH_SCALE` (default 1) to lengthen their runs.
+//!
+//! All eCNN deployments go through the unified [`Engine`] API; the
+//! comparison binaries additionally run the baseline flows through the
+//! shared [`Backend`](ecnn_core::engine::Backend) registry.
 
-use ecnn_core::{Accelerator, Deployment, SystemReport};
-use ecnn_isa::params::QuantizedModel;
+use ecnn_core::engine::{Engine, Workload};
+use ecnn_core::SystemReport;
 use ecnn_model::ernet::{ErNetSpec, ErNetTask};
 use ecnn_model::RealTimeSpec;
 
@@ -24,39 +28,100 @@ pub fn bench_scale() -> usize {
 /// picks where known, in-budget derivations elsewhere; see EXPERIMENTS.md).
 pub fn model_matrix() -> Vec<(RealTimeSpec, ErNetSpec, usize)> {
     vec![
-        (RealTimeSpec::UHD30, ErNetSpec::new(ErNetTask::Sr4, 17, 3, 1), 128),
-        (RealTimeSpec::HD60, ErNetSpec::new(ErNetTask::Sr4, 24, 4, 0), 128),
-        (RealTimeSpec::HD30, ErNetSpec::new(ErNetTask::Sr4, 34, 4, 0), 128),
-        (RealTimeSpec::UHD30, ErNetSpec::new(ErNetTask::Sr2, 4, 2, 0), 128),
-        (RealTimeSpec::HD60, ErNetSpec::new(ErNetTask::Sr2, 8, 2, 0), 128),
-        (RealTimeSpec::HD30, ErNetSpec::new(ErNetTask::Sr2, 14, 3, 0), 128),
-        (RealTimeSpec::UHD30, ErNetSpec::new(ErNetTask::Dn, 3, 1, 0), 128),
-        (RealTimeSpec::HD60, ErNetSpec::new(ErNetTask::Dn, 8, 1, 0), 128),
-        (RealTimeSpec::HD30, ErNetSpec::new(ErNetTask::Dn, 12, 1, 6), 128),
+        (
+            RealTimeSpec::UHD30,
+            ErNetSpec::new(ErNetTask::Sr4, 17, 3, 1),
+            128,
+        ),
+        (
+            RealTimeSpec::HD60,
+            ErNetSpec::new(ErNetTask::Sr4, 24, 4, 0),
+            128,
+        ),
+        (
+            RealTimeSpec::HD30,
+            ErNetSpec::new(ErNetTask::Sr4, 34, 4, 0),
+            128,
+        ),
+        (
+            RealTimeSpec::UHD30,
+            ErNetSpec::new(ErNetTask::Sr2, 4, 2, 0),
+            128,
+        ),
+        (
+            RealTimeSpec::HD60,
+            ErNetSpec::new(ErNetTask::Sr2, 8, 2, 0),
+            128,
+        ),
+        (
+            RealTimeSpec::HD30,
+            ErNetSpec::new(ErNetTask::Sr2, 14, 3, 0),
+            128,
+        ),
+        (
+            RealTimeSpec::UHD30,
+            ErNetSpec::new(ErNetTask::Dn, 3, 1, 0),
+            128,
+        ),
+        (
+            RealTimeSpec::HD60,
+            ErNetSpec::new(ErNetTask::Dn, 8, 1, 0),
+            128,
+        ),
+        (
+            RealTimeSpec::HD30,
+            ErNetSpec::new(ErNetTask::Dn, 12, 1, 6),
+            128,
+        ),
     ]
 }
 
 /// The Appendix A DnERNet-12ch picks.
 pub fn dn12_matrix() -> Vec<(RealTimeSpec, ErNetSpec, usize)> {
     vec![
-        (RealTimeSpec::UHD30, ErNetSpec::new(ErNetTask::Dn12, 8, 2, 5), 256),
-        (RealTimeSpec::HD60, ErNetSpec::new(ErNetTask::Dn12, 13, 3, 0), 256),
-        (RealTimeSpec::HD30, ErNetSpec::new(ErNetTask::Dn12, 19, 3, 15), 256),
+        (
+            RealTimeSpec::UHD30,
+            ErNetSpec::new(ErNetTask::Dn12, 8, 2, 5),
+            256,
+        ),
+        (
+            RealTimeSpec::HD60,
+            ErNetSpec::new(ErNetTask::Dn12, 13, 3, 0),
+            256,
+        ),
+        (
+            RealTimeSpec::HD30,
+            ErNetSpec::new(ErNetTask::Dn12, 19, 3, 15),
+            256,
+        ),
     ]
 }
 
-/// Deploys a spec with deterministic demo parameters.
-pub fn deploy(spec: ErNetSpec, xi: usize) -> Deployment {
-    let model = spec.build().expect("valid spec");
-    let qm = QuantizedModel::uniform(&model);
-    Accelerator::paper()
-        .deploy(&qm, xi)
+/// Builds the paper-configuration engine for a spec with deterministic
+/// demo parameters at real-time target `rt`.
+pub fn engine_for(spec: ErNetSpec, xi: usize, rt: RealTimeSpec) -> Engine {
+    Engine::builder()
+        .ernet(spec)
+        .block(xi)
+        .realtime(rt)
+        .build()
         .expect("paper models compile")
+}
+
+/// Builds an engine with the default UHD30 target (resolution-independent
+/// uses: compiled program, parameter memory, …).
+pub fn engine(spec: ErNetSpec, xi: usize) -> Engine {
+    engine_for(spec, xi, RealTimeSpec::UHD30)
+}
+
+/// The unified workload for one matrix row (for backend comparisons).
+pub fn workload_row(spec: ErNetSpec, xi: usize, rt: RealTimeSpec) -> Workload {
+    Workload::ernet(spec, xi, rt).expect("valid spec")
 }
 
 /// System report for one matrix row.
 pub fn report_row(spec: ErNetSpec, xi: usize, rt: RealTimeSpec) -> SystemReport {
-    deploy(spec, xi).system_report(rt)
+    engine_for(spec, xi, rt).system_report()
 }
 
 /// Prints a horizontal rule with a title.
@@ -72,18 +137,22 @@ mod tests {
     fn all_matrix_models_meet_their_specs() {
         for (rt, spec, xi) in model_matrix().into_iter().chain(dn12_matrix()) {
             let rep = report_row(spec, xi, rt);
-            assert!(rep.meets_realtime, "{spec} @ {rt}: {:.1} fps", rep.frame.fps);
+            assert!(
+                rep.meets_realtime,
+                "{spec} @ {rt}: {:.1} fps",
+                rep.frame.fps
+            );
         }
     }
 
     #[test]
     fn all_matrix_models_fit_parameter_memory() {
         for (_, spec, xi) in model_matrix().into_iter().chain(dn12_matrix()) {
-            let dep = deploy(spec, xi);
+            let eng = engine(spec, xi);
             assert!(
-                dep.compiled().packed.total_bytes() <= 1288 * 1024,
+                eng.compiled().packed.total_bytes() <= 1288 * 1024,
                 "{spec}: {} B",
-                dep.compiled().packed.total_bytes()
+                eng.compiled().packed.total_bytes()
             );
         }
     }

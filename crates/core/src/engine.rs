@@ -1,0 +1,868 @@
+//! The unified engine/backend API: one entry point for eCNN and every
+//! comparison flow, plus streaming multi-frame sessions.
+//!
+//! * [`Workload`] bundles what to run: a quantized model, an input block
+//!   size and a [`RealTimeSpec`] target.
+//! * [`Backend`] is the capability surface every inference flow implements
+//!   (the eCNN simulator here, the frame-based / fused-layer / TPU / Diffy
+//!   flows in `ecnn-baselines`): a [`FrameReport`] for any workload, and —
+//!   for bit-exact backends — [`Backend::run_image`].
+//! * [`EngineBuilder`] is the fluent front door to the eCNN simulator;
+//!   [`Engine`] the built instance; [`Session`] a streaming handle that
+//!   reuses its block/stitch buffers across frames.
+//! * [`EngineError`] is the one structured error type for the whole
+//!   surface, with [`std::error::Error::source`] chaining.
+
+use crate::report::SystemReport;
+use ecnn_dram::{DramConfig, DramPowerModel};
+use ecnn_isa::compile::{compile, CompileError, CompiledProgram};
+use ecnn_isa::params::QuantizedModel;
+use ecnn_model::ernet::ErNetSpec;
+use ecnn_model::{Model, ModelError, RealTimeSpec};
+use ecnn_sim::cost::PowerModel;
+use ecnn_sim::exec::{BlockExecutor, ExecError, ExecStats};
+use ecnn_sim::timing::simulate_frame;
+use ecnn_sim::EcnnConfig;
+use ecnn_tensor::Tensor;
+use std::fmt;
+
+/// What to run: a quantized model bound to a block size and a real-time
+/// target. Backends interpret the same workload in their own flow.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The quantized model (carries the IR in `qm.model`).
+    pub qm: QuantizedModel,
+    /// Input block side for the block-based flow.
+    pub block: usize,
+    /// Output resolution and frame-rate target.
+    pub spec: RealTimeSpec,
+    /// Feature width in bits charged by frame-based baselines.
+    pub feature_bits: u32,
+}
+
+impl Workload {
+    /// A workload with the default 16-bit baseline feature width.
+    pub fn new(qm: QuantizedModel, block: usize, spec: RealTimeSpec) -> Self {
+        Self {
+            qm,
+            block,
+            spec,
+            feature_bits: 16,
+        }
+    }
+
+    /// Builds an ERNet spec with uniform demo parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] for invalid specs.
+    pub fn ernet(spec: ErNetSpec, block: usize, rt: RealTimeSpec) -> Result<Self, EngineError> {
+        let model = spec.build()?;
+        Ok(Self::new(QuantizedModel::uniform(&model), block, rt))
+    }
+
+    /// The model IR.
+    pub fn model(&self) -> &Model {
+        &self.qm.model
+    }
+
+    /// Same workload with a different baseline feature width.
+    pub fn with_feature_bits(mut self, bits: u32) -> Self {
+        self.feature_bits = bits;
+        self
+    }
+}
+
+/// An image whose geometry does not match the deployed program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ImageMismatch {
+    /// Offered image width in pixels.
+    pub width: usize,
+    /// Offered image height in pixels.
+    pub height: usize,
+    /// Offered image channels.
+    pub channels: usize,
+    /// Channels the deployed model consumes.
+    pub expected_channels: usize,
+    /// Input block side the program was compiled for.
+    pub block: usize,
+}
+
+impl fmt::Display for ImageMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "image {}x{} with {} channel(s): model wants {} channel(s) (input blocks {}x{})",
+            self.width, self.height, self.channels, self.expected_channels, self.block, self.block
+        )
+    }
+}
+
+/// Errors across the engine/backend surface.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// The builder was missing a required component.
+    Missing(&'static str),
+    /// A model spec failed to build.
+    Model(ModelError),
+    /// Compilation failed (infeasible geometry, unsupported op, …).
+    Compile(CompileError),
+    /// Block execution failed (simulator invariant violation).
+    Exec(ExecError),
+    /// The image cannot be processed by this deployment.
+    Image(ImageMismatch),
+    /// The backend does not implement the requested capability.
+    Unsupported {
+        /// Backend name.
+        backend: String,
+        /// The capability that was requested (e.g. `"run_image"`).
+        capability: &'static str,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Missing(what) => write!(f, "engine builder: missing {what}"),
+            EngineError::Model(e) => write!(f, "model: {e}"),
+            EngineError::Compile(e) => write!(f, "compile: {e}"),
+            EngineError::Exec(e) => write!(f, "execute: {e}"),
+            EngineError::Image(m) => write!(f, "image: {m}"),
+            EngineError::Unsupported {
+                backend,
+                capability,
+            } => {
+                write!(f, "backend {backend} does not support {capability}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Model(e) => Some(e),
+            EngineError::Compile(e) => Some(e),
+            EngineError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for EngineError {
+    fn from(e: ModelError) -> Self {
+        EngineError::Model(e)
+    }
+}
+
+impl From<CompileError> for EngineError {
+    fn from(e: CompileError) -> Self {
+        EngineError::Compile(e)
+    }
+}
+
+impl From<ExecError> for EngineError {
+    fn from(e: ExecError) -> Self {
+        EngineError::Exec(e)
+    }
+}
+
+/// Per-image execution statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ImageRunStats {
+    /// Blocks executed.
+    pub blocks: usize,
+    /// Aggregated executor counters.
+    pub exec: ExecStats,
+}
+
+impl ImageRunStats {
+    fn absorb(&mut self, s: ExecStats, blocks: usize) {
+        self.blocks += blocks;
+        self.exec.mac3 += s.mac3;
+        self.exec.mac1 += s.mac1;
+        self.exec.bb_read_bytes += s.bb_read_bytes;
+        self.exec.bb_write_bytes += s.bb_write_bytes;
+        self.exec.di_bytes += s.di_bytes;
+        self.exec.do_bytes += s.do_bytes;
+        self.exec.instructions += s.instructions;
+    }
+}
+
+/// Backend-agnostic frame-level result: what one inference flow delivers
+/// on one workload. Every backend fills the common fields; flow-specific
+/// quantities that have no equivalent elsewhere stay `None`.
+#[derive(Clone, Debug)]
+pub struct FrameReport {
+    /// Backend name.
+    pub backend: String,
+    /// Model name.
+    pub workload: String,
+    /// The real-time target evaluated against.
+    pub spec: RealTimeSpec,
+    /// Achievable frames per second.
+    pub fps: f64,
+    /// Whether `fps` meets the spec.
+    pub meets_realtime: bool,
+    /// DRAM traffic per output frame, bytes.
+    pub dram_bytes_per_frame: f64,
+    /// Sustained DRAM bandwidth at the spec-capped rate, bytes/s.
+    pub dram_bps: f64,
+    /// On-chip SRAM holding features (block buffers, line buffers or
+    /// unified buffer), bytes.
+    pub feature_sram_bytes: f64,
+    /// Power estimate in watts, when the flow models power.
+    pub power_w: Option<f64>,
+    /// Effective compute throughput in TOPS, when modelled.
+    pub tops: Option<f64>,
+    /// Datapath utilization in `[0, 1]`, when modelled.
+    pub utilization: Option<f64>,
+    /// Flow-specific remark (provenance, caveats).
+    pub note: String,
+}
+
+impl FrameReport {
+    /// Header matching [`FrameReport`]'s `Display` row.
+    pub fn table_header() -> String {
+        format!(
+            "{:<12} {:<22} {:>6} {:>8} {:>3} {:>10} {:>10} {:>8} {:>6}",
+            "backend", "workload", "spec", "fps", "RT", "DRAM GB/s", "SRAM KB", "power W", "util%"
+        )
+    }
+
+    /// Renders `reports` as one aligned comparison table.
+    pub fn table(reports: &[FrameReport]) -> String {
+        let mut s = Self::table_header();
+        for r in reports {
+            s.push('\n');
+            s.push_str(&r.to_string());
+        }
+        s
+    }
+}
+
+impl fmt::Display for FrameReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let opt = |v: Option<f64>, mul: f64| match v {
+            Some(x) => format!("{:.1}", x * mul),
+            None => "-".into(),
+        };
+        write!(
+            f,
+            "{:<12} {:<22} {:>6} {:>8.1} {:>3} {:>10.2} {:>10.0} {:>8} {:>6}",
+            self.backend,
+            self.workload,
+            self.spec.name,
+            self.fps,
+            if self.meets_realtime { "yes" } else { "NO" },
+            self.dram_bps / 1e9,
+            self.feature_sram_bytes / 1024.0,
+            opt(self.power_w, 1.0),
+            opt(self.utilization, 100.0),
+        )
+    }
+}
+
+/// One inference flow: the eCNN block-based simulator or any of the
+/// comparison baselines. Minimal capability is an analytical
+/// [`FrameReport`]; bit-exact flows additionally run real images.
+pub trait Backend {
+    /// Short stable identifier (`"ecnn"`, `"frame-based"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Frame-level throughput / traffic / power for `workload`.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific; the eCNN backend propagates compilation errors.
+    fn frame_report(&self, workload: &Workload) -> Result<FrameReport, EngineError>;
+
+    /// Whether [`Backend::run_image`] is implemented.
+    fn supports_run_image(&self) -> bool {
+        false
+    }
+
+    /// Runs one image through the flow bit-exactly, if supported.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Unsupported`] unless the backend overrides this.
+    fn run_image(
+        &self,
+        workload: &Workload,
+        image: &Tensor<f32>,
+    ) -> Result<(Tensor<f32>, ImageRunStats), EngineError> {
+        let _ = (workload, image);
+        Err(EngineError::Unsupported {
+            backend: self.name().to_string(),
+            capability: "run_image",
+        })
+    }
+}
+
+/// Fluent constructor for [`Engine`]: model spec → quantization → block
+/// size → real-time spec → machine/power/DRAM models, with paper defaults
+/// for everything but the model and block size.
+#[derive(Clone, Debug, Default)]
+pub struct EngineBuilder {
+    ernet: Option<ErNetSpec>,
+    model: Option<Model>,
+    qm: Option<QuantizedModel>,
+    block: Option<usize>,
+    spec: Option<RealTimeSpec>,
+    feature_bits: Option<u32>,
+    config: Option<EcnnConfig>,
+    power: Option<PowerModel>,
+    dram_power: Option<DramPowerModel>,
+}
+
+impl EngineBuilder {
+    /// Use an ERNet family spec (built during [`EngineBuilder::build`]).
+    pub fn ernet(mut self, spec: ErNetSpec) -> Self {
+        self.ernet = Some(spec);
+        self
+    }
+
+    /// Use an already-built model IR (quantized uniformly unless
+    /// [`EngineBuilder::quantized`] provides parameters).
+    pub fn model(mut self, model: Model) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Use trained quantized parameters (implies their model).
+    pub fn quantized(mut self, qm: QuantizedModel) -> Self {
+        self.qm = Some(qm);
+        self
+    }
+
+    /// Input block side (`xi`).
+    pub fn block(mut self, xi: usize) -> Self {
+        self.block = Some(xi);
+        self
+    }
+
+    /// Real-time target; defaults to [`RealTimeSpec::UHD30`].
+    pub fn realtime(mut self, spec: RealTimeSpec) -> Self {
+        self.spec = Some(spec);
+        self
+    }
+
+    /// Feature bits charged by frame-based baselines on this workload.
+    pub fn feature_bits(mut self, bits: u32) -> Self {
+        self.feature_bits = Some(bits);
+        self
+    }
+
+    /// Machine configuration; defaults to [`EcnnConfig::paper`].
+    pub fn config(mut self, config: EcnnConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// On-chip power model; defaults to [`PowerModel::paper_40nm`].
+    pub fn power(mut self, power: PowerModel) -> Self {
+        self.power = Some(power);
+        self
+    }
+
+    /// DRAM power model; defaults to [`DramPowerModel::DDR4_3200`].
+    pub fn dram_power(mut self, dram: DramPowerModel) -> Self {
+        self.dram_power = Some(dram);
+        self
+    }
+
+    /// Compiles the workload and returns a runnable [`Engine`].
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Missing`] without a model or block size;
+    /// [`EngineError::Model`] / [`EngineError::Compile`] for invalid specs
+    /// or infeasible geometry.
+    pub fn build(self) -> Result<Engine, EngineError> {
+        let qm = match (self.qm, self.model, self.ernet) {
+            (Some(qm), _, _) => qm,
+            (None, Some(model), _) => QuantizedModel::uniform(&model),
+            (None, None, Some(spec)) => QuantizedModel::uniform(&spec.build()?),
+            (None, None, None) => return Err(EngineError::Missing("model")),
+        };
+        let block = self.block.ok_or(EngineError::Missing("block size"))?;
+        let mut workload = Workload::new(qm, block, self.spec.unwrap_or(RealTimeSpec::UHD30));
+        if let Some(bits) = self.feature_bits {
+            workload = workload.with_feature_bits(bits);
+        }
+        let compiled = compile(&workload.qm, workload.block)?;
+        Ok(Engine {
+            config: self.config.unwrap_or_else(EcnnConfig::paper),
+            power: self.power.unwrap_or_else(PowerModel::paper_40nm),
+            dram_power: self.dram_power.unwrap_or(DramPowerModel::DDR4_3200),
+            workload,
+            compiled,
+        })
+    }
+}
+
+/// A compiled eCNN workload bound to a machine configuration — the
+/// unified entry point replacing `Accelerator::deploy` + `Deployment`.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    config: EcnnConfig,
+    power: PowerModel,
+    dram_power: DramPowerModel,
+    workload: Workload,
+    compiled: CompiledProgram,
+}
+
+impl Engine {
+    /// Starts a fluent build.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Machine configuration.
+    pub fn config(&self) -> &EcnnConfig {
+        &self.config
+    }
+
+    /// The workload this engine was built for.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The compiled program.
+    pub fn compiled(&self) -> &CompiledProgram {
+        &self.compiled
+    }
+
+    /// The source model.
+    pub fn model(&self) -> &Model {
+        &self.workload.qm.model
+    }
+
+    /// The quantized model this engine was built from.
+    pub fn quantized_model(&self) -> &QuantizedModel {
+        &self.workload.qm
+    }
+
+    /// Opens a streaming session that reuses block/stitch buffers across
+    /// frames — the hot path for multi-frame traffic.
+    pub fn session(&self) -> Session<'_> {
+        Session::new(self)
+    }
+
+    /// Runs a single image through the block pipeline (partition →
+    /// recompute → stitch) on the bit-exact simulator.
+    ///
+    /// One-shot convenience over [`Engine::session`]; streaming callers
+    /// should hold a session to amortize buffer allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Image`] for geometry mismatches; propagates
+    /// simulator errors.
+    pub fn run_image(
+        &self,
+        image: &Tensor<f32>,
+    ) -> Result<(Tensor<f32>, ImageRunStats), EngineError> {
+        let mut session = self.session();
+        session.process(image)?;
+        let stats = session.last_frame_stats();
+        Ok((session.into_frame().expect("frame processed above"), stats))
+    }
+
+    /// Frame-level timing / traffic / power report at the workload's
+    /// real-time spec.
+    pub fn system_report(&self) -> SystemReport {
+        self.system_report_at(self.workload.spec)
+    }
+
+    /// Frame-level timing / traffic / power report at an explicit spec.
+    pub fn system_report_at(&self, spec: RealTimeSpec) -> SystemReport {
+        let frame = simulate_frame(
+            &self.compiled,
+            &self.workload.qm.model,
+            &self.config,
+            spec.width,
+            spec.height,
+        );
+        let power = self.power.evaluate(&frame);
+        // DRAM power at the *spec* rate (the processor idles once real-time
+        // is met), split read/write by DI/DO shares.
+        let target_fps = spec.fps.min(frame.fps);
+        let rd = frame.di_bytes_per_frame as f64 * target_fps;
+        let wr = frame.do_bytes_per_frame as f64 * target_fps;
+        let dram_power = self.dram_power.power(rd, wr);
+        let dram_config = DramConfig::minimal_for(rd + wr, 0.55);
+        SystemReport {
+            spec,
+            frame,
+            power,
+            dram_power,
+            dram_config,
+            meets_realtime: false, // fixed below
+        }
+        .finalize()
+    }
+
+    /// The unified cross-backend view of [`Engine::system_report`].
+    pub fn frame_report(&self) -> FrameReport {
+        let sr = self.system_report();
+        FrameReport {
+            backend: "ecnn".into(),
+            workload: self.workload.qm.model.name().to_string(),
+            spec: sr.spec,
+            fps: sr.frame.fps,
+            meets_realtime: sr.meets_realtime,
+            dram_bytes_per_frame: (sr.frame.di_bytes_per_frame + sr.frame.do_bytes_per_frame)
+                as f64,
+            dram_bps: sr.dram_bandwidth_bps(),
+            feature_sram_bytes: self.config.total_bb_bytes() as f64,
+            power_w: Some(sr.power.total_w() + sr.dram_power.total_mw() / 1e3),
+            tops: Some(sr.frame.achieved_tops),
+            utilization: Some(sr.frame.lconv3_busy),
+            note: format!(
+                "block {}x{}, NBR {:.2}, NCR {:.2}, DRAM {}",
+                self.workload.block,
+                self.workload.block,
+                sr.frame.nbr,
+                sr.frame.ncr,
+                sr.dram_config.map_or("(none fits)", |c| c.name),
+            ),
+        }
+    }
+}
+
+/// Streaming multi-frame inference over one [`Engine`].
+///
+/// All working buffers — the receptive-field crop, its quantized codes,
+/// the dequantized output block, the stitched frame and the executor's
+/// plane storage — are allocated once and reused for every subsequent
+/// frame of the same geometry, eliminating the per-frame allocation churn
+/// of the one-shot path.
+pub struct Session<'e> {
+    engine: &'e Engine,
+    executor: BlockExecutor<'e>,
+    /// Receptive-field crop scratch, `di_channels × xi × xi`.
+    block_f: Tensor<f32>,
+    /// Quantized input codes scratch, same shape.
+    codes: Tensor<i16>,
+    /// Dequantized output block scratch, `do_channels × xo × xo`.
+    block_out: Tensor<f32>,
+    /// Stitched output frame (allocated on the first frame, resized only
+    /// when the input geometry changes).
+    frame: Option<Tensor<f32>>,
+    frames: usize,
+    frame_reallocs: usize,
+    last_stats: ImageRunStats,
+    totals: ImageRunStats,
+}
+
+impl<'e> Session<'e> {
+    fn new(engine: &'e Engine) -> Self {
+        let p = &engine.compiled.program;
+        Self {
+            engine,
+            executor: BlockExecutor::new(&engine.compiled.program, &engine.compiled.leafs),
+            block_f: Tensor::zeros(p.di_channels, p.di_side, p.di_side),
+            codes: Tensor::zeros(p.di_channels, p.di_side, p.di_side),
+            block_out: Tensor::zeros(p.do_channels, p.do_side, p.do_side),
+            frame: None,
+            frames: 0,
+            frame_reallocs: 0,
+            last_stats: ImageRunStats::default(),
+            totals: ImageRunStats::default(),
+        }
+    }
+
+    /// The engine this session streams on.
+    pub fn engine(&self) -> &Engine {
+        self.engine
+    }
+
+    /// Processes one frame; the returned reference points at the
+    /// session-owned stitched frame, valid until the next call.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Image`] for geometry mismatches; propagates
+    /// simulator errors.
+    pub fn process(&mut self, image: &Tensor<f32>) -> Result<&Tensor<f32>, EngineError> {
+        let p = &self.engine.compiled.program;
+        if image.channels() != p.di_channels {
+            return Err(EngineError::Image(ImageMismatch {
+                width: image.width(),
+                height: image.height(),
+                channels: image.channels(),
+                expected_channels: p.di_channels,
+                block: p.di_side,
+            }));
+        }
+        let scale = self.engine.workload.qm.model.output_scale();
+        let out_w = (image.width() as f64 * scale) as usize;
+        let out_h = (image.height() as f64 * scale) as usize;
+        let xo = p.do_side;
+        let xi = p.di_side;
+        match &self.frame {
+            Some(f) if f.shape() == (p.do_channels, out_h, out_w) => {}
+            Some(_) => {
+                self.frame_reallocs += 1;
+                self.frame = Some(Tensor::zeros(p.do_channels, out_h, out_w));
+            }
+            None => self.frame = Some(Tensor::zeros(p.do_channels, out_h, out_w)),
+        }
+        let frame = self.frame.as_mut().expect("frame allocated above");
+        // Border of the receptive field, in input-image pixels.
+        let border = (xi as f64 - xo as f64 / scale) / 2.0;
+        // Snapshot the executor counters at frame start (not carried over
+        // from the previous frame) so a frame aborted by an executor error
+        // cannot leak its partial work into the next frame's delta.
+        let mark = self.executor.stats();
+        let mut blocks = 0usize;
+        let mut by = 0usize;
+        while by < out_h {
+            let mut bx = 0usize;
+            while bx < out_w {
+                // Input-block origin for this output block.
+                let iy = (by as f64 / scale - border).round() as isize;
+                let ix = (bx as f64 / scale - border).round() as isize;
+                image.crop_padded_into(iy, ix, &mut self.block_f);
+                self.block_f
+                    .map_into(&mut self.codes, |v| p.di_q.quantize(v));
+                let out_codes = self.executor.run(&self.codes)?;
+                blocks += 1;
+                out_codes.map_into(&mut self.block_out, |c| {
+                    p.do_q.dequantize(c).clamp(0.0, 1.0)
+                });
+                frame.paste(&self.block_out, by, bx);
+                bx += xo;
+            }
+            by += xo;
+        }
+        let now = self.executor.stats();
+        let delta = ExecStats {
+            mac3: now.mac3 - mark.mac3,
+            mac1: now.mac1 - mark.mac1,
+            bb_read_bytes: now.bb_read_bytes - mark.bb_read_bytes,
+            bb_write_bytes: now.bb_write_bytes - mark.bb_write_bytes,
+            di_bytes: now.di_bytes - mark.di_bytes,
+            do_bytes: now.do_bytes - mark.do_bytes,
+            instructions: now.instructions - mark.instructions,
+        };
+        self.last_stats = ImageRunStats::default();
+        self.last_stats.absorb(delta, blocks);
+        self.totals.absorb(delta, blocks);
+        self.frames += 1;
+        Ok(self.frame.as_ref().expect("frame allocated above"))
+    }
+
+    /// Frames processed so far.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Statistics of the most recent frame.
+    pub fn last_frame_stats(&self) -> ImageRunStats {
+        self.last_stats
+    }
+
+    /// Statistics accumulated over every frame of the session.
+    pub fn total_stats(&self) -> ImageRunStats {
+        self.totals
+    }
+
+    /// How often the stitched-frame buffer had to be reallocated after the
+    /// first frame (i.e. geometry changes mid-stream). Zero for a steady
+    /// stream.
+    pub fn frame_reallocs(&self) -> usize {
+        self.frame_reallocs
+    }
+
+    /// Consumes the session, returning the stitched frame buffer
+    /// (`None` before the first [`Session::process`]).
+    pub fn into_frame(self) -> Option<Tensor<f32>> {
+        self.frame
+    }
+
+    /// Raw base addresses of the reused scratch buffers (crop, codes,
+    /// output block, frame) — lets tests assert that streaming does not
+    /// reallocate between frames.
+    #[doc(hidden)]
+    pub fn scratch_ptrs(&self) -> (*const f32, *const i16, *const f32, *const f32) {
+        (
+            self.block_f.as_slice().as_ptr(),
+            self.codes.as_slice().as_ptr(),
+            self.block_out.as_slice().as_ptr(),
+            self.frame
+                .as_ref()
+                .map_or(std::ptr::null(), |f| f.as_slice().as_ptr()),
+        )
+    }
+}
+
+/// The eCNN simulator as a [`Backend`].
+#[derive(Clone, Debug)]
+pub struct EcnnBackend {
+    config: EcnnConfig,
+    power: PowerModel,
+    dram_power: DramPowerModel,
+}
+
+impl EcnnBackend {
+    /// The paper's configuration (Table 2 + Table 6 calibration).
+    pub fn paper() -> Self {
+        Self {
+            config: EcnnConfig::paper(),
+            power: PowerModel::paper_40nm(),
+            dram_power: DramPowerModel::DDR4_3200,
+        }
+    }
+
+    /// Builds the engine for `workload` on this machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors.
+    pub fn engine(&self, workload: &Workload) -> Result<Engine, EngineError> {
+        Engine::builder()
+            .quantized(workload.qm.clone())
+            .block(workload.block)
+            .realtime(workload.spec)
+            .feature_bits(workload.feature_bits)
+            .config(self.config)
+            .power(self.power)
+            .dram_power(self.dram_power)
+            .build()
+    }
+}
+
+impl Default for EcnnBackend {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl Backend for EcnnBackend {
+    fn name(&self) -> &'static str {
+        "ecnn"
+    }
+
+    fn frame_report(&self, workload: &Workload) -> Result<FrameReport, EngineError> {
+        Ok(self.engine(workload)?.frame_report())
+    }
+
+    fn supports_run_image(&self) -> bool {
+        true
+    }
+
+    fn run_image(
+        &self,
+        workload: &Workload,
+        image: &Tensor<f32>,
+    ) -> Result<(Tensor<f32>, ImageRunStats), EngineError> {
+        self.engine(workload)?.run_image(image)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecnn_model::ernet::ErNetTask;
+    use ecnn_tensor::{ImageKind, SyntheticImage};
+
+    fn engine(task: ErNetTask, b: usize, xi: usize) -> Engine {
+        Engine::builder()
+            .ernet(ErNetSpec::new(task, b, 1, 0))
+            .block(xi)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_requires_model_and_block() {
+        assert_eq!(
+            Engine::builder().block(64).build().unwrap_err(),
+            EngineError::Missing("model")
+        );
+        assert_eq!(
+            Engine::builder()
+                .ernet(ErNetSpec::new(ErNetTask::Dn, 1, 1, 0))
+                .build()
+                .unwrap_err(),
+            EngineError::Missing("block size")
+        );
+    }
+
+    #[test]
+    fn error_chain_has_sources() {
+        // Pyramid collapse: block smaller than the receptive field.
+        let err = Engine::builder()
+            .ernet(ErNetSpec::new(ErNetTask::Dn, 20, 1, 0))
+            .block(8)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Compile(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn session_streams_frames_without_reallocating() {
+        let eng = engine(ErNetTask::Dn, 1, 40);
+        let mut session = eng.session();
+        let a = SyntheticImage::new(ImageKind::Mixed, 1).rgb(56, 56);
+        let b = SyntheticImage::new(ImageKind::Edges, 2).rgb(56, 56);
+        session.process(&a).unwrap();
+        let ptrs = session.scratch_ptrs();
+        for img in [&b, &a, &b] {
+            session.process(img).unwrap();
+            assert_eq!(session.scratch_ptrs(), ptrs, "buffers must be reused");
+        }
+        assert_eq!(session.frames(), 4);
+        assert_eq!(session.frame_reallocs(), 0);
+        assert!(session.total_stats().blocks > session.last_frame_stats().blocks);
+    }
+
+    #[test]
+    fn session_matches_one_shot_run_image() {
+        let eng = engine(ErNetTask::Dn, 2, 40);
+        let img = SyntheticImage::new(ImageKind::Texture, 7).rgb(56, 56);
+        let (one_shot, stats) = eng.run_image(&img).unwrap();
+        let mut session = eng.session();
+        // A different frame first, then the probe: reuse must not leak
+        // state across frames.
+        let other = SyntheticImage::new(ImageKind::Smooth, 3).rgb(56, 56);
+        session.process(&other).unwrap();
+        let streamed = session.process(&img).unwrap();
+        assert_eq!(streamed, &one_shot);
+        assert_eq!(session.last_frame_stats(), stats);
+    }
+
+    #[test]
+    fn image_mismatch_is_structured() {
+        let eng = engine(ErNetTask::Dn, 1, 32);
+        let gray = Tensor::<f32>::zeros(1, 32, 32);
+        match eng.run_image(&gray) {
+            Err(EngineError::Image(m)) => {
+                assert_eq!(m.channels, 1);
+                assert_eq!(m.expected_channels, 3);
+                assert_eq!(m.block, 32);
+            }
+            other => panic!("expected image mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ecnn_backend_reports_and_runs() {
+        let w = Workload::ernet(
+            ErNetSpec::new(ErNetTask::Dn, 3, 1, 0),
+            128,
+            RealTimeSpec::UHD30,
+        )
+        .unwrap();
+        let be = EcnnBackend::paper();
+        assert!(be.supports_run_image());
+        let r = be.frame_report(&w).unwrap();
+        assert_eq!(r.backend, "ecnn");
+        assert!(r.meets_realtime, "fps {}", r.fps);
+        assert!(r.power_w.unwrap() > 5.0);
+    }
+}

@@ -1,33 +1,59 @@
 //! High-level eCNN system API: the block-based inference pipeline end to
-//! end (paper Fig. 3 / Fig. 12).
+//! end (paper Fig. 3 / Fig. 12), behind one backend-agnostic entry point.
 //!
-//! [`Accelerator`] owns a machine configuration; [`Accelerator::deploy`]
-//! compiles a quantized model into a [`Deployment`], which can:
+//! [`Engine::builder`] assembles a machine fluently — model spec →
+//! quantization → block size → real-time spec → power/DRAM models — and
+//! [`Engine`] can then:
 //!
-//! * run real images through the bit-exact simulator with block
-//!   partitioning, overlap recomputation and stitching
-//!   ([`Deployment::run_image`]);
+//! * stream real images through the bit-exact simulator with block
+//!   partitioning, overlap recomputation and stitching, reusing buffers
+//!   across frames ([`Engine::session`] / [`Session::process`]);
 //! * produce frame-rate / bandwidth / power reports for any output
-//!   resolution ([`Deployment::system_report`]).
+//!   resolution ([`Engine::system_report`]).
+//!
+//! The same workload runs on every comparison flow through the
+//! [`Backend`] trait (`ecnn-baselines` implements it for the frame-based,
+//! fused-layer, TPU and Diffy flows), so eCNN and the paper's baselines
+//! share a single reporting surface.
 //!
 //! # Example
 //!
 //! ```
-//! use ecnn_core::Accelerator;
-//! use ecnn_isa::params::QuantizedModel;
+//! use ecnn_core::engine::Engine;
 //! use ecnn_model::ernet::{ErNetSpec, ErNetTask};
 //! use ecnn_model::RealTimeSpec;
+//! use ecnn_tensor::{ImageKind, SyntheticImage};
 //!
-//! let model = ErNetSpec::new(ErNetTask::Dn, 3, 1, 0).build().unwrap();
-//! let qm = QuantizedModel::uniform(&model);
-//! let acc = Accelerator::paper();
-//! let dep = acc.deploy(&qm, 128).unwrap();
-//! let report = dep.system_report(RealTimeSpec::UHD30);
+//! let engine = Engine::builder()
+//!     .ernet(ErNetSpec::new(ErNetTask::Dn, 3, 1, 0))
+//!     .block(128)
+//!     .realtime(RealTimeSpec::UHD30)
+//!     .build()
+//!     .unwrap();
+//!
+//! // Analytical frame report at the real-time target.
+//! let report = engine.system_report();
 //! assert!(report.frame.fps >= 30.0);
+//!
+//! // Streaming inference: buffers are allocated once per session.
+//! let mut session = engine.session();
+//! for seed in 0..2 {
+//!     let frame = SyntheticImage::new(ImageKind::Mixed, seed).rgb(128, 128);
+//!     let out = session.process(&frame).unwrap();
+//!     assert_eq!(out.shape(), (3, 128, 128));
+//! }
+//! assert_eq!(session.frames(), 2);
 //! ```
 
+pub mod engine;
 pub mod pipeline;
 pub mod report;
 
-pub use pipeline::{Accelerator, Deployment, PipelineError};
+pub use engine::{
+    Backend, EcnnBackend, Engine, EngineBuilder, EngineError, FrameReport, ImageMismatch,
+    ImageRunStats, Session, Workload,
+};
+pub use pipeline::PipelineError;
+#[allow(deprecated)]
+pub use pipeline::{Accelerator, Deployment};
 pub use report::SystemReport;

@@ -1,26 +1,35 @@
-//! The block-based inference pipeline: partition → recompute → stitch.
+//! Legacy entry points kept as thin shims over [`crate::engine`].
+//!
+//! [`Accelerator`] / [`Deployment`] predate the unified [`Engine`] API and
+//! remain only so existing callers keep compiling; new code should use
+//! [`Engine::builder`] (see the crate-level example).
 
+// The shims intentionally call their own deprecated surface.
+#![allow(deprecated)]
+
+use crate::engine::{Engine, EngineError};
 use crate::report::SystemReport;
-use ecnn_dram::{DramConfig, DramPowerModel};
-use ecnn_isa::compile::{compile, CompileError, CompiledProgram};
+use ecnn_dram::DramPowerModel;
+use ecnn_isa::compile::{CompileError, CompiledProgram};
 use ecnn_isa::params::QuantizedModel;
 use ecnn_model::{Model, RealTimeSpec};
 use ecnn_sim::cost::PowerModel;
-use ecnn_sim::exec::{BlockExecutor, ExecError, ExecStats};
-use ecnn_sim::timing::simulate_frame;
+use ecnn_sim::exec::ExecError;
 use ecnn_sim::EcnnConfig;
 use ecnn_tensor::Tensor;
 use std::fmt;
 
-/// Pipeline errors.
-#[derive(Debug)]
+pub use crate::engine::{ImageMismatch, ImageRunStats};
+
+/// Pipeline errors (the legacy subset of [`EngineError`]).
+#[derive(Clone, Debug, PartialEq)]
 pub enum PipelineError {
     /// Compilation failed.
     Compile(CompileError),
     /// Block execution failed (simulator invariant violation).
     Exec(ExecError),
     /// The image cannot be processed by this deployment.
-    Image(String),
+    Image(ImageMismatch),
 }
 
 impl fmt::Display for PipelineError {
@@ -33,7 +42,15 @@ impl fmt::Display for PipelineError {
     }
 }
 
-impl std::error::Error for PipelineError {}
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Compile(e) => Some(e),
+            PipelineError::Exec(e) => Some(e),
+            PipelineError::Image(_) => None,
+        }
+    }
+}
 
 impl From<CompileError> for PipelineError {
     fn from(e: CompileError) -> Self {
@@ -47,7 +64,47 @@ impl From<ExecError> for PipelineError {
     }
 }
 
+impl From<EngineError> for PipelineError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::Compile(c) => PipelineError::Compile(c),
+            EngineError::Exec(x) => PipelineError::Exec(x),
+            EngineError::Image(m) => PipelineError::Image(m),
+            // The legacy surface never produces builder/model/capability
+            // errors: the shims always supply a model and a block size.
+            other => unreachable!("legacy pipeline produced {other:?}"),
+        }
+    }
+}
+
+impl From<PipelineError> for EngineError {
+    fn from(e: PipelineError) -> Self {
+        match e {
+            PipelineError::Compile(c) => EngineError::Compile(c),
+            PipelineError::Exec(x) => EngineError::Exec(x),
+            PipelineError::Image(m) => EngineError::Image(m),
+        }
+    }
+}
+
 /// An eCNN machine instance.
+///
+/// # Example
+///
+/// ```
+/// use ecnn_core::Accelerator;
+/// use ecnn_isa::params::QuantizedModel;
+/// use ecnn_model::ernet::{ErNetSpec, ErNetTask};
+/// use ecnn_model::RealTimeSpec;
+///
+/// let model = ErNetSpec::new(ErNetTask::Dn, 3, 1, 0).build().unwrap();
+/// let qm = QuantizedModel::uniform(&model);
+/// let acc = Accelerator::paper();
+/// let dep = acc.deploy(&qm, 128).unwrap();
+/// let report = dep.system_report(RealTimeSpec::UHD30);
+/// assert!(report.frame.fps >= 30.0);
+/// ```
+#[deprecated(since = "0.1.0", note = "use `Engine::builder()` instead")]
 #[derive(Clone, Debug)]
 pub struct Accelerator {
     config: EcnnConfig,
@@ -66,8 +123,16 @@ impl Accelerator {
     }
 
     /// Custom configuration.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Engine::builder().config(..).power(..).dram_power(..)` instead"
+    )]
     pub fn new(config: EcnnConfig, power: PowerModel, dram_power: DramPowerModel) -> Self {
-        Self { config, power, dram_power }
+        Self {
+            config,
+            power,
+            dram_power,
+        }
     }
 
     /// Machine configuration.
@@ -82,136 +147,67 @@ impl Accelerator {
     ///
     /// Propagates [`CompileError`] for infeasible geometry.
     pub fn deploy(&self, qm: &QuantizedModel, xi: usize) -> Result<Deployment, PipelineError> {
-        let compiled = compile(qm, xi)?;
-        Ok(Deployment {
-            accelerator: self.clone(),
-            model: qm.model.clone(),
-            qm: qm.clone(),
-            compiled,
-        })
+        let engine = Engine::builder()
+            .quantized(qm.clone())
+            .block(xi)
+            .config(self.config)
+            .power(self.power)
+            .dram_power(self.dram_power)
+            .build()
+            .map_err(PipelineError::from)?;
+        Ok(Deployment { engine })
     }
 }
 
-/// Per-image execution statistics.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct ImageRunStats {
-    /// Blocks executed.
-    pub blocks: usize,
-    /// Aggregated executor counters.
-    pub exec: ExecStats,
-}
-
-/// A compiled model bound to a machine.
+/// A compiled model bound to a machine (thin wrapper over [`Engine`]).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Engine` (via `Engine::builder()`) instead"
+)]
 #[derive(Clone, Debug)]
 pub struct Deployment {
-    accelerator: Accelerator,
-    model: Model,
-    qm: QuantizedModel,
-    compiled: CompiledProgram,
+    engine: Engine,
 }
 
 impl Deployment {
+    /// The underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
     /// The compiled program.
     pub fn compiled(&self) -> &CompiledProgram {
-        &self.compiled
+        self.engine.compiled()
     }
 
     /// The source model.
     pub fn model(&self) -> &Model {
-        &self.model
+        self.engine.model()
     }
 
-    /// Runs a whole image through the block pipeline: partitions the output
-    /// plane into `xo × xo` blocks, gathers each block's receptive field
-    /// from the input (zero-padded beyond the frame), executes the program
-    /// per block on the bit-exact simulator, and stitches the outputs.
-    ///
-    /// The input is an RGB (or model-channel) image in `[0,1]`; returns the
-    /// output image in `[0,1]` plus run statistics.
+    /// Runs a whole image through the block pipeline; see
+    /// [`Engine::run_image`].
     ///
     /// # Errors
     ///
     /// Returns [`PipelineError::Image`] for channel mismatches and
     /// propagates simulator errors.
-    pub fn run_image(&self, image: &Tensor<f32>) -> Result<(Tensor<f32>, ImageRunStats), PipelineError> {
-        let p = &self.compiled.program;
-        if image.channels() != p.di_channels {
-            return Err(PipelineError::Image(format!(
-                "image has {} channels, model wants {}",
-                image.channels(),
-                p.di_channels
-            )));
-        }
-        let scale = self.model.output_scale();
-        let out_w = (image.width() as f64 * scale) as usize;
-        let out_h = (image.height() as f64 * scale) as usize;
-        let xo = p.do_side;
-        let xi = p.di_side;
-        // Border of the receptive field, in input-image pixels.
-        let border = (xi as f64 - xo as f64 / scale) / 2.0;
-        let mut out = Tensor::zeros(p.do_channels, out_h, out_w);
-        let mut stats = ImageRunStats::default();
-        let mut by = 0usize;
-        while by < out_h {
-            let mut bx = 0usize;
-            while bx < out_w {
-                // Input-block origin for this output block.
-                let iy = (by as f64 / scale - border).round() as isize;
-                let ix = (bx as f64 / scale - border).round() as isize;
-                let block = image.crop_padded(iy, ix, xi, xi);
-                let codes = block.map(|v| p.di_q.quantize(v));
-                let mut ex = BlockExecutor::new(p, &self.compiled.leafs);
-                let out_codes = ex.run(&codes)?;
-                let s = ex.stats();
-                stats.exec.mac3 += s.mac3;
-                stats.exec.mac1 += s.mac1;
-                stats.exec.bb_read_bytes += s.bb_read_bytes;
-                stats.exec.bb_write_bytes += s.bb_write_bytes;
-                stats.exec.di_bytes += s.di_bytes;
-                stats.exec.do_bytes += s.do_bytes;
-                stats.exec.instructions += s.instructions;
-                stats.blocks += 1;
-                let block_f = out_codes.map(|c| p.do_q.dequantize(c).clamp(0.0, 1.0));
-                out.paste(&block_f, by, bx);
-                bx += xo;
-            }
-            by += xo;
-        }
-        Ok((out, stats))
+    pub fn run_image(
+        &self,
+        image: &Tensor<f32>,
+    ) -> Result<(Tensor<f32>, ImageRunStats), PipelineError> {
+        self.engine.run_image(image).map_err(PipelineError::from)
     }
 
     /// Frame-level timing / traffic / power report at a real-time spec's
     /// resolution.
     pub fn system_report(&self, spec: RealTimeSpec) -> SystemReport {
-        let frame = simulate_frame(
-            &self.compiled,
-            &self.model,
-            &self.accelerator.config,
-            spec.width,
-            spec.height,
-        );
-        let power = self.accelerator.power.evaluate(&frame);
-        // DRAM power at the *spec* rate (the processor idles once real-time
-        // is met), split read/write by DI/DO shares.
-        let target_fps = spec.fps.min(frame.fps);
-        let rd = frame.di_bytes_per_frame as f64 * target_fps;
-        let wr = frame.do_bytes_per_frame as f64 * target_fps;
-        let dram_power = self.accelerator.dram_power.power(rd, wr);
-        let dram_config = DramConfig::minimal_for(rd + wr, 0.55);
-        SystemReport {
-            spec,
-            frame,
-            power,
-            dram_power,
-            dram_config,
-            meets_realtime: false, // fixed below
-        }
-        .finalize()
+        self.engine.system_report_at(spec)
     }
 
     /// The quantized model this deployment was built from.
     pub fn quantized_model(&self) -> &QuantizedModel {
-        &self.qm
+        self.engine.quantized_model()
     }
 }
 
@@ -246,7 +242,12 @@ mod tests {
         let p = &dep.compiled().program;
         let border = (p.di_side - p.do_side) / 2;
         let qm = dep.quantized_model();
-        let ext = img.crop_padded(-(border as isize), -(border as isize), 56 + 2 * border, 56 + 2 * border);
+        let ext = img.crop_padded(
+            -(border as isize),
+            -(border as isize),
+            56 + 2 * border,
+            56 + 2 * border,
+        );
         let codes = ext.map(|v| qm.input_q.quantize(v));
         let ref_out = fixed_forward(qm, &codes);
         assert_eq!(ref_out.shape(), (3, 56, 56));
@@ -287,7 +288,13 @@ mod tests {
     fn channel_mismatch_is_reported() {
         let dep = deploy(ErNetTask::Dn, 1, 1, 0, 32);
         let gray = Tensor::<f32>::zeros(1, 32, 32);
-        assert!(matches!(dep.run_image(&gray), Err(PipelineError::Image(_))));
+        match dep.run_image(&gray) {
+            Err(PipelineError::Image(m)) => {
+                assert_eq!(m.channels, 1);
+                assert_eq!(m.expected_channels, 3);
+            }
+            other => panic!("expected image mismatch, got {other:?}"),
+        }
     }
 
     #[test]

@@ -31,7 +31,8 @@ impl SystemReport {
 
     /// DRAM bandwidth at the (capped) spec rate, bytes per second.
     pub fn dram_bandwidth_bps(&self) -> f64 {
-        self.frame.dram_total_bps_at(self.spec.fps.min(self.frame.fps))
+        self.frame
+            .dram_total_bps_at(self.spec.fps.min(self.frame.fps))
     }
 
     /// Energy per output frame in millijoules (core + DRAM).
@@ -48,7 +49,11 @@ impl fmt::Display for SystemReport {
             f,
             "  fps {:.1} ({}) | {:.1} ms/frame | NCR {:.2} | NBR {:.2}",
             self.frame.fps,
-            if self.meets_realtime { "real-time" } else { "below target" },
+            if self.meets_realtime {
+                "real-time"
+            } else {
+                "below target"
+            },
             self.frame.seconds_per_frame * 1e3,
             self.frame.ncr,
             self.frame.nbr,
@@ -67,16 +72,18 @@ impl fmt::Display for SystemReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Accelerator;
-    use ecnn_isa::params::QuantizedModel;
+    use crate::engine::Engine;
     use ecnn_model::ernet::{ErNetSpec, ErNetTask};
 
     #[test]
     fn display_summarizes_all_quantities() {
-        let m = ErNetSpec::new(ErNetTask::Dn, 3, 1, 0).build().unwrap();
-        let qm = QuantizedModel::uniform(&m);
-        let dep = Accelerator::paper().deploy(&qm, 128).unwrap();
-        let r = dep.system_report(RealTimeSpec::UHD30);
+        let eng = Engine::builder()
+            .ernet(ErNetSpec::new(ErNetTask::Dn, 3, 1, 0))
+            .block(128)
+            .realtime(RealTimeSpec::UHD30)
+            .build()
+            .unwrap();
+        let r = eng.system_report();
         let s = r.to_string();
         assert!(s.contains("DnERNet-B3R1N0"));
         assert!(s.contains("fps"));

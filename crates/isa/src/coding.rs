@@ -260,8 +260,9 @@ impl HuffTable {
     /// canonical order.
     pub fn write(&self, w: &mut BitWriter) {
         let mut counts = [0u8; 16];
-        let mut symbols: Vec<usize> =
-            (0..self.lengths.len()).filter(|&i| self.lengths[i] > 0).collect();
+        let mut symbols: Vec<usize> = (0..self.lengths.len())
+            .filter(|&i| self.lengths[i] > 0)
+            .collect();
         symbols.sort_by_key(|&i| (self.lengths[i], i));
         for &s in &symbols {
             counts[self.lengths[s] as usize - 1] += 1;

@@ -189,7 +189,12 @@ impl<'a> Compiler<'a> {
                     group: self.bb_slot[id],
                 };
                 self.bb_slot[id] = self.bb_slot[id].wrapping_add(groups as u8);
-                return ValueInfo { loc, side, groups, q };
+                return ValueInfo {
+                    loc,
+                    side,
+                    groups,
+                    q,
+                };
             }
         }
         // Relaxed placement: virtual buffer, flag recorded.
@@ -318,8 +323,18 @@ impl<'a> Compiler<'a> {
                     }
                     let out_pos = i + consumed;
                     self.lower_conv(
-                        i, out_pos, src, in_c, out_c, act, opcode, pool, pool_factor, shuffle,
-                        inference, false,
+                        i,
+                        out_pos,
+                        src,
+                        in_c,
+                        out_c,
+                        act,
+                        opcode,
+                        pool,
+                        pool_factor,
+                        shuffle,
+                        inference,
+                        false,
                     )?;
                     i = out_pos;
                 }
@@ -340,7 +355,10 @@ impl<'a> Compiler<'a> {
                     )?;
                     i += 1;
                 }
-                Op::ErModule { channels, expansion } => {
+                Op::ErModule {
+                    channels,
+                    expansion,
+                } => {
                     if expansion > MAX_LEAF_MODULES {
                         return Err(CompileError::Unsupported(format!(
                             "layer {i}: ER expansion {expansion} exceeds {MAX_LEAF_MODULES}"
@@ -349,7 +367,8 @@ impl<'a> Compiler<'a> {
                     let p = self.params(i)?;
                     let out_side = self.sides[i + 1];
                     let is_last = i + 1 == n_layers;
-                    let dst = self.dest(i + 1, out_side, Self::hw_groups(channels), p.out_q, is_last);
+                    let dst =
+                        self.dest(i + 1, out_side, Self::hw_groups(channels), p.out_q, is_last);
                     let q = QSpec {
                         src: src.q,
                         dst: p.out_q,
@@ -388,9 +407,8 @@ impl<'a> Compiler<'a> {
         }
 
         let out_pos = n_layers;
-        let out_val = self.values[out_pos].ok_or_else(|| {
-            CompileError::Unsupported("model output was not produced".into())
-        })?;
+        let out_val = self.values[out_pos]
+            .ok_or_else(|| CompileError::Unsupported("model output was not produced".into()))?;
         debug_assert_eq!(out_val.loc, FeatLoc::dout());
 
         let kinds: Vec<(bool, bool)> = self
@@ -439,9 +457,21 @@ impl<'a> Compiler<'a> {
 
     /// Destination for the value at `pos`: `DO` when it is the model output,
     /// otherwise a fresh buffer allocation.
-    fn dest(&mut self, _pos: usize, side: usize, groups: usize, q: QFormat, is_output: bool) -> ValueInfo {
+    fn dest(
+        &mut self,
+        _pos: usize,
+        side: usize,
+        groups: usize,
+        q: QFormat,
+        is_output: bool,
+    ) -> ValueInfo {
         if is_output {
-            ValueInfo { loc: FeatLoc::dout(), side, groups, q }
+            ValueInfo {
+                loc: FeatLoc::dout(),
+                side,
+                groups,
+                q,
+            }
         } else {
             self.alloc(side, groups, q)
         }
@@ -501,7 +531,11 @@ impl<'a> Compiler<'a> {
                     } else {
                         Some(offset_group(dst.loc, pg))
                     };
-                    let srcs_q = if first { skip.map(|s| s.q) } else { Some(p.out_q) };
+                    let srcs_q = if first {
+                        skip.map(|s| s.q)
+                    } else {
+                        Some(p.out_q)
+                    };
                     let restart = self.instructions.len() as u32;
                     // Pre-shuffle conv groups for this post group: 4 planes
                     // (or fewer when out_c < 128).
@@ -566,14 +600,23 @@ impl<'a> Compiler<'a> {
                                 s
                             }
                         };
-                        (s.loc, None, 1, if is_1x1 { Opcode::Conv1 } else { Opcode::Conv })
+                        (
+                            s.loc,
+                            None,
+                            1,
+                            if is_1x1 { Opcode::Conv1 } else { Opcode::Conv },
+                        )
                     };
                     let src_s = if ci == 0 {
                         skip.map(|s| offset_group(s.loc, og))
                     } else {
                         Some(scratch.expect("set in earlier chunk").loc)
                     };
-                    let srcs_q = if ci == 0 { skip.map(|s| s.q) } else { Some(p.out_q) };
+                    let srcs_q = if ci == 0 {
+                        skip.map(|s| s.q)
+                    } else {
+                        Some(p.out_q)
+                    };
                     let restart = self.instructions.len() as u32;
                     let q = QSpec {
                         src: src.q,
@@ -631,14 +674,20 @@ fn offset_group(loc: FeatLoc, delta: usize) -> FeatLoc {
 
 /// Extracts the (og, ig) leaf of a conv layer's parameters. `with_bias`
 /// attaches the output group's biases (only the ig==0 leaf carries them).
-fn conv_leaf(p: &LayerParams, in_groups: usize, og: usize, ig: usize, with_bias: bool, is_1x1: bool) -> LeafParams {
+fn conv_leaf(
+    p: &LayerParams,
+    in_groups: usize,
+    og: usize,
+    ig: usize,
+    with_bias: bool,
+    is_1x1: bool,
+) -> LeafParams {
     let mut leaf = LeafParams::zero();
     let in_hw = in_groups * LEAF_CH;
     if is_1x1 {
         for oc in 0..LEAF_CH {
             for ic in 0..LEAF_CH {
-                leaf.w1[oc * LEAF_CH + ic] =
-                    p.w1[(og * LEAF_CH + oc) * in_hw + ig * LEAF_CH + ic];
+                leaf.w1[oc * LEAF_CH + ic] = p.w1[(og * LEAF_CH + oc) * in_hw + ig * LEAF_CH + ic];
             }
         }
         if with_bias {
@@ -673,8 +722,7 @@ fn er_leafs(p: &LayerParams, expansion: usize) -> Vec<LeafParams> {
             let plane_oc = e * LEAF_CH + oc;
             for ic in 0..LEAF_CH {
                 for k in 0..9 {
-                    leaf.w3[(oc * LEAF_CH + ic) * 9 + k] =
-                        p.w3[(plane_oc * LEAF_CH + ic) * 9 + k];
+                    leaf.w3[(oc * LEAF_CH + ic) * 9 + k] = p.w3[(plane_oc * LEAF_CH + ic) * 9 + k];
                 }
             }
         }
@@ -713,7 +761,14 @@ mod tests {
         let ops: Vec<Opcode> = c.program.instructions.iter().map(|i| i.opcode).collect();
         assert_eq!(
             ops,
-            vec![Opcode::Conv, Opcode::Er, Opcode::Er, Opcode::Er, Opcode::Conv, Opcode::Conv]
+            vec![
+                Opcode::Conv,
+                Opcode::Er,
+                Opcode::Er,
+                Opcode::Er,
+                Opcode::Conv,
+                Opcode::Conv
+            ]
         );
         // First reads DI, last writes DO.
         assert_eq!(c.program.instructions[0].src, FeatLoc::di());
@@ -780,10 +835,7 @@ mod tests {
         // 256 image side -> 128 core side -> 11 convs -> 106 -> x2 = 212.
         assert_eq!(c.program.do_side, 212);
         // The tail is an UPX2 (12 -> 3 shuffle).
-        assert_eq!(
-            c.program.instructions.last().unwrap().opcode,
-            Opcode::Upx2
-        );
+        assert_eq!(c.program.instructions.last().unwrap().opcode, Opcode::Upx2);
     }
 
     #[test]
@@ -834,7 +886,12 @@ mod tests {
         assert_eq!(ce.program.di_side, 128);
         let cd = compile(&qd, ce.program.do_side).unwrap();
         assert!(cd.program.do_side > 0);
-        for ins in ce.program.instructions.iter().chain(&cd.program.instructions) {
+        for ins in ce
+            .program
+            .instructions
+            .iter()
+            .chain(&cd.program.instructions)
+        {
             assert!(ins.leaf_modules() <= MAX_LEAF_MODULES);
         }
     }

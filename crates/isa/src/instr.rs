@@ -110,9 +110,16 @@ impl FeatLoc {
     #[must_use]
     pub fn offset(self, delta: usize) -> Self {
         match self {
-            FeatLoc::Bb { id, group } => FeatLoc::Bb { id, group: group + delta as u8 },
-            FeatLoc::Di { group } => FeatLoc::Di { group: group + delta as u8 },
-            FeatLoc::Do { group } => FeatLoc::Do { group: group + delta as u8 },
+            FeatLoc::Bb { id, group } => FeatLoc::Bb {
+                id,
+                group: group + delta as u8,
+            },
+            FeatLoc::Di { group } => FeatLoc::Di {
+                group: group + delta as u8,
+            },
+            FeatLoc::Do { group } => FeatLoc::Do {
+                group: group + delta as u8,
+            },
         }
     }
 }
@@ -285,7 +292,13 @@ impl fmt::Display for Instruction {
     /// ER    src=BB0 dst=BB1 srcS=BB0 blk=29x15t Rm=2 q(src=Q5,dst=Q5,w=Q7) par@8
     /// ```
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:<5} src={} dst={}", self.opcode.mnemonic(), self.src, self.dst)?;
+        write!(
+            f,
+            "{:<5} src={} dst={}",
+            self.opcode.mnemonic(),
+            self.src,
+            self.dst
+        )?;
         if let Some(s) = self.src_s {
             write!(f, " srcS={s}")?;
         }

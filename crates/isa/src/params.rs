@@ -62,9 +62,10 @@ impl LayerParams {
     pub fn w3_len(op: &Op) -> usize {
         match *op {
             Op::Conv3x3 { in_c, out_c, .. } => hw(out_c) * hw(in_c) * 9,
-            Op::ErModule { channels, expansion } => {
-                hw(channels * expansion) * hw(channels) * 9
-            }
+            Op::ErModule {
+                channels,
+                expansion,
+            } => hw(channels * expansion) * hw(channels) * 9,
             _ => 0,
         }
     }
@@ -73,7 +74,10 @@ impl LayerParams {
     pub fn w1_len(op: &Op) -> usize {
         match *op {
             Op::Conv1x1 { in_c, out_c, .. } => hw(out_c) * hw(in_c),
-            Op::ErModule { channels, expansion } => hw(channels) * hw(channels * expansion),
+            Op::ErModule {
+                channels,
+                expansion,
+            } => hw(channels) * hw(channels * expansion),
             _ => 0,
         }
     }
@@ -95,7 +99,10 @@ impl LayerParams {
         let want_b3 = if want_w3 > 0 {
             match *op {
                 Op::Conv3x3 { out_c, .. } => hw(out_c),
-                Op::ErModule { channels, expansion } => hw(channels * expansion),
+                Op::ErModule {
+                    channels,
+                    expansion,
+                } => hw(channels * expansion),
                 _ => 0,
             }
         } else {
@@ -135,7 +142,10 @@ impl QuantizedModel {
             let w1_len = LayerParams::w1_len(&layer.op);
             let b3_len = match layer.op {
                 Op::Conv3x3 { out_c, .. } => hw(out_c),
-                Op::ErModule { channels, expansion } => hw(channels * expansion),
+                Op::ErModule {
+                    channels,
+                    expansion,
+                } => hw(channels * expansion),
                 _ => 0,
             };
             let b1_len = match layer.op {
@@ -476,12 +486,9 @@ mod tests {
 
     #[test]
     fn raw_param_bytes_scale_with_expansion() {
-        let small = QuantizedModel::uniform(
-            &ErNetSpec::new(ErNetTask::Dn, 3, 1, 0).build().unwrap(),
-        );
-        let big = QuantizedModel::uniform(
-            &ErNetSpec::new(ErNetTask::Dn, 3, 4, 0).build().unwrap(),
-        );
+        let small =
+            QuantizedModel::uniform(&ErNetSpec::new(ErNetTask::Dn, 3, 1, 0).build().unwrap());
+        let big = QuantizedModel::uniform(&ErNetSpec::new(ErNetTask::Dn, 3, 4, 0).build().unwrap());
         assert!(big.raw_param_bytes() > 3 * small.raw_param_bytes() / 2);
     }
 

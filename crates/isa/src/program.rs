@@ -43,7 +43,10 @@ impl Program {
     /// Total leaf-modules across all instructions (drives parameter-memory
     /// size and IDU decode time).
     pub fn total_leaf_modules(&self) -> usize {
-        self.instructions.iter().map(Instruction::leaf_modules).sum()
+        self.instructions
+            .iter()
+            .map(Instruction::leaf_modules)
+            .sum()
     }
 
     /// Sum of per-instruction CIU busy cycles for one block (no pipeline

@@ -21,7 +21,10 @@ use serde::{Deserialize, Serialize};
 ///
 /// Panics if `beta` is outside `[0, 0.5)`.
 pub fn plain_nbr(beta: f64) -> f64 {
-    assert!((0.0..0.5).contains(&beta), "β must be in [0, 0.5), got {beta}");
+    assert!(
+        (0.0..0.5).contains(&beta),
+        "β must be in [0, 0.5), got {beta}"
+    );
     1.0 + 1.0 / ((1.0 - 2.0 * beta) * (1.0 - 2.0 * beta))
 }
 
@@ -32,7 +35,10 @@ pub fn plain_nbr(beta: f64) -> f64 {
 ///
 /// Panics if `beta` is outside `[0, 0.5)`.
 pub fn plain_ncr(beta: f64) -> f64 {
-    assert!((0.0..0.5).contains(&beta), "β must be in [0, 0.5), got {beta}");
+    assert!(
+        (0.0..0.5).contains(&beta),
+        "β must be in [0, 0.5), got {beta}"
+    );
     let d = 1.0 - 2.0 * beta;
     1.0 / 3.0 + (2.0 / 3.0) * (1.0 - beta) / (d * d)
 }
@@ -294,9 +300,17 @@ mod tests {
     #[test]
     fn forward_backward_are_inverse_with_scaling() {
         let layers = vec![
-            Layer::new(Op::Conv3x3 { in_c: 32, out_c: 128, act: Activation::None }),
+            Layer::new(Op::Conv3x3 {
+                in_c: 32,
+                out_c: 128,
+                act: Activation::None,
+            }),
             Layer::new(Op::PixelShuffle { factor: 2 }),
-            Layer::new(Op::Conv3x3 { in_c: 32, out_c: 32, act: Activation::None }),
+            Layer::new(Op::Conv3x3 {
+                in_c: 32,
+                out_c: 32,
+                act: Activation::None,
+            }),
         ];
         let m = Model::new("up", 32, 32, layers).unwrap();
         let f = FootprintWalk::forward(&m, 60.0).unwrap();
@@ -350,8 +364,8 @@ mod tests {
     fn srresnet_needs_about_2mb_for_similar_ncr() {
         // Paper Fig. 5b: the 37-layer SRResNet needs ~2MB for NCR ≈ 2×.
         let sr = crate::zoo::srresnet();
-        let at2mb = ncr_vs_buffer(&sr, 2.0 * 1024.0 * 1024.0, 64, 16, ChannelMode::Algorithmic)
-            .unwrap();
+        let at2mb =
+            ncr_vs_buffer(&sr, 2.0 * 1024.0 * 1024.0, 64, 16, ChannelMode::Algorithmic).unwrap();
         let at1mb = ncr_vs_buffer(&sr, 1024.0 * 1024.0, 64, 16, ChannelMode::Algorithmic).unwrap();
         assert!(at2mb < 3.2, "SRResNet NCR at 2MB: {at2mb}");
         assert!(at1mb > at2mb * 1.5, "NCR must skyrocket for small buffers");

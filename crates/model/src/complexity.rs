@@ -38,11 +38,12 @@ impl ChannelMode {
 /// MACs per pixel (at the layer's own resolution) for one op.
 pub fn op_macs_per_pixel(op: &Op, mode: ChannelMode) -> u64 {
     match *op {
-        Op::Conv3x3 { in_c, out_c, .. } => {
-            (mode.round(in_c) * mode.round(out_c) * 9) as u64
-        }
+        Op::Conv3x3 { in_c, out_c, .. } => (mode.round(in_c) * mode.round(out_c) * 9) as u64,
         Op::Conv1x1 { in_c, out_c, .. } => (mode.round(in_c) * mode.round(out_c)) as u64,
-        Op::ErModule { channels, expansion } => {
+        Op::ErModule {
+            channels,
+            expansion,
+        } => {
             let c = mode.round(channels);
             let wide = mode.round(channels * expansion);
             (c * wide * 9 + wide * c) as u64
@@ -63,7 +64,10 @@ pub fn op_params(op: &Op, mode: ChannelMode) -> u64 {
             let (i, o) = (mode.round(in_c), mode.round(out_c));
             (i * o + o) as u64
         }
-        Op::ErModule { channels, expansion } => {
+        Op::ErModule {
+            channels,
+            expansion,
+        } => {
             let c = mode.round(channels);
             let wide = mode.round(channels * expansion);
             (c * wide * 9 + wide + wide * c + c) as u64
@@ -103,11 +107,7 @@ impl Complexity {
             per_layer.push(macs);
             total += macs;
         }
-        let params = model
-            .layers()
-            .iter()
-            .map(|l| op_params(&l.op, mode))
-            .sum();
+        let params = model.layers().iter().map(|l| op_params(&l.op, mode)).sum();
         Complexity {
             per_layer_macs: per_layer,
             macs_per_pixel: total,
@@ -152,7 +152,10 @@ mod tests {
 
     #[test]
     fn ermodule_cost_matches_hand_calculation() {
-        let op = Op::ErModule { channels: 32, expansion: 3 };
+        let op = Op::ErModule {
+            channels: 32,
+            expansion: 3,
+        };
         // 32*96*9 + 96*32 = 27648 + 3072 = 30720
         assert_eq!(op_macs_per_pixel(&op, ChannelMode::Hardware), 30720);
         assert_eq!(op_macs_per_pixel(&op, ChannelMode::Algorithmic), 30720);
@@ -160,7 +163,11 @@ mod tests {
 
     #[test]
     fn hardware_mode_rounds_rgb_head() {
-        let op = Op::Conv3x3 { in_c: 3, out_c: 32, act: Activation::Relu };
+        let op = Op::Conv3x3 {
+            in_c: 3,
+            out_c: 32,
+            act: Activation::Relu,
+        };
         assert_eq!(op_macs_per_pixel(&op, ChannelMode::Algorithmic), 3 * 32 * 9);
         assert_eq!(op_macs_per_pixel(&op, ChannelMode::Hardware), 32 * 32 * 9);
     }
@@ -173,9 +180,17 @@ mod tests {
             32,
             32,
             vec![
-                Layer::new(Op::Conv3x3 { in_c: 32, out_c: 128, act: Activation::None }),
+                Layer::new(Op::Conv3x3 {
+                    in_c: 32,
+                    out_c: 128,
+                    act: Activation::None,
+                }),
                 Layer::new(Op::PixelShuffle { factor: 2 }),
-                Layer::new(Op::Conv3x3 { in_c: 32, out_c: 32, act: Activation::None }),
+                Layer::new(Op::Conv3x3 {
+                    in_c: 32,
+                    out_c: 32,
+                    act: Activation::None,
+                }),
             ],
         )
         .unwrap();
@@ -188,7 +203,11 @@ mod tests {
 
     #[test]
     fn params_hardware_vs_algorithmic() {
-        let op = Op::Conv3x3 { in_c: 3, out_c: 3, act: Activation::None };
+        let op = Op::Conv3x3 {
+            in_c: 3,
+            out_c: 3,
+            act: Activation::None,
+        };
         assert_eq!(op_params(&op, ChannelMode::Algorithmic), 3 * 3 * 9 + 3);
         assert_eq!(op_params(&op, ChannelMode::Hardware), 32 * 32 * 9 + 32);
     }

@@ -90,7 +90,13 @@ impl ErNetSpec {
         assert!(b > 0, "B must be positive");
         assert!(r > 0, "R must be positive");
         assert!(n <= b, "N must not exceed B");
-        Self { task, b, r, n, channels: 32 }
+        Self {
+            task,
+            b,
+            r,
+            n,
+            channels: 32,
+        }
     }
 
     /// Overall fractional expansion ratio `RE = R + N/B`.
@@ -119,7 +125,11 @@ impl ErNetSpec {
             }
             _ => (3, 3),
         };
-        let head_in = if self.task == ErNetTask::Dn12 { 12 } else { in_logical };
+        let head_in = if self.task == ErNetTask::Dn12 {
+            12
+        } else {
+            in_logical
+        };
         layers.push(Layer::new(Op::Conv3x3 {
             in_c: head_in,
             out_c: c,
@@ -128,11 +138,18 @@ impl ErNetSpec {
         let head_idx = layers.len() - 1;
         for m in 0..self.b {
             let rm = if m < self.n { self.r + 1 } else { self.r };
-            layers.push(Layer::new(Op::ErModule { channels: c, expansion: rm }));
+            layers.push(Layer::new(Op::ErModule {
+                channels: c,
+                expansion: rm,
+            }));
         }
         // Body-end convolution with the global residual back to the head.
         layers.push(Layer::with_skip(
-            Op::Conv3x3 { in_c: c, out_c: c, act: Activation::None },
+            Op::Conv3x3 {
+                in_c: c,
+                out_c: c,
+                act: Activation::None,
+            },
             SkipRef::Layer(head_idx),
         ));
         for _ in 0..self.task.upsamplers() {
@@ -143,7 +160,11 @@ impl ErNetSpec {
             }));
             layers.push(Layer::new(Op::PixelShuffle { factor: 2 }));
         }
-        let tail_out = if self.task == ErNetTask::Dn12 { 12 } else { out_logical };
+        let tail_out = if self.task == ErNetTask::Dn12 {
+            12
+        } else {
+            out_logical
+        };
         layers.push(Layer::new(Op::Conv3x3 {
             in_c: c,
             out_c: tail_out,
@@ -238,7 +259,10 @@ mod tests {
 
     #[test]
     fn re_is_fractional() {
-        assert_eq!(ErNetSpec::new(ErNetTask::Sr4, 17, 3, 1).re(), 3.0 + 1.0 / 17.0);
+        assert_eq!(
+            ErNetSpec::new(ErNetTask::Sr4, 17, 3, 1).re(),
+            3.0 + 1.0 / 17.0
+        );
         assert_eq!(ErNetSpec::new(ErNetTask::Dn, 3, 1, 0).re(), 1.0);
     }
 
@@ -255,15 +279,24 @@ mod tests {
     #[test]
     fn scales_match_task() {
         assert_eq!(
-            ErNetSpec::new(ErNetTask::Sr4, 4, 1, 0).build().unwrap().output_scale(),
+            ErNetSpec::new(ErNetTask::Sr4, 4, 1, 0)
+                .build()
+                .unwrap()
+                .output_scale(),
             4.0
         );
         assert_eq!(
-            ErNetSpec::new(ErNetTask::Sr2, 4, 1, 0).build().unwrap().output_scale(),
+            ErNetSpec::new(ErNetTask::Sr2, 4, 1, 0)
+                .build()
+                .unwrap()
+                .output_scale(),
             2.0
         );
         assert_eq!(
-            ErNetSpec::new(ErNetTask::Dn12, 4, 1, 0).build().unwrap().output_scale(),
+            ErNetSpec::new(ErNetTask::Dn12, 4, 1, 0)
+                .build()
+                .unwrap()
+                .output_scale(),
             1.0
         );
     }

@@ -113,7 +113,10 @@ impl Op {
             Op::Conv3x3 { out_c, .. } | Op::Conv1x1 { out_c, .. } => out_c,
             Op::ErModule { channels, .. } => channels,
             Op::PixelShuffle { factor } => {
-                assert!(in_c % (factor * factor) == 0, "shuffle factor mismatch");
+                assert!(
+                    in_c.is_multiple_of(factor * factor),
+                    "shuffle factor mismatch"
+                );
                 in_c / (factor * factor)
             }
             Op::PixelUnshuffle { factor } => in_c * factor * factor,
@@ -142,7 +145,10 @@ impl Op {
 
     /// True for ops that carry trainable parameters.
     pub fn has_params(&self) -> bool {
-        matches!(self, Op::Conv3x3 { .. } | Op::Conv1x1 { .. } | Op::ErModule { .. })
+        matches!(
+            self,
+            Op::Conv3x3 { .. } | Op::Conv1x1 { .. } | Op::ErModule { .. }
+        )
     }
 }
 
@@ -163,7 +169,10 @@ impl fmt::Display for Op {
                 }
                 Ok(())
             }
-            Op::ErModule { channels, expansion } => {
+            Op::ErModule {
+                channels,
+                expansion,
+            } => {
                 write!(f, "ERModule {channels}ch x{expansion}")
             }
             Op::PixelShuffle { factor } => write!(f, "PixelShuffle x{factor}"),
@@ -199,7 +208,10 @@ impl Layer {
 
     /// A layer whose output accumulates the referenced earlier tensor.
     pub fn with_skip(op: Op, skip: SkipRef) -> Self {
-        Self { op, skip: Some(skip) }
+        Self {
+            op,
+            skip: Some(skip),
+        }
     }
 }
 
@@ -210,14 +222,30 @@ mod tests {
     #[test]
     fn out_channels_follow_op_semantics() {
         assert_eq!(
-            Op::Conv3x3 { in_c: 32, out_c: 128, act: Activation::None }.out_channels(32),
+            Op::Conv3x3 {
+                in_c: 32,
+                out_c: 128,
+                act: Activation::None
+            }
+            .out_channels(32),
             128
         );
-        assert_eq!(Op::ErModule { channels: 32, expansion: 4 }.out_channels(32), 32);
+        assert_eq!(
+            Op::ErModule {
+                channels: 32,
+                expansion: 4
+            }
+            .out_channels(32),
+            32
+        );
         assert_eq!(Op::PixelShuffle { factor: 2 }.out_channels(128), 32);
         assert_eq!(Op::PixelUnshuffle { factor: 2 }.out_channels(3), 12);
         assert_eq!(
-            Op::Downsample { kind: PoolKind::Max, factor: 2 }.out_channels(64),
+            Op::Downsample {
+                kind: PoolKind::Max,
+                factor: 2
+            }
+            .out_channels(64),
             64
         );
     }
@@ -233,19 +261,43 @@ mod tests {
         assert_eq!(Op::PixelShuffle { factor: 2 }.scale_factor(), 2.0);
         assert_eq!(Op::PixelUnshuffle { factor: 2 }.scale_factor(), 0.5);
         assert_eq!(
-            Op::Downsample { kind: PoolKind::Stride, factor: 2 }.scale_factor(),
+            Op::Downsample {
+                kind: PoolKind::Stride,
+                factor: 2
+            }
+            .scale_factor(),
             0.5
         );
         assert_eq!(
-            Op::Conv3x3 { in_c: 3, out_c: 3, act: Activation::None }.scale_factor(),
+            Op::Conv3x3 {
+                in_c: 3,
+                out_c: 3,
+                act: Activation::None
+            }
+            .scale_factor(),
             1.0
         );
     }
 
     #[test]
     fn conv3x3_count_includes_ermodule() {
-        assert_eq!(Op::ErModule { channels: 32, expansion: 1 }.conv3x3_count(), 1);
-        assert_eq!(Op::Conv1x1 { in_c: 32, out_c: 32, act: Activation::None }.conv3x3_count(), 0);
+        assert_eq!(
+            Op::ErModule {
+                channels: 32,
+                expansion: 1
+            }
+            .conv3x3_count(),
+            1
+        );
+        assert_eq!(
+            Op::Conv1x1 {
+                in_c: 32,
+                out_c: 32,
+                act: Activation::None
+            }
+            .conv3x3_count(),
+            0
+        );
     }
 
     #[test]
@@ -257,7 +309,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let s = Op::ErModule { channels: 32, expansion: 3 }.to_string();
+        let s = Op::ErModule {
+            channels: 32,
+            expansion: 3,
+        }
+        .to_string();
         assert!(s.contains("ERModule"));
         assert!(s.contains("x3"));
     }

@@ -34,7 +34,11 @@ pub enum ModelError {
 impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ModelError::ChannelMismatch { layer, expected, found } => write!(
+            ModelError::ChannelMismatch {
+                layer,
+                expected,
+                found,
+            } => write!(
                 f,
                 "layer {layer}: expects {found} input channels but receives {expected}"
             ),
@@ -261,7 +265,10 @@ impl Model {
                     in_c * out_c * 9 + out_c
                 }
                 Op::Conv1x1 { in_c, out_c, .. } => in_c * out_c + out_c,
-                Op::ErModule { channels, expansion } => {
+                Op::ErModule {
+                    channels,
+                    expansion,
+                } => {
                     let wide = channels * expansion;
                     channels * wide * 9 + wide + wide * channels + channels
                 }
@@ -300,7 +307,11 @@ mod tests {
     use crate::layer::{Activation, PoolKind};
 
     fn conv(in_c: usize, out_c: usize) -> Layer {
-        Layer::new(Op::Conv3x3 { in_c, out_c, act: Activation::Relu })
+        Layer::new(Op::Conv3x3 {
+            in_c,
+            out_c,
+            act: Activation::Relu,
+        })
     }
 
     #[test]
@@ -312,19 +323,33 @@ mod tests {
 
     #[test]
     fn empty_model_rejected() {
-        assert_eq!(Model::new("m", 3, 3, vec![]).unwrap_err(), ModelError::Empty);
+        assert_eq!(
+            Model::new("m", 3, 3, vec![]).unwrap_err(),
+            ModelError::Empty
+        );
     }
 
     #[test]
     fn channel_mismatch_detected() {
         let err = Model::new("m", 3, 16, vec![conv(3, 8), conv(9, 16)]).unwrap_err();
-        assert_eq!(err, ModelError::ChannelMismatch { layer: 1, expected: 8, found: 9 });
+        assert_eq!(
+            err,
+            ModelError::ChannelMismatch {
+                layer: 1,
+                expected: 8,
+                found: 9
+            }
+        );
     }
 
     #[test]
     fn forward_skip_rejected() {
         let l = Layer::with_skip(
-            Op::Conv3x3 { in_c: 3, out_c: 3, act: Activation::None },
+            Op::Conv3x3 {
+                in_c: 3,
+                out_c: 3,
+                act: Activation::None,
+            },
             SkipRef::Layer(0),
         );
         let err = Model::new("m", 3, 3, vec![l]).unwrap_err();
@@ -335,7 +360,11 @@ mod tests {
     fn skip_channel_mismatch_rejected() {
         // input has 3 channels, layer output has 8 -> inconsistent residual
         let l = Layer::with_skip(
-            Op::Conv3x3 { in_c: 3, out_c: 8, act: Activation::None },
+            Op::Conv3x3 {
+                in_c: 3,
+                out_c: 8,
+                act: Activation::None,
+            },
             SkipRef::Input,
         );
         let err = Model::new("m", 3, 8, vec![l]).unwrap_err();
@@ -360,7 +389,11 @@ mod tests {
         let layers = vec![
             conv(3, 32),
             Layer::with_skip(
-                Op::Conv3x3 { in_c: 32, out_c: 32, act: Activation::None },
+                Op::Conv3x3 {
+                    in_c: 32,
+                    out_c: 32,
+                    act: Activation::None,
+                },
                 SkipRef::Layer(0),
             ),
         ];
@@ -372,7 +405,10 @@ mod tests {
         let layers = vec![
             conv(3, 128),
             Layer::new(Op::PixelShuffle { factor: 2 }),
-            Layer::new(Op::Downsample { kind: PoolKind::Max, factor: 2 }),
+            Layer::new(Op::Downsample {
+                kind: PoolKind::Max,
+                factor: 2,
+            }),
         ];
         let m = Model::new("m", 3, 32, layers).unwrap();
         assert_eq!(m.scale_walk(), vec![1.0, 1.0, 2.0, 1.0]);
@@ -386,13 +422,23 @@ mod tests {
             3,
             3,
             vec![
-                conv(3, 32),                                            // 3*32*9+32 = 896
-                Layer::new(Op::ErModule { channels: 32, expansion: 2 }), // 32*64*9+64 + 64*32+32 = 20576
-                Layer::new(Op::Conv3x3 { in_c: 32, out_c: 3, act: Activation::None }), // 32*3*9+3 = 867
+                conv(3, 32), // 3*32*9+32 = 896
+                Layer::new(Op::ErModule {
+                    channels: 32,
+                    expansion: 2,
+                }), // 32*64*9+64 + 64*32+32 = 20576
+                Layer::new(Op::Conv3x3 {
+                    in_c: 32,
+                    out_c: 3,
+                    act: Activation::None,
+                }), // 32*3*9+3 = 867
             ],
         )
         .unwrap();
-        assert_eq!(m.param_count(), 896 + (32 * 64 * 9 + 64 + 64 * 32 + 32) + 867);
+        assert_eq!(
+            m.param_count(),
+            896 + (32 * 64 * 9 + 64 + 64 * 32 + 32) + 867
+        );
     }
 
     #[test]

@@ -159,13 +159,15 @@ mod tests {
     fn paper_picks_are_feasible() {
         // SR4ERNet-B17R3N1 fits the UHD30 budget; SR4ERNet-B34R4N0 fits HD30.
         let uhd = scan_candidates(ErNetTask::Sr4, 164.0, 128.0, 40);
-        assert!(uhd
-            .iter()
-            .any(|c| c.spec.b == 17 && c.re >= 3.0), "B17 with RE>=3 must fit UHD30");
+        assert!(
+            uhd.iter().any(|c| c.spec.b == 17 && c.re >= 3.0),
+            "B17 with RE>=3 must fit UHD30"
+        );
         let hd = scan_candidates(ErNetTask::Sr4, 655.0, 128.0, 40);
-        assert!(hd
-            .iter()
-            .any(|c| c.spec.b == 34 && c.re >= 3.9), "B34 with RE~4 must fit HD30");
+        assert!(
+            hd.iter().any(|c| c.spec.b == 34 && c.re >= 3.9),
+            "B34 with RE~4 must fit HD30"
+        );
     }
 
     #[test]

@@ -78,7 +78,11 @@ impl RealTimeSpec {
 
 impl fmt::Display for RealTimeSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({}x{}@{}fps)", self.name, self.width, self.height, self.fps)
+        write!(
+            f,
+            "{} ({}x{}@{}fps)",
+            self.name, self.width, self.height, self.fps
+        )
     }
 }
 
@@ -99,7 +103,10 @@ mod tests {
     #[test]
     fn pixel_rates() {
         assert_eq!(RealTimeSpec::UHD30.pixel_rate(), 3840.0 * 2160.0 * 30.0);
-        assert_eq!(RealTimeSpec::HD60.pixel_rate(), 2.0 * RealTimeSpec::HD30.pixel_rate());
+        assert_eq!(
+            RealTimeSpec::HD60.pixel_rate(),
+            2.0 * RealTimeSpec::HD30.pixel_rate()
+        );
     }
 
     #[test]

@@ -20,7 +20,11 @@ fn push_resblock(layers: &mut Vec<Layer>, c: usize) -> usize {
     let entry = layers.len(); // output of layers[entry-1] is the block input
     layers.push(conv3(c, c, Activation::Relu));
     layers.push(Layer::with_skip(
-        Op::Conv3x3 { in_c: c, out_c: c, act: Activation::None },
+        Op::Conv3x3 {
+            in_c: c,
+            out_c: c,
+            act: Activation::None,
+        },
         SkipRef::Layer(entry - 1),
     ));
     layers.len() - 1
@@ -36,7 +40,11 @@ pub fn vdsr() -> Model {
         layers.push(conv3(64, 64, Activation::Relu));
     }
     layers.push(Layer::with_skip(
-        Op::Conv3x3 { in_c: 64, out_c: 1, act: Activation::None },
+        Op::Conv3x3 {
+            in_c: 64,
+            out_c: 1,
+            act: Activation::None,
+        },
         SkipRef::Input,
     ));
     Model::new("VDSR", 1, 1, layers).expect("VDSR is well-formed")
@@ -52,7 +60,11 @@ pub fn srresnet() -> Model {
         push_resblock(&mut layers, 64);
     }
     layers.push(Layer::with_skip(
-        Op::Conv3x3 { in_c: 64, out_c: 64, act: Activation::None },
+        Op::Conv3x3 {
+            in_c: 64,
+            out_c: 64,
+            act: Activation::None,
+        },
         SkipRef::Layer(head_idx),
     ));
     for _ in 0..2 {
@@ -71,14 +83,21 @@ pub fn srresnet() -> Model {
 ///
 /// Panics if `scale` is not 2 or 4.
 pub fn edsr_baseline(scale: usize) -> Model {
-    assert!(scale == 2 || scale == 4, "EDSR-baseline scale must be 2 or 4");
+    assert!(
+        scale == 2 || scale == 4,
+        "EDSR-baseline scale must be 2 or 4"
+    );
     let mut layers = vec![conv3(3, 64, Activation::None)];
     let head_idx = 0;
     for _ in 0..16 {
         push_resblock(&mut layers, 64);
     }
     layers.push(Layer::with_skip(
-        Op::Conv3x3 { in_c: 64, out_c: 64, act: Activation::None },
+        Op::Conv3x3 {
+            in_c: 64,
+            out_c: 64,
+            act: Activation::None,
+        },
         SkipRef::Layer(head_idx),
     ));
     let ups = if scale == 4 { 2 } else { 1 };
@@ -102,9 +121,15 @@ pub fn style_transfer() -> (Model, Model) {
     // Sub-model 1: full-res head, two conv+DNX2 downsamplers, 3 ResBlocks.
     let mut l1 = vec![conv3(3, 32, Activation::Relu)];
     l1.push(conv3(32, 64, Activation::Relu));
-    l1.push(Layer::new(Op::Downsample { kind: PoolKind::Stride, factor: 2 }));
+    l1.push(Layer::new(Op::Downsample {
+        kind: PoolKind::Stride,
+        factor: 2,
+    }));
     l1.push(conv3(64, 128, Activation::Relu));
-    l1.push(Layer::new(Op::Downsample { kind: PoolKind::Stride, factor: 2 }));
+    l1.push(Layer::new(Op::Downsample {
+        kind: PoolKind::Stride,
+        factor: 2,
+    }));
     for _ in 0..3 {
         push_resblock(&mut l1, 128);
     }
@@ -115,7 +140,11 @@ pub fn style_transfer() -> (Model, Model) {
     l2.push(conv3(128, 128, Activation::Relu));
     let first = l2.len() - 1;
     l2.push(Layer::with_skip(
-        Op::Conv3x3 { in_c: 128, out_c: 128, act: Activation::None },
+        Op::Conv3x3 {
+            in_c: 128,
+            out_c: 128,
+            act: Activation::None,
+        },
         SkipRef::Layer(first),
     ));
     push_resblock(&mut l2, 128);
@@ -142,26 +171,41 @@ pub fn recognition(num_classes: usize) -> Model {
     layers.push(conv3(32, 32, Activation::Relu));
     // Stage 1: 224 -> 112, nine 64ch ResBlocks.
     layers.push(conv3(32, 64, Activation::Relu));
-    layers.push(Layer::new(Op::Downsample { kind: PoolKind::Stride, factor: 2 }));
+    layers.push(Layer::new(Op::Downsample {
+        kind: PoolKind::Stride,
+        factor: 2,
+    }));
     for _ in 0..9 {
         push_resblock(&mut layers, 64);
     }
     // Stage 2: 112 -> 56, six 128ch ResBlocks.
     layers.push(conv3(64, 128, Activation::Relu));
-    layers.push(Layer::new(Op::Downsample { kind: PoolKind::Stride, factor: 2 }));
+    layers.push(Layer::new(Op::Downsample {
+        kind: PoolKind::Stride,
+        factor: 2,
+    }));
     for _ in 0..6 {
         push_resblock(&mut layers, 128);
     }
     // Stage 3: 56 -> 28, two 256ch ResBlocks.
     layers.push(conv3(128, 256, Activation::Relu));
-    layers.push(Layer::new(Op::Downsample { kind: PoolKind::Stride, factor: 2 }));
+    layers.push(Layer::new(Op::Downsample {
+        kind: PoolKind::Stride,
+        factor: 2,
+    }));
     for _ in 0..2 {
         push_resblock(&mut layers, 256);
     }
     // Head: 28 -> 14 -> global average via max-style pooling chain, then a
     // 1x1 classifier (the FC layer as a 1x1 convolution).
-    layers.push(Layer::new(Op::Downsample { kind: PoolKind::Max, factor: 2 }));
-    layers.push(Layer::new(Op::Downsample { kind: PoolKind::Max, factor: 14 }));
+    layers.push(Layer::new(Op::Downsample {
+        kind: PoolKind::Max,
+        factor: 2,
+    }));
+    layers.push(Layer::new(Op::Downsample {
+        kind: PoolKind::Max,
+        factor: 14,
+    }));
     layers.push(Layer::new(Op::Conv1x1 {
         in_c: 256,
         out_c: num_classes,
@@ -179,10 +223,19 @@ pub fn recognition_tiny(num_classes: usize) -> Model {
     let mut layers = vec![conv3(3, 32, Activation::Relu)];
     push_resblock(&mut layers, 32);
     layers.push(conv3(32, 64, Activation::Relu));
-    layers.push(Layer::new(Op::Downsample { kind: PoolKind::Stride, factor: 2 }));
+    layers.push(Layer::new(Op::Downsample {
+        kind: PoolKind::Stride,
+        factor: 2,
+    }));
     push_resblock(&mut layers, 64);
-    layers.push(Layer::new(Op::Downsample { kind: PoolKind::Max, factor: 2 }));
-    layers.push(Layer::new(Op::Downsample { kind: PoolKind::Max, factor: 8 }));
+    layers.push(Layer::new(Op::Downsample {
+        kind: PoolKind::Max,
+        factor: 2,
+    }));
+    layers.push(Layer::new(Op::Downsample {
+        kind: PoolKind::Max,
+        factor: 8,
+    }));
     layers.push(Layer::new(Op::Conv1x1 {
         in_c: 64,
         out_c: num_classes,
@@ -213,7 +266,10 @@ mod tests {
         assert_eq!(m.depth_conv3x3(), 37);
         // Paper Section 5.2: 1479K parameters.
         let p = m.param_count();
-        assert!((p as i64 - 1_479_000).abs() < 120_000, "SRResNet params {p}");
+        assert!(
+            (p as i64 - 1_479_000).abs() < 120_000,
+            "SRResNet params {p}"
+        );
         assert_eq!(m.output_scale(), 4.0);
     }
 

@@ -24,7 +24,9 @@ pub enum TaskKind {
 impl TaskKind {
     /// The paper's σ=25 denoising setting.
     pub fn denoise25() -> Self {
-        TaskKind::Denoise { sigma: 25.0 / 255.0 }
+        TaskKind::Denoise {
+            sigma: 25.0 / 255.0,
+        }
     }
 }
 
@@ -40,12 +42,18 @@ pub struct Sample {
 /// Builds `n` samples with `size × size` targets. Content cycles through
 /// all [`ImageKind`] families for diversity; fully deterministic in `seed`.
 pub fn make_dataset(task: TaskKind, n: usize, size: usize, seed: u64) -> Vec<Sample> {
-    let kinds = [ImageKind::Mixed, ImageKind::Texture, ImageKind::Smooth, ImageKind::Edges];
+    let kinds = [
+        ImageKind::Mixed,
+        ImageKind::Texture,
+        ImageKind::Smooth,
+        ImageKind::Edges,
+    ];
     let mut rng = StdRng::seed_from_u64(seed ^ 0xDA7A);
     (0..n)
         .map(|i| {
             let kind = kinds[i % kinds.len()];
-            let target = SyntheticImage::new(kind, seed.wrapping_add(i as u64 * 101)).rgb(size, size);
+            let target =
+                SyntheticImage::new(kind, seed.wrapping_add(i as u64 * 101)).rgb(size, size);
             let input = match task {
                 TaskKind::Denoise { sigma } => add_gaussian_noise(&target, sigma, &mut rng),
                 TaskKind::Sr { scale } => downsample_box(&target, scale),
@@ -63,13 +71,18 @@ pub fn make_classification_dataset(
     classes: usize,
     seed: u64,
 ) -> Vec<(Tensor<f32>, usize)> {
-    let kinds = [ImageKind::Smooth, ImageKind::Texture, ImageKind::Edges, ImageKind::Mixed];
+    let kinds = [
+        ImageKind::Smooth,
+        ImageKind::Texture,
+        ImageKind::Edges,
+        ImageKind::Mixed,
+    ];
     let classes = classes.min(kinds.len());
     (0..n)
         .map(|i| {
             let class = i % classes;
-            let img = SyntheticImage::new(kinds[class], seed.wrapping_add(i as u64 * 13))
-                .rgb(size, size);
+            let img =
+                SyntheticImage::new(kinds[class], seed.wrapping_add(i as u64 * 13)).rgb(size, size);
             (img, class)
         })
         .collect()

@@ -169,10 +169,16 @@ impl FloatModel {
                     vec![],
                     vec![],
                 ),
-                Op::ErModule { channels, expansion } => {
+                Op::ErModule {
+                    channels,
+                    expansion,
+                } => {
                     let wide = channels * expansion;
                     (
-                        FopKind::Er { c: channels, e: expansion },
+                        FopKind::Er {
+                            c: channels,
+                            e: expansion,
+                        },
                         he_init(&mut rng, wide * channels * 9, channels * 9, 1.0),
                         vec![0.0; wide],
                         // Residual-friendly small init on the reduction.
@@ -180,12 +186,20 @@ impl FloatModel {
                         vec![0.0; channels],
                     )
                 }
-                Op::PixelShuffle { factor } => {
-                    (FopKind::Shuffle { s: factor }, vec![], vec![], vec![], vec![])
-                }
-                Op::PixelUnshuffle { factor } => {
-                    (FopKind::Unshuffle { s: factor }, vec![], vec![], vec![], vec![])
-                }
+                Op::PixelShuffle { factor } => (
+                    FopKind::Shuffle { s: factor },
+                    vec![],
+                    vec![],
+                    vec![],
+                    vec![],
+                ),
+                Op::PixelUnshuffle { factor } => (
+                    FopKind::Unshuffle { s: factor },
+                    vec![],
+                    vec![],
+                    vec![],
+                    vec![],
+                ),
                 Op::Downsample { kind, factor } => (
                     FopKind::Pool { kind, s: factor },
                     vec![],
@@ -249,7 +263,11 @@ impl FloatModel {
             out_clamp: None,
         };
         let pw = |rng: &mut StdRng, act: Activation, skip: Option<SkipRef>| FloatLayer {
-            kind: FopKind::Conv1 { in_c: c, out_c: c, act },
+            kind: FopKind::Conv1 {
+                in_c: c,
+                out_c: c,
+                act,
+            },
             skip,
             w: he_init(rng, c * c, c, if skip.is_some() { 0.1 } else { 1.0 }),
             b: vec![0.0; c],
@@ -264,7 +282,11 @@ impl FloatModel {
             layers.push(dw(&mut rng, Activation::Relu));
             layers.push(pw(&mut rng, Activation::None, None));
             layers.push(dw(&mut rng, Activation::None));
-            layers.push(pw(&mut rng, Activation::None, Some(SkipRef::Layer(entry - 1))));
+            layers.push(pw(
+                &mut rng,
+                Activation::None,
+                Some(SkipRef::Layer(entry - 1)),
+            ));
         }
         let head = 0usize;
         let mut l = conv3(&mut rng, c, c, Activation::None);
@@ -353,9 +375,16 @@ impl FloatModel {
             // Cache post-act pre-skip output for ReLU masking.
             if matches!(
                 layer.kind,
-                FopKind::Conv3 { act: Activation::Relu, .. }
-                    | FopKind::Conv1 { act: Activation::Relu, .. }
-                    | FopKind::Dw3 { act: Activation::Relu, .. }
+                FopKind::Conv3 {
+                    act: Activation::Relu,
+                    ..
+                } | FopKind::Conv1 {
+                    act: Activation::Relu,
+                    ..
+                } | FopKind::Dw3 {
+                    act: Activation::Relu,
+                    ..
+                }
             ) {
                 cache.act_out[i] = Some(out.clone());
             }
@@ -390,13 +419,16 @@ impl FloatModel {
             let layer = &self.layers[i];
             // Clipped-ReLU (quantization clamp): zero gradient at the rails.
             if let Some((lo, hi)) = layer.out_clamp {
-                g = g.zip(&cache.vals[i + 1], |gv, v| {
-                    if v > lo && v < hi {
-                        gv
-                    } else {
-                        0.0
-                    }
-                });
+                g = g.zip(
+                    &cache.vals[i + 1],
+                    |gv, v| {
+                        if v > lo && v < hi {
+                            gv
+                        } else {
+                            0.0
+                        }
+                    },
+                );
             }
             // Skip connection: identity gradient to the source.
             if let Some(skip) = layer.skip {
@@ -498,6 +530,8 @@ fn apply_act(t: &mut Tensor<f32>, act: Activation) {
 pub fn conv3_same(x: &Tensor<f32>, w: &[f32], b: &[f32], out_c: usize) -> Tensor<f32> {
     let (in_c, h, width) = x.shape();
     let mut out = Tensor::zeros(out_c, h, width);
+    // `oc` indexes bias and the weight block in lockstep.
+    #[allow(clippy::needless_range_loop)]
     for oc in 0..out_c {
         for y in 0..h {
             let row = &mut out.as_mut_slice()[(oc * h + y) * width..(oc * h + y) * width + width];
@@ -559,6 +593,8 @@ pub fn conv3_same_backward(
     let mut dw = vec![0.0f32; out_c * in_c * 9];
     let mut db = vec![0.0f32; out_c];
     let mut gin = Tensor::zeros(in_c, h, width);
+    // `oc` addresses db, dw and the gradient rows together.
+    #[allow(clippy::needless_range_loop)]
     for oc in 0..out_c {
         for y in 0..h {
             let grow = (oc * h + y) * width;
@@ -692,8 +728,8 @@ pub fn dw3_same(x: &Tensor<f32>, w: &[f32], b: &[f32]) -> Tensor<f32> {
                         if sx < 0 || sx >= width as isize {
                             continue;
                         }
-                        acc += w[ch * 9 + (ky * 3 + kx) as usize]
-                            * x.at(ch, sy as usize, sx as usize);
+                        acc +=
+                            w[ch * 9 + (ky * 3 + kx) as usize] * x.at(ch, sy as usize, sx as usize);
                     }
                 }
                 *out.at_mut(ch, y, xx) = acc;
@@ -798,10 +834,22 @@ mod tests {
         let eps = 1e-3f32;
         let mut mp = model.clone();
         mp.layers[layer].w[widx] += eps;
-        let lp = 0.5 * mp.forward(input).output().as_slice().iter().map(|v| v * v).sum::<f32>();
+        let lp = 0.5
+            * mp.forward(input)
+                .output()
+                .as_slice()
+                .iter()
+                .map(|v| v * v)
+                .sum::<f32>();
         let mut mm = model.clone();
         mm.layers[layer].w[widx] -= eps;
-        let lm = 0.5 * mm.forward(input).output().as_slice().iter().map(|v| v * v).sum::<f32>();
+        let lm = 0.5
+            * mm.forward(input)
+                .output()
+                .as_slice()
+                .iter()
+                .map(|v| v * v)
+                .sum::<f32>();
         let numeric = (lp - lm) / (2.0 * eps);
         let denom = analytic.abs().max(numeric.abs()).max(1e-3);
         assert!(
@@ -836,7 +884,10 @@ mod tests {
             "t",
             8,
             8,
-            vec![ecnn_model::Layer::new(Op::ErModule { channels: 8, expansion: 2 })],
+            vec![ecnn_model::Layer::new(Op::ErModule {
+                channels: 8,
+                expansion: 2,
+            })],
         )
         .unwrap();
         let mut fm = FloatModel::from_model(&m, 2);
@@ -865,9 +916,17 @@ mod tests {
             2,
             2,
             vec![
-                ecnn_model::Layer::new(Op::Conv3x3 { in_c: 2, out_c: 2, act: Activation::None }),
+                ecnn_model::Layer::new(Op::Conv3x3 {
+                    in_c: 2,
+                    out_c: 2,
+                    act: Activation::None,
+                }),
                 ecnn_model::Layer::with_skip(
-                    Op::Conv3x3 { in_c: 2, out_c: 2, act: Activation::None },
+                    Op::Conv3x3 {
+                        in_c: 2,
+                        out_c: 2,
+                        act: Activation::None,
+                    },
                     SkipRef::Layer(0),
                 ),
             ],
@@ -938,7 +997,11 @@ mod tests {
             "t",
             2,
             2,
-            vec![ecnn_model::Layer::new(Op::Conv3x3 { in_c: 2, out_c: 2, act: Activation::None })],
+            vec![ecnn_model::Layer::new(Op::Conv3x3 {
+                in_c: 2,
+                out_c: 2,
+                act: Activation::None,
+            })],
         )
         .unwrap();
         let mut fm = FloatModel::from_model(&m, 8);

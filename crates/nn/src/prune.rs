@@ -94,7 +94,17 @@ mod tests {
         let mut fm = FloatModel::from_model(&ir, 6);
         let data = make_dataset(TaskKind::denoise25(), 10, 24, 15);
         let val = make_dataset(TaskKind::denoise25(), 3, 24, 777);
-        train(&mut fm, &data, TrainConfig { steps: 50, batch: 4, lr: 2e-3, seed: 4, threads: 2 });
+        train(
+            &mut fm,
+            &data,
+            TrainConfig {
+                steps: 50,
+                batch: 4,
+                lr: 2e-3,
+                seed: 4,
+                threads: 2,
+            },
+        );
         let dense = eval_psnr(&fm, &val);
         let mut pruned = fm.clone();
         magnitude_prune(&mut pruned, 0.75);
@@ -111,7 +121,17 @@ mod tests {
         let mut fm = FloatModel::from_model(&ir, 7);
         magnitude_prune(&mut fm, 0.5);
         let data = make_dataset(TaskKind::denoise25(), 6, 16, 2);
-        train(&mut fm, &data, TrainConfig { steps: 10, batch: 2, lr: 1e-3, seed: 1, threads: 1 });
+        train(
+            &mut fm,
+            &data,
+            TrainConfig {
+                steps: 10,
+                batch: 2,
+                lr: 1e-3,
+                seed: 1,
+                threads: 1,
+            },
+        );
         // Masked weights must still be zero after fine-tuning.
         for l in &fm.layers {
             if let Some(mask) = &l.mask {

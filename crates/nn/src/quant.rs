@@ -130,8 +130,13 @@ pub fn quantize(
         // (ReLU output without residual).
         let out_signed = !matches!(
             fl.kind,
-            FopKind::Conv3 { act: Activation::Relu, .. }
-                | FopKind::Conv1 { act: Activation::Relu, .. }
+            FopKind::Conv3 {
+                act: Activation::Relu,
+                ..
+            } | FopKind::Conv1 {
+                act: Activation::Relu,
+                ..
+            }
         ) || fl.skip.is_some();
         let out_q = QFormat::fit(&stats.out[i], out_signed, 8, cfg.norm);
         let w = fl.effective_w();
@@ -170,8 +175,12 @@ pub fn quantize(
                 let wide = c * e;
                 let w3q = QFormat::fit(&sample_values(&w, 50_000), true, cfg.weight_bits, cfg.norm);
                 let b3q = QFormat::fit(&fl.b, true, 8, cfg.norm);
-                let w1q =
-                    QFormat::fit(&sample_values(&fl.w1, 50_000), true, cfg.weight_bits, cfg.norm);
+                let w1q = QFormat::fit(
+                    &sample_values(&fl.w1, 50_000),
+                    true,
+                    cfg.weight_bits,
+                    cfg.norm,
+                );
                 let b1q = QFormat::fit(&fl.b1, true, 8, cfg.norm);
                 let mid_q = QFormat::fit(&stats.mid[i], false, 8, cfg.norm);
                 (
@@ -290,7 +299,10 @@ pub fn fixed_forward(qm: &QuantizedModel, input: &Tensor<i16>) -> Tensor<i16> {
                     acc, out_c, &p.b1, p.b1_q, prod, act, layer.skip, &vals, p.out_q,
                 )
             }
-            ecnn_model::Op::ErModule { channels, expansion } => {
+            ecnn_model::Op::ErModule {
+                channels,
+                expansion,
+            } => {
                 let p = qm.layers[i].as_ref().expect("params");
                 let wide = channels * expansion;
                 let prod3 = p.w3_q.frac() as i32 + xq.frac() as i32;
@@ -318,7 +330,10 @@ pub fn fixed_forward(qm: &QuantizedModel, input: &Tensor<i16>) -> Tensor<i16> {
                 // Module residual (center-cropped input).
                 add_cropped(&mut acc1, &x, xq.frac() as i32, prod1);
                 (
-                    acc1.map(|a| p.out_q.clamp_code(rescale_code(a, prod1, p.out_q.frac() as i32))),
+                    acc1.map(|a| {
+                        p.out_q
+                            .clamp_code(rescale_code(a, prod1, p.out_q.frac() as i32))
+                    }),
                     p.out_q,
                 )
             }
@@ -346,7 +361,11 @@ fn conv3_acc(
     padded: bool,
 ) -> Tensor<i64> {
     let (_, h, width) = x.shape();
-    let (oh, ow) = if padded { (h, width) } else { (h - 2, width - 2) };
+    let (oh, ow) = if padded {
+        (h, width)
+    } else {
+        (h - 2, width - 2)
+    };
     let origin: isize = if padded { 0 } else { 1 };
     let mut acc = Tensor::<i64>::zeros(out_c, oh, ow);
     for oc in 0..out_c {
@@ -354,7 +373,7 @@ fn conv3_acc(
             let wbase = (oc * in_hw + ic) * 9;
             for ky in 0..3isize {
                 for kx in 0..3isize {
-                    let wv = w[wbase as usize + (ky * 3 + kx) as usize] as i64;
+                    let wv = w[wbase + (ky * 3 + kx) as usize] as i64;
                     if wv == 0 {
                         continue;
                     }
@@ -410,6 +429,8 @@ fn finish_layer(
     vals: &[(Tensor<i16>, QFormat)],
     out_q: QFormat,
 ) -> (Tensor<i16>, QFormat) {
+    // `oc` indexes the bias table and the accumulator row together.
+    #[allow(clippy::needless_range_loop)]
     for oc in 0..out_c {
         let b = align(bias[oc] as i64, bias_q.frac() as i32, prod);
         for v in acc3_row(&mut acc, oc) {
@@ -444,8 +465,7 @@ fn add_cropped(acc: &mut Tensor<i64>, src: &Tensor<i16>, src_frac: i32, acc_frac
     for c in 0..ac {
         for y in 0..ah {
             for x in 0..aw {
-                *acc.at_mut(c, y, x) +=
-                    align(src.at(c, y + oy, x + ox) as i64, src_frac, acc_frac);
+                *acc.at_mut(c, y, x) += align(src.at(c, y + oy, x + ox) as i64, src_frac, acc_frac);
             }
         }
     }
@@ -483,7 +503,10 @@ pub fn eval_psnr_fixed(qm: &QuantizedModel, data: &[Sample]) -> f64 {
     let mut model = qm.clone();
     // Evaluate with zero padding regardless of deployment kind so the
     // output aligns with the target patch.
-    model.model = model.model.clone().with_inference(InferenceKind::ZeroPadded);
+    model.model = model
+        .model
+        .clone()
+        .with_inference(InferenceKind::ZeroPadded);
     for s in data {
         let input = s.input.map(|v| qm.input_q.quantize(v));
         let out = fixed_forward(&model, &input);
@@ -513,7 +536,17 @@ mod tests {
         let mut fm = FloatModel::from_model(&ir, 3);
         let data = make_dataset(TaskKind::denoise25(), 10, 24, 5);
         let val = make_dataset(TaskKind::denoise25(), 3, 24, 404);
-        train(&mut fm, &data, TrainConfig { steps: 50, batch: 4, lr: 2e-3, seed: 3, threads: 2 });
+        train(
+            &mut fm,
+            &data,
+            TrainConfig {
+                steps: 50,
+                batch: 4,
+                lr: 2e-3,
+                seed: 3,
+                threads: 2,
+            },
+        );
         (ir, fm, data, val)
     }
 
@@ -546,7 +579,13 @@ mod tests {
             &data,
             &calib,
             QuantConfig::default(),
-            TrainConfig { steps: 24, batch: 4, lr: 5e-4, seed: 9, threads: 2 },
+            TrainConfig {
+                steps: 24,
+                batch: 4,
+                lr: 5e-4,
+                seed: 9,
+                threads: 2,
+            },
         );
         let psnr_after = eval_psnr_fixed(&after, &val);
         assert!(
@@ -560,7 +599,15 @@ mod tests {
         let (ir, fm, data, _) = trained_tiny_denoiser();
         let calib: Vec<Tensor<f32>> = data.iter().take(2).map(|s| s.input.clone()).collect();
         for norm in [NormOrder::L1, NormOrder::L2] {
-            let qm = quantize(&fm, &ir, &calib, QuantConfig { norm, ..Default::default() });
+            let qm = quantize(
+                &fm,
+                &ir,
+                &calib,
+                QuantConfig {
+                    norm,
+                    ..Default::default()
+                },
+            );
             qm.check().unwrap();
         }
     }
@@ -573,7 +620,10 @@ mod tests {
             &fm,
             &ir,
             &calib,
-            QuantConfig { weight_bits: 7, ..Default::default() },
+            QuantConfig {
+                weight_bits: 7,
+                ..Default::default()
+            },
         );
         qm.check().unwrap();
         for p in qm.layers.iter().flatten() {
@@ -594,7 +644,10 @@ mod tests {
         let out = fixed_forward(&qm, &input);
         assert_eq!(out.shape(), (3, 16, 16));
         let mut padded = qm.clone();
-        padded.model = padded.model.clone().with_inference(InferenceKind::ZeroPadded);
+        padded.model = padded
+            .model
+            .clone()
+            .with_inference(InferenceKind::ZeroPadded);
         let out2 = fixed_forward(&padded, &input);
         assert_eq!(out2.shape(), (3, 24, 24));
     }

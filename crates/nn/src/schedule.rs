@@ -23,9 +23,27 @@ pub struct StageSpec {
 /// scan and heavy settings for polishing and fine-tuning).
 pub fn paper_stages() -> [StageSpec; 3] {
     [
-        StageSpec { name: "model scanning", patch: 48, batch: 16, steps: 100_000, lr: 1e-4 },
-        StageSpec { name: "polishment", patch: 96, batch: 16, steps: 600_000, lr: 1e-4 },
-        StageSpec { name: "quantization fine-tuning", patch: 96, batch: 16, steps: 100_000, lr: 1e-5 },
+        StageSpec {
+            name: "model scanning",
+            patch: 48,
+            batch: 16,
+            steps: 100_000,
+            lr: 1e-4,
+        },
+        StageSpec {
+            name: "polishment",
+            patch: 96,
+            batch: 16,
+            steps: 600_000,
+            lr: 1e-4,
+        },
+        StageSpec {
+            name: "quantization fine-tuning",
+            patch: 96,
+            batch: 16,
+            steps: 100_000,
+            lr: 1e-5,
+        },
     ]
 }
 
@@ -33,8 +51,20 @@ pub fn paper_stages() -> [StageSpec; 3] {
 /// (1 = the test-suite default; benches pass larger values).
 pub fn repro_stages(scale: usize) -> [StageSpec; 3] {
     [
-        StageSpec { name: "model scanning", patch: 24, batch: 4, steps: 40 * scale, lr: 2e-3 },
-        StageSpec { name: "polishment", patch: 32, batch: 4, steps: 150 * scale, lr: 1e-3 },
+        StageSpec {
+            name: "model scanning",
+            patch: 24,
+            batch: 4,
+            steps: 40 * scale,
+            lr: 2e-3,
+        },
+        StageSpec {
+            name: "polishment",
+            patch: 32,
+            batch: 4,
+            steps: 150 * scale,
+            lr: 1e-3,
+        },
         StageSpec {
             name: "quantization fine-tuning",
             patch: 32,

@@ -25,7 +25,13 @@ pub struct TrainConfig {
 impl TrainConfig {
     /// A quick setting for tests and the lightweight scan stage.
     pub fn light(steps: usize) -> Self {
-        Self { steps, batch: 4, lr: 1e-3, seed: 0, threads: 2 }
+        Self {
+            steps,
+            batch: 4,
+            lr: 1e-3,
+            seed: 0,
+            threads: 2,
+        }
     }
 }
 
@@ -154,11 +160,7 @@ pub fn softmax_ce_loss(out: &Tensor<f32>, class: usize) -> (f32, Tensor<f32>) {
 }
 
 /// Gradients of the mean MSE over a batch, computed with `threads` workers.
-fn batch_grads(
-    model: &FloatModel,
-    batch: &[&Sample],
-    threads: usize,
-) -> (f32, Vec<LayerGrads>) {
+fn batch_grads(model: &FloatModel, batch: &[&Sample], threads: usize) -> (f32, Vec<LayerGrads>) {
     let chunk = batch.len().div_ceil(threads.max(1));
     let results: Vec<(f32, Vec<LayerGrads>)> = crossbeam::scope(|scope| {
         let handles: Vec<_> = batch
@@ -177,7 +179,10 @@ fn batch_grads(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
     })
     .expect("scope");
     let mut total_loss = 0.0;
@@ -279,7 +284,17 @@ mod tests {
         let ir = ErNetSpec::new(ErNetTask::Dn, 1, 1, 0).build().unwrap();
         let mut fm = FloatModel::from_model(&ir, 11);
         let data = make_dataset(TaskKind::denoise25(), 8, 24, 7);
-        let stats = train(&mut fm, &data, TrainConfig { steps: 30, batch: 2, lr: 2e-3, seed: 1, threads: 2 });
+        let stats = train(
+            &mut fm,
+            &data,
+            TrainConfig {
+                steps: 30,
+                batch: 2,
+                lr: 2e-3,
+                seed: 1,
+                threads: 2,
+            },
+        );
         let early: f32 = stats.losses[..5].iter().sum::<f32>() / 5.0;
         assert!(
             stats.final_loss < early * 0.8,
@@ -298,7 +313,17 @@ mod tests {
         // The Dn template has no global input skip (faithful to the paper's
         // "SR4ERNet minus upsamplers" derivation), so reconstruction itself
         // must be learned — ~300 steps suffice at this scale.
-        train(&mut fm, &train_data, TrainConfig { steps: 300, batch: 4, lr: 3e-3, seed: 2, threads: 2 });
+        train(
+            &mut fm,
+            &train_data,
+            TrainConfig {
+                steps: 300,
+                batch: 4,
+                lr: 3e-3,
+                seed: 2,
+                threads: 2,
+            },
+        );
         let model_psnr = eval_psnr(&fm, &val);
         let noisy_psnr: f64 = val
             .iter()

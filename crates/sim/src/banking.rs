@@ -38,7 +38,11 @@ impl BankMapping {
 /// pixel-shuffle order: each cycle writes the 2×2 tile square produced by
 /// one pre-shuffle conv tile. A cycle with `k` tiles mapped to one bank
 /// needs `k-1` extra cycles.
-pub fn shuffle_write_stalls(width_tiles: usize, height_tiles: usize, mapping: BankMapping) -> usize {
+pub fn shuffle_write_stalls(
+    width_tiles: usize,
+    height_tiles: usize,
+    mapping: BankMapping,
+) -> usize {
     let mut stalls = 0;
     let mut ty = 0;
     while ty + 1 < height_tiles.max(1) + 1 {

@@ -237,7 +237,12 @@ impl<'a> BlockExecutor<'a> {
     }
 
     /// Gathers `groups` consecutive planes into one wide tensor.
-    fn gather(&mut self, base: FeatLoc, groups: usize, side: usize) -> Result<Tensor<i16>, ExecError> {
+    fn gather(
+        &mut self,
+        base: FeatLoc,
+        groups: usize,
+        side: usize,
+    ) -> Result<Tensor<i16>, ExecError> {
         let mut wide = Tensor::zeros(groups * LEAF_CH, side, side);
         for g in 0..groups {
             let plane = self.read_plane(base.offset(g))?;
@@ -284,9 +289,17 @@ impl<'a> BlockExecutor<'a> {
         let prod_frac = ins.q.w3.frac() as i32 + ins.q.src.frac() as i32;
         // Leaf ordering (see compiler): UPX2 has one leaf per pre-shuffle
         // output plane; CONV/DNX2 have one leaf per input group.
-        let out_planes = if ins.opcode == Opcode::Upx2 { ins.out_groups } else { 1 };
+        let out_planes = if ins.opcode == Opcode::Upx2 {
+            ins.out_groups
+        } else {
+            1
+        };
         let weights = |op_: usize, ig: usize| {
-            let leaf = if ins.opcode == Opcode::Upx2 { &leafs[op_] } else { &leafs[ig] };
+            let leaf = if ins.opcode == Opcode::Upx2 {
+                &leafs[op_]
+            } else {
+                &leafs[ig]
+            };
             leaf.w3.as_slice()
         };
         let b3_frac = ins.q.b3.frac() as i32;
@@ -325,14 +338,15 @@ impl<'a> BlockExecutor<'a> {
         }
         // Requantize to the destination format.
         let dst_frac = ins.q.dst.frac() as i32;
-        let quantized: Tensor<i16> = acc.map(|a| {
-            ins.q
-                .dst
-                .clamp_code(rescale_code(a, prod_frac, dst_frac))
-        });
+        let quantized: Tensor<i16> =
+            acc.map(|a| ins.q.dst.clamp_code(rescale_code(a, prod_frac, dst_frac)));
         // Dst Reorder: pooling.
         let final_plane = if ins.opcode == Opcode::Dnx2 {
-            pool(&quantized, ins.pool.expect("DNX2 carries a pool"), ins.pool_factor)
+            pool(
+                &quantized,
+                ins.pool.expect("DNX2 carries a pool"),
+                ins.pool_factor,
+            )
         } else {
             quantized
         };
@@ -378,8 +392,7 @@ impl<'a> BlockExecutor<'a> {
                     }
                     for y in 0..side {
                         for x in 0..side {
-                            *acc.at_mut(oc, y, x) +=
-                                wv * input.at(ig * LEAF_CH + ic, y, x) as i64;
+                            *acc.at_mut(oc, y, x) += wv * input.at(ig * LEAF_CH + ic, y, x) as i64;
                         }
                     }
                 }
@@ -471,8 +484,7 @@ impl<'a> BlockExecutor<'a> {
             add_aligned(&mut acc1, &plane, sq.frac() as i32, prod1);
         }
         let dst_frac = ins.q.dst.frac() as i32;
-        let out: Tensor<i16> =
-            acc1.map(|a| ins.q.dst.clamp_code(rescale_code(a, prod1, dst_frac)));
+        let out: Tensor<i16> = acc1.map(|a| ins.q.dst.clamp_code(rescale_code(a, prod1, dst_frac)));
         self.write_plane(ins.dst, out)
     }
 }
@@ -498,6 +510,8 @@ fn conv3_acc<'w>(
     let mut acc = Tensor::<i64>::zeros(out_planes * LEAF_CH, chh, cw);
     for op_ in 0..out_planes {
         let b = biases(op_);
+        // `oc` addresses both the bias table and the plane offset.
+        #[allow(clippy::needless_range_loop)]
         for oc in 0..LEAF_CH {
             for y in 0..chh {
                 for x in 0..cw {
@@ -623,7 +637,11 @@ mod tests {
             "one-conv",
             3,
             32,
-            vec![Layer::new(Op::Conv3x3 { in_c: 3, out_c: 32, act: Activation::None })],
+            vec![Layer::new(Op::Conv3x3 {
+                in_c: 3,
+                out_c: 32,
+                act: Activation::None,
+            })],
         )
         .unwrap();
         let qm = QuantizedModel::uniform(&m);
@@ -662,7 +680,10 @@ mod tests {
             "er-id",
             32,
             32,
-            vec![Layer::new(Op::ErModule { channels: 32, expansion: 2 })],
+            vec![Layer::new(Op::ErModule {
+                channels: 32,
+                expansion: 2,
+            })],
         )
         .unwrap();
         let mut qm = QuantizedModel::uniform(&m);
@@ -743,8 +764,12 @@ mod tests {
             .collect();
         let img = SyntheticImage::new(ecnn_tensor::ImageKind::Edges, 2).rgb(48, 48);
         let input = quantize_input(&img, &c.program);
-        let out_a = BlockExecutor::new(&c.program, &c.leafs).run(&input).unwrap();
-        let out_b = BlockExecutor::new(&c.program, &decoded).run(&input).unwrap();
+        let out_a = BlockExecutor::new(&c.program, &c.leafs)
+            .run(&input)
+            .unwrap();
+        let out_b = BlockExecutor::new(&c.program, &decoded)
+            .run(&input)
+            .unwrap();
         assert_eq!(out_a, out_b);
     }
 

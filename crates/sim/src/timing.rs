@@ -112,8 +112,8 @@ pub fn simulate_frame(
     // Border blocks are narrower: FBISA's per-instruction block-size
     // attribute lets the host shorten the tile sweep at frame edges, so the
     // effective block count is fractional.
-    let eff_blocks = (width as f64 / program.do_side as f64)
-        * (height as f64 / program.do_side as f64);
+    let eff_blocks =
+        (width as f64 / program.do_side as f64) * (height as f64 / program.do_side as f64);
     let (cycles_per_block, busy3, busy1) = block_schedule(program);
     let cycles_per_frame = (cycles_per_block as f64 * eff_blocks).round() as u64;
     let seconds = cycles_per_frame as f64 / config.clock_hz;
@@ -130,8 +130,8 @@ pub fn simulate_frame(
     let out_image_bytes = (width * height * program.do_channels) as f64;
     let nbr = (di + dout) as f64 / out_image_bytes;
 
-    let intrinsic = Complexity::of(model, ChannelMode::Hardware).macs_per_pixel
-        * (width * height) as f64;
+    let intrinsic =
+        Complexity::of(model, ChannelMode::Hardware).macs_per_pixel * (width * height) as f64;
     let ncr = (mac3 + mac1) as f64 / intrinsic;
 
     let param_bytes = compiled.packed.total_bytes();
@@ -216,7 +216,11 @@ mod tests {
         // CIU-bound: the 3x3 engine is busy nearly every cycle.
         assert!(r.lconv3_busy > 0.9, "busy3 {}", r.lconv3_busy);
         // ER cycles engage the 1x1 engine too (3 of 6 instructions).
-        assert!(r.lconv1_busy > 0.2 && r.lconv1_busy < 0.9, "busy1 {}", r.lconv1_busy);
+        assert!(
+            r.lconv1_busy > 0.2 && r.lconv1_busy < 0.9,
+            "busy1 {}",
+            r.lconv1_busy
+        );
         assert!(r.achieved_tops > 30.0, "tops {}", r.achieved_tops);
     }
 
@@ -234,8 +238,7 @@ mod tests {
     fn ncr_measured_matches_analytical() {
         let (m, c) = build(ErNetTask::Dn, 3, 1, 0, 128);
         let r = simulate_frame(&c, &m, &EcnnConfig::paper(), 3840, 2160);
-        let analytical =
-            ecnn_model::blockflow::ncr(&m, 128.0, ChannelMode::Hardware).unwrap();
+        let analytical = ecnn_model::blockflow::ncr(&m, 128.0, ChannelMode::Hardware).unwrap();
         // Frame-level NCR includes border-block padding and 4x2-tile
         // rounding, so it sits slightly above the per-block analytical value.
         assert!(

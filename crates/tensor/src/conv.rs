@@ -68,6 +68,8 @@ pub fn conv3x3_f32(
     let (oh, ow) = padding.output_size(h, w);
     let org = padding.origin();
     let mut out = Tensor::zeros(out_c, oh, ow);
+    // `oc` indexes bias and weights in lockstep; enumerate() obscures it.
+    #[allow(clippy::needless_range_loop)]
     for oc in 0..out_c {
         for oy in 0..oh {
             for ox in 0..ow {
@@ -101,7 +103,12 @@ pub fn conv3x3_f32(
 /// # Panics
 ///
 /// Panics on shape mismatch.
-pub fn conv1x1_f32(input: &Tensor<f32>, weights: &[f32], bias: &[f32], out_c: usize) -> Tensor<f32> {
+pub fn conv1x1_f32(
+    input: &Tensor<f32>,
+    weights: &[f32],
+    bias: &[f32],
+    out_c: usize,
+) -> Tensor<f32> {
     let (in_c, h, w) = input.shape();
     assert_eq!(weights.len(), out_c * in_c, "weight count mismatch");
     assert_eq!(bias.len(), out_c, "bias count mismatch");
@@ -314,7 +321,10 @@ mod tests {
         let w = vec![1.0, 1.0, 2.0, -1.0];
         let out = conv1x1_f32(&input, &w, &[0.0, 1.0], 2);
         assert_eq!(out.at(0, 0, 1), input.at(0, 0, 1) + input.at(1, 0, 1));
-        assert_eq!(out.at(1, 1, 1), 2.0 * input.at(0, 1, 1) - input.at(1, 1, 1) + 1.0);
+        assert_eq!(
+            out.at(1, 1, 1),
+            2.0 * input.at(0, 1, 1) - input.at(1, 1, 1) + 1.0
+        );
     }
 
     #[test]
@@ -345,7 +355,13 @@ mod tests {
             b_format: b_q,
             out_format: out_q,
         };
-        let out_fixed = conv3x3_fixed(&input_codes, in_q.frac() as i32, &params, out_c, Padding::Valid);
+        let out_fixed = conv3x3_fixed(
+            &input_codes,
+            in_q.frac() as i32,
+            &params,
+            out_c,
+            Padding::Valid,
+        );
 
         // Float reference on the *quantized* values.
         let input_deq = input_codes.map(|c| in_q.dequantize(c));
@@ -357,7 +373,9 @@ mod tests {
             for y in 0..4 {
                 for x in 0..4 {
                     let fx = out_q.dequantize(out_fixed.at(oc, y, x));
-                    let fl = out_float.at(oc, y, x).clamp(out_q.min_value(), out_q.max_value());
+                    let fl = out_float
+                        .at(oc, y, x)
+                        .clamp(out_q.min_value(), out_q.max_value());
                     assert!(
                         (fx - fl).abs() <= out_q.step() * 0.51,
                         "mismatch at ({oc},{y},{x}): fixed {fx} vs float {fl}"
@@ -370,7 +388,9 @@ mod tests {
     #[test]
     fn fixed_conv1x1_exact_on_integer_data() {
         // With frac=0 everywhere the fixed path is plain integer arithmetic.
-        let input = Tensor::from_fn(2, 2, 2, |c, y, x| (c as i16 + 1) * (y as i16 * 2 + x as i16));
+        let input = Tensor::from_fn(2, 2, 2, |c, y, x| {
+            (c as i16 + 1) * (y as i16 * 2 + x as i16)
+        });
         let q0 = QFormat::signed(0);
         let params = FixedConvParams {
             weights: &[1, 1, 2, -1],
@@ -381,7 +401,10 @@ mod tests {
         };
         let out = conv1x1_fixed(&input, 0, &params, 2);
         assert_eq!(out.at(0, 1, 1), input.at(0, 1, 1) + input.at(1, 1, 1));
-        assert_eq!(out.at(1, 1, 0), 2 * input.at(0, 1, 0) - input.at(1, 1, 0) + 3);
+        assert_eq!(
+            out.at(1, 1, 0),
+            2 * input.at(0, 1, 0) - input.at(1, 1, 0) + 3
+        );
     }
 
     #[test]

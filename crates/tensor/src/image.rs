@@ -51,17 +51,28 @@ impl SyntheticImage {
     pub fn rgb(&self, height: usize, width: usize) -> Tensor<f32> {
         let mut t = Tensor::zeros(3, height, width);
         for c in 0..3 {
-            let chan_seed = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(c as u64);
+            let chan_seed = self
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(c as u64);
             for y in 0..height {
                 for x in 0..width {
                     let v = match self.kind {
-                        ImageKind::Smooth => self.value_noise(chan_seed, x, y, &[16.0, 8.0], &[0.7, 0.3]),
+                        ImageKind::Smooth => {
+                            self.value_noise(chan_seed, x, y, &[16.0, 8.0], &[0.7, 0.3])
+                        }
                         ImageKind::Texture => {
                             self.value_noise(chan_seed, x, y, &[16.0, 6.0, 3.0], &[0.45, 0.35, 0.2])
                         }
                         ImageKind::Edges => self.edges(chan_seed, x, y),
                         ImageKind::Mixed => {
-                            let a = self.value_noise(chan_seed, x, y, &[16.0, 6.0, 3.0], &[0.5, 0.3, 0.2]);
+                            let a = self.value_noise(
+                                chan_seed,
+                                x,
+                                y,
+                                &[16.0, 6.0, 3.0],
+                                &[0.5, 0.3, 0.2],
+                            );
                             let b = self.edges(chan_seed ^ 0xABCD, x, y);
                             let m = self.value_noise(chan_seed ^ 0x5555, x, y, &[24.0], &[1.0]);
                             a * m + b * (1.0 - m)
@@ -125,7 +136,9 @@ fn smoothstep(t: f32) -> f32 {
 /// Hash a lattice point to a deterministic value in `[0, 1)`.
 #[inline]
 fn lattice(seed: u64, x: i64, y: i64) -> f32 {
-    let mut h = seed ^ (x as u64).wrapping_mul(0x517C_C1B7_2722_0A95) ^ (y as u64).wrapping_mul(0x2545_F491_4F6C_DD1D);
+    let mut h = seed
+        ^ (x as u64).wrapping_mul(0x517C_C1B7_2722_0A95)
+        ^ (y as u64).wrapping_mul(0x2545_F491_4F6C_DD1D);
     h ^= h >> 33;
     h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
     h ^= h >> 33;
@@ -158,7 +171,10 @@ fn gaussian(rng: &mut StdRng) -> f32 {
 /// Panics if the spatial dimensions are not divisible by `s`.
 pub fn downsample_box(image: &Tensor<f32>, s: usize) -> Tensor<f32> {
     let (c, h, w) = image.shape();
-    assert!(s > 0 && h % s == 0 && w % s == 0, "size not divisible by {s}");
+    assert!(
+        s > 0 && h % s == 0 && w % s == 0,
+        "size not divisible by {s}"
+    );
     let inv = 1.0 / (s * s) as f32;
     Tensor::from_fn(c, h / s, w / s, |ch, y, x| {
         let mut acc = 0.0;
@@ -229,19 +245,37 @@ mod tests {
 
     #[test]
     fn all_kinds_produce_in_range_pixels() {
-        for kind in [ImageKind::Smooth, ImageKind::Texture, ImageKind::Edges, ImageKind::Mixed] {
+        for kind in [
+            ImageKind::Smooth,
+            ImageKind::Texture,
+            ImageKind::Edges,
+            ImageKind::Mixed,
+        ] {
             let img = SyntheticImage::new(kind, 11).rgb(24, 20);
             assert_eq!(img.shape(), (3, 24, 20));
-            assert!(img.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)), "{kind:?}");
+            assert!(
+                img.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)),
+                "{kind:?}"
+            );
         }
     }
 
     #[test]
     fn images_have_nontrivial_content() {
-        for kind in [ImageKind::Smooth, ImageKind::Texture, ImageKind::Edges, ImageKind::Mixed] {
+        for kind in [
+            ImageKind::Smooth,
+            ImageKind::Texture,
+            ImageKind::Edges,
+            ImageKind::Mixed,
+        ] {
             let img = SyntheticImage::new(kind, 5).rgb(32, 32);
             let mean = img.as_slice().iter().sum::<f32>() / img.len() as f32;
-            let var = img.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / img.len() as f32;
+            let var = img
+                .as_slice()
+                .iter()
+                .map(|v| (v - mean).powi(2))
+                .sum::<f32>()
+                / img.len() as f32;
             assert!(var > 1e-4, "{kind:?} is flat (var={var})");
         }
     }

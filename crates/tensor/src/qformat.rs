@@ -57,7 +57,7 @@ impl QFormat {
     ///
     /// Panics if `bits` is 0 or greater than 15 (codes are stored in `i16`).
     pub fn with_bits(signed: bool, frac: i8, bits: u8) -> Self {
-        assert!(bits >= 1 && bits <= 15, "bit width {bits} out of range");
+        assert!((1..=15).contains(&bits), "bit width {bits} out of range");
         Self { signed, frac, bits }
     }
 
@@ -349,7 +349,9 @@ mod tests {
 
     #[test]
     fn tensor_round_trip_within_step() {
-        let t = Tensor::from_fn(2, 3, 3, |c, y, x| (c as f32 - 0.5) * 0.3 + (y * 3 + x) as f32 * 0.01);
+        let t = Tensor::from_fn(2, 3, 3, |c, y, x| {
+            (c as f32 - 0.5) * 0.3 + (y * 3 + x) as f32 * 0.01
+        });
         let q = QFormat::signed(6);
         let qt = q.quantize_tensor(&t);
         let back = qt.to_f32();

@@ -125,6 +125,46 @@ impl<T: Copy + Default> Tensor<T> {
         out
     }
 
+    /// [`Tensor::crop_padded`] into a caller-owned buffer: `dst`'s shape
+    /// selects the crop size, and its storage is reused — the streaming
+    /// session's per-frame hot path.
+    pub fn crop_padded_into(&self, y0: isize, x0: isize, dst: &mut Tensor<T>) {
+        assert_eq!(
+            dst.channels, self.channels,
+            "channel mismatch in crop_padded_into"
+        );
+        let (h, w) = (dst.height, dst.width);
+        dst.data.fill(T::default());
+        for c in 0..self.channels {
+            for y in 0..h {
+                let sy = y0 + y as isize;
+                if sy < 0 || sy >= self.height as isize {
+                    continue;
+                }
+                for x in 0..w {
+                    let sx = x0 + x as isize;
+                    if sx < 0 || sx >= self.width as isize {
+                        continue;
+                    }
+                    *dst.at_mut(c, y, x) = self.at(c, sy as usize, sx as usize);
+                }
+            }
+        }
+    }
+
+    /// Elementwise [`Tensor::map`] into a caller-owned buffer of the same
+    /// shape, reusing its storage.
+    pub fn map_into<U: Copy + Default>(&self, dst: &mut Tensor<U>, mut f: impl FnMut(T) -> U) {
+        assert_eq!(
+            (self.channels, self.height, self.width),
+            (dst.channels, dst.height, dst.width),
+            "shape mismatch in map_into"
+        );
+        for (d, &s) in dst.data.iter_mut().zip(&self.data) {
+            *d = f(s);
+        }
+    }
+
     /// Copies `src` into `self` with its top-left corner at `(y0, x0)`.
     ///
     /// Used by the block stitcher to paste finished output blocks into the
@@ -169,7 +209,7 @@ impl<T: Copy + Default> Tensor<T> {
     ///
     /// Panics if the spatial dimensions are not divisible by `s`.
     pub fn pixel_unshuffle(&self, s: usize) -> Self {
-        assert!(s > 0 && self.height % s == 0 && self.width % s == 0);
+        assert!(s > 0 && self.height.is_multiple_of(s) && self.width.is_multiple_of(s));
         let (c, h, w) = (self.channels, self.height / s, self.width / s);
         Tensor::from_fn(c * s * s, h, w, |oc, y, x| {
             let ic = oc / (s * s);
@@ -187,7 +227,7 @@ impl<T: Copy + Default> Tensor<T> {
     ///
     /// Panics if the channel count is not divisible by `s²`.
     pub fn pixel_shuffle(&self, s: usize) -> Self {
-        assert!(s > 0 && self.channels % (s * s) == 0);
+        assert!(s > 0 && self.channels.is_multiple_of(s * s));
         let c = self.channels / (s * s);
         Tensor::from_fn(c, self.height * s, self.width * s, |oc, y, x| {
             let (dy, dx) = (y % s, x % s);
@@ -340,7 +380,11 @@ impl Tensor<f32> {
 
     /// Mean of squared elements; the building block of MSE/PSNR.
     pub fn mean_sq(&self) -> f64 {
-        self.data.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>() / self.data.len() as f64
+        self.data
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>()
+            / self.data.len() as f64
     }
 
     /// Largest absolute element.

@@ -1,43 +1,48 @@
-//! Quickstart: build a DnERNet, compile it to FBISA, run a real image
-//! through the bit-exact block pipeline and print the system report.
+//! Quickstart: build a DnERNet with the fluent engine builder, stream
+//! images through the bit-exact block pipeline and print the system
+//! report.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use ecnn_repro::core::Accelerator;
-use ecnn_repro::isa::params::QuantizedModel;
-use ecnn_repro::model::ernet::{ErNetSpec, ErNetTask};
-use ecnn_repro::model::RealTimeSpec;
+use ecnn_repro::prelude::*;
 use ecnn_repro::tensor::{ImageKind, SyntheticImage};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. The paper's UHD30 denoiser: DnERNet-B3R1N0 (six CONV3x3 layers).
-    let spec = ErNetSpec::new(ErNetTask::Dn, 3, 1, 0);
-    let model = spec.build()?;
-    println!("model: {model}");
+    // 1. The paper's UHD30 denoiser — DnERNet-B3R1N0 (six CONV3x3
+    //    layers) — compiled for 128x128 input blocks with deterministic
+    //    demo parameters (train real ones with ecnn-nn; see the
+    //    train_and_quantize example).
+    let engine = Engine::builder()
+        .ernet(ErNetSpec::new(ErNetTask::Dn, 3, 1, 0))
+        .block(128)
+        .realtime(RealTimeSpec::UHD30)
+        .build()?;
+    println!("model: {}", engine.model());
 
-    // 2. Deterministic demo parameters (train real ones with ecnn-nn; see
-    //    the train_and_quantize example).
-    let qm = QuantizedModel::uniform(&model);
+    // 2. The compiled FBISA program — the six-line listing of the
+    //    paper's Fig. 18.
+    println!("{}", engine.compiled().program);
 
-    // 3. Compile for 128x128 input blocks and print the FBISA program —
-    //    the six-line listing of the paper's Fig. 18.
-    let acc = Accelerator::paper();
-    let dep = acc.deploy(&qm, 128)?;
-    println!("{}", dep.compiled().program);
-
-    // 4. Run an image through the block-partitioned, bit-exact simulator.
-    let image = SyntheticImage::new(ImageKind::Mixed, 7).rgb(256, 256);
-    let (output, stats) = dep.run_image(&image)?;
+    // 3. Stream frames through the block-partitioned, bit-exact
+    //    simulator. The session allocates its block/stitch buffers once
+    //    and reuses them for every frame.
+    let mut session = engine.session();
+    for seed in 0..3 {
+        let frame = SyntheticImage::new(ImageKind::Mixed, seed).rgb(256, 256);
+        let output = session.process(&frame)?;
+        println!("frame {seed}: output {:?}", output.shape());
+    }
+    let stats = session.total_stats();
     println!(
-        "processed {} blocks, {} instructions, output {:?}",
+        "streamed {} frames: {} blocks, {} instructions",
+        session.frames(),
         stats.blocks,
-        stats.exec.instructions,
-        output.shape()
+        stats.exec.instructions
     );
 
-    // 5. Report throughput / bandwidth / power at 4K UHD 30 fps.
-    println!("{}", dep.system_report(RealTimeSpec::UHD30));
+    // 4. Report throughput / bandwidth / power at 4K UHD 30 fps.
+    println!("{}", engine.system_report());
     Ok(())
 }

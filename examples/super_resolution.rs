@@ -5,7 +5,7 @@
 //! cargo run --release --example super_resolution
 //! ```
 
-use ecnn_repro::core::Accelerator;
+use ecnn_repro::core::Engine;
 use ecnn_repro::model::ernet::{ErNetSpec, ErNetTask};
 use ecnn_repro::model::RealTimeSpec;
 use ecnn_repro::nn::data::{make_dataset, TaskKind};
@@ -23,13 +23,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let data = make_dataset(TaskKind::Sr { scale: 4 }, 12, 48, 11);
     let mut fm = FloatModel::from_model(&ir, 11);
-    train(&mut fm, &data, TrainConfig { steps: 400, batch: 4, lr: 2e-3, seed: 1, threads: 2 });
+    train(
+        &mut fm,
+        &data,
+        TrainConfig {
+            steps: 400,
+            batch: 4,
+            lr: 2e-3,
+            seed: 1,
+            threads: 2,
+        },
+    );
 
     let calib: Vec<Tensor<f32>> = data.iter().take(4).map(|s| s.input.clone()).collect();
     let qm = quantize(&fm, &ir, &calib, QuantConfig::default());
 
     // Deploy and super-resolve a held-out image.
-    let dep = Accelerator::paper().deploy(&qm, 64)?;
+    let dep = Engine::builder()
+        .quantized(qm)
+        .block(64)
+        .realtime(RealTimeSpec::UHD30)
+        .build()?;
     let hr = SyntheticImage::new(ImageKind::Texture, 505).rgb(128, 128);
     let lr = downsample_box(&hr, 4);
     let (sr, _) = dep.run_image(&lr)?;
@@ -37,6 +51,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("bilinear x4: {:.2} dB", psnr(&bilinear, &hr, 1.0));
     println!("SR4ERNet on eCNN: {:.2} dB", psnr(&sr, &hr, 1.0));
 
-    println!("{}", dep.system_report(RealTimeSpec::UHD30));
+    println!("{}", dep.system_report());
     Ok(())
 }

@@ -6,7 +6,7 @@
 //! cargo run --release --example train_and_quantize
 //! ```
 
-use ecnn_repro::core::Accelerator;
+use ecnn_repro::core::Engine;
 use ecnn_repro::model::ernet::ErNetTask;
 use ecnn_repro::model::RealTimeSpec;
 use ecnn_repro::nn::data::TaskKind;
@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             s.candidate.spec, s.candidate.re, s.candidate.ncr, s.candidate.intrinsic_kop, s.psnr
         );
     }
-    let best = pick_best(&scored).expect("scan found candidates").candidate.spec;
+    let best = pick_best(&scored)
+        .expect("scan found candidates")
+        .candidate
+        .spec;
     println!("picked {best}");
 
     println!("— stage 2: polish —");
@@ -51,9 +54,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         QuantConfig::default(),
         42,
     );
-    println!("  8-bit PSNR {fixed_psnr:.2} dB (drop {:.2} dB)", float_psnr - fixed_psnr);
+    println!(
+        "  8-bit PSNR {fixed_psnr:.2} dB (drop {:.2} dB)",
+        float_psnr - fixed_psnr
+    );
 
-    let dep = Accelerator::paper().deploy(&qm, 128)?;
-    println!("{}", dep.system_report(RealTimeSpec::UHD30));
+    let dep = Engine::builder()
+        .quantized(qm)
+        .block(128)
+        .realtime(RealTimeSpec::UHD30)
+        .build()?;
+    println!("{}", dep.system_report());
     Ok(())
 }

@@ -1,7 +1,7 @@
 //! Cross-crate integration: train → quantize → compile → Huffman-encode →
 //! simulate → stitch, with bit-exactness and quality checks.
 
-use ecnn_core::Accelerator;
+use ecnn_core::Engine;
 use ecnn_isa::compile::compile;
 use ecnn_isa::params::QuantizedModel;
 use ecnn_model::ernet::{ErNetSpec, ErNetTask};
@@ -17,7 +17,17 @@ fn trained_denoiser() -> (ecnn_model::Model, QuantizedModel) {
     let ir = spec.build().unwrap();
     let mut fm = FloatModel::from_model(&ir, 99);
     let data = make_dataset(TaskKind::denoise25(), 12, 24, 50);
-    train(&mut fm, &data, TrainConfig { steps: 500, batch: 4, lr: 3e-3, seed: 5, threads: 2 });
+    train(
+        &mut fm,
+        &data,
+        TrainConfig {
+            steps: 500,
+            batch: 4,
+            lr: 3e-3,
+            seed: 5,
+            threads: 2,
+        },
+    );
     let calib: Vec<Tensor<f32>> = data.iter().take(4).map(|s| s.input.clone()).collect();
     let qm = quantize(&fm, &ir, &calib, QuantConfig::default());
     (ir, qm)
@@ -26,7 +36,7 @@ fn trained_denoiser() -> (ecnn_model::Model, QuantizedModel) {
 #[test]
 fn trained_model_denoises_on_simulated_hardware() {
     let (_, qm) = trained_denoiser();
-    let dep = Accelerator::paper().deploy(&qm, 48).unwrap();
+    let dep = Engine::builder().quantized(qm).block(48).build().unwrap();
     let clean = SyntheticImage::new(ImageKind::Texture, 1234).rgb(96, 96);
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
     let noisy = ecnn_tensor::image::add_gaussian_noise(&clean, 25.0 / 255.0, &mut rng);
@@ -56,8 +66,12 @@ fn huffman_decoded_parameters_are_bit_exact_through_the_executor() {
 
     let img = SyntheticImage::new(ImageKind::Mixed, 77).rgb(40, 40);
     let codes = img.map(|v| qm.input_q.quantize(v));
-    let a = BlockExecutor::new(&c.program, &c.leafs).run(&codes).unwrap();
-    let b = BlockExecutor::new(&c.program, &decoded).run(&codes).unwrap();
+    let a = BlockExecutor::new(&c.program, &c.leafs)
+        .run(&codes)
+        .unwrap();
+    let b = BlockExecutor::new(&c.program, &decoded)
+        .run(&codes)
+        .unwrap();
     assert_eq!(a, b);
 }
 
@@ -70,7 +84,9 @@ fn executor_matches_fixed_reference_on_trained_ernet() {
     let c = compile(&qm, 36).unwrap();
     let img = SyntheticImage::new(ImageKind::Edges, 31).rgb(36, 36);
     let codes = img.map(|v| qm.input_q.quantize(v));
-    let sim_out = BlockExecutor::new(&c.program, &c.leafs).run(&codes).unwrap();
+    let sim_out = BlockExecutor::new(&c.program, &c.leafs)
+        .run(&codes)
+        .unwrap();
     let ref_out = ecnn_nn::quant::fixed_forward(&qm, &codes);
     assert_eq!(sim_out, ref_out);
 }

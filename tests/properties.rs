@@ -11,9 +11,17 @@ use ecnn_tensor::QFormat;
 use proptest::prelude::*;
 
 fn plain(depth: usize) -> Model {
-    let mut layers = vec![Layer::new(Op::Conv3x3 { in_c: 3, out_c: 3, act: Activation::Relu })];
+    let mut layers = vec![Layer::new(Op::Conv3x3 {
+        in_c: 3,
+        out_c: 3,
+        act: Activation::Relu,
+    })];
     for _ in 1..depth {
-        layers.push(Layer::new(Op::Conv3x3 { in_c: 3, out_c: 3, act: Activation::Relu }));
+        layers.push(Layer::new(Op::Conv3x3 {
+            in_c: 3,
+            out_c: 3,
+            act: Activation::Relu,
+        }));
     }
     Model::new("plain", 3, 3, layers).unwrap()
 }

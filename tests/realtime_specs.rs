@@ -1,14 +1,24 @@
 //! System-level real-time claims (paper Section 7.2, Figs. 19/21, Table 7).
 
-use ecnn_core::Accelerator;
-use ecnn_isa::params::QuantizedModel;
+use ecnn_core::Engine;
 use ecnn_model::ernet::{ErNetSpec, ErNetTask};
 use ecnn_model::RealTimeSpec;
 
-fn report(task: ErNetTask, b: usize, r: usize, n: usize, xi: usize, spec: RealTimeSpec) -> ecnn_core::SystemReport {
-    let m = ErNetSpec::new(task, b, r, n).build().unwrap();
-    let qm = QuantizedModel::uniform(&m);
-    Accelerator::paper().deploy(&qm, xi).unwrap().system_report(spec)
+fn report(
+    task: ErNetTask,
+    b: usize,
+    r: usize,
+    n: usize,
+    xi: usize,
+    spec: RealTimeSpec,
+) -> ecnn_core::SystemReport {
+    Engine::builder()
+        .ernet(ErNetSpec::new(task, b, r, n))
+        .block(xi)
+        .realtime(spec)
+        .build()
+        .unwrap()
+        .system_report()
 }
 
 #[test]

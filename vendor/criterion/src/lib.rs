@@ -1,0 +1,102 @@
+//! Offline stand-in for `criterion`: `Criterion::bench_function`,
+//! `criterion_group!` / `criterion_main!` with simple wall-clock timing
+//! (median of a fixed batch; no statistics, plots or comparisons).
+
+use std::time::{Duration, Instant};
+
+/// Bench registry/driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+/// Passed to each benchmark closure; `iter` times the hot loop.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up.
+        for _ in 0..3 {
+            std::hint::black_box(f());
+        }
+        let mut iters = 1u32;
+        // Grow the batch until one batch takes >= 10 ms, then sample.
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let el = t.elapsed();
+            if el >= Duration::from_millis(10) || iters >= 1 << 20 {
+                self.samples.push(el / iters);
+                break;
+            }
+            iters *= 2;
+        }
+        for _ in 0..9 {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            self.samples.push(t.elapsed() / iters);
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; the stub's sampling is fixed.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Times `f` and prints a one-line median result.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.samples.sort();
+        let median = b
+            .samples
+            .get(b.samples.len() / 2)
+            .copied()
+            .unwrap_or_default();
+        println!(
+            "{name:<40} {median:>12.2?}/iter ({} samples)",
+            b.samples.len()
+        );
+        self
+    }
+}
+
+/// Re-export so `use criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Groups benchmark functions under one entry point. Supports both the
+/// positional form and the `name/config/targets` struct form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,63 @@
+//! Offline stand-in for `crossbeam::scope`, layered over
+//! `std::thread::scope`. Only the surface this workspace uses: `scope`,
+//! `Scope::spawn` (the closure's scope argument is a placeholder `()` —
+//! respawning from inside workers is not supported) and
+//! `ScopedJoinHandle::join`.
+
+/// Scoped-thread context handed to the `scope` closure.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Join handle for a scoped worker.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the worker; `Err` carries its panic payload.
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a worker. The closure receives a placeholder `()` where
+    /// crossbeam passes a nested scope.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(())),
+        }
+    }
+}
+
+/// Runs `f` with a scoped-thread context; all workers are joined before
+/// this returns. Worker panics propagate out of `std::thread::scope`, so
+/// the `Ok` wrapper exists purely for crossbeam signature compatibility.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope, 'a> FnOnce(&'a Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_workers_join_and_borrow() {
+        let data = [1u64, 2, 3, 4];
+        let sums: Vec<u64> = super::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|part| scope.spawn(move |_| part.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        assert_eq!(sums, vec![3, 7]);
+    }
+}

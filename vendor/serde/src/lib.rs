@@ -1,0 +1,4 @@
+//! Offline stand-in for the `serde` facade: re-exports the no-op derive
+//! macros so `use serde::{Deserialize, Serialize}` keeps compiling.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,16 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The workspace only uses serde derives declaratively (no code actually
+//! serializes), so the offline stand-in emits nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
