@@ -148,9 +148,15 @@ impl Default for DiffyBackend {
     }
 }
 
+impl DiffyBackend {
+    /// Stable backend identifier, shared by [`Backend::name`] and the
+    /// report it fills.
+    pub const NAME: &'static str = "diffy";
+}
+
 impl Backend for DiffyBackend {
-    fn name(&self) -> &'static str {
-        "diffy"
+    fn name(&self) -> &str {
+        Self::NAME
     }
 
     fn frame_report(&self, workload: &Workload) -> Result<FrameReport, EngineError> {
@@ -170,7 +176,7 @@ impl Backend for DiffyBackend {
             DIFFY_FFDNET.power_w
         };
         Ok(IsoComputeFlow {
-            backend: self.name(),
+            backend: Self::NAME,
             tops: self.tops,
             dram: self.dram,
             feature_bytes_per_frame: features,

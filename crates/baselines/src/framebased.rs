@@ -153,9 +153,15 @@ impl Default for FrameBasedBackend {
     }
 }
 
+impl FrameBasedBackend {
+    /// Stable backend identifier, shared by [`Backend::name`] and the
+    /// report it fills.
+    pub const NAME: &'static str = "frame-based";
+}
+
 impl Backend for FrameBasedBackend {
-    fn name(&self) -> &'static str {
-        "frame-based"
+    fn name(&self) -> &str {
+        Self::NAME
     }
 
     fn frame_report(&self, workload: &Workload) -> Result<FrameReport, EngineError> {
@@ -168,7 +174,7 @@ impl Backend for FrameBasedBackend {
             workload.feature_bits,
         );
         Ok(IsoComputeFlow {
-            backend: self.name(),
+            backend: Self::NAME,
             tops: self.tops,
             dram: self.dram,
             feature_bytes_per_frame: features,

@@ -56,9 +56,15 @@ impl Default for FusionBackend {
     }
 }
 
+impl FusionBackend {
+    /// Stable backend identifier, shared by [`Backend::name`] and the
+    /// report it fills.
+    pub const NAME: &'static str = "fused-layer";
+}
+
 impl Backend for FusionBackend {
-    fn name(&self) -> &'static str {
-        "fused-layer"
+    fn name(&self) -> &str {
+        Self::NAME
     }
 
     fn frame_report(&self, workload: &Workload) -> Result<FrameReport, EngineError> {
@@ -69,7 +75,7 @@ impl Backend for FusionBackend {
         let lr_width = (spec.width as f64 / model.output_scale()).round() as usize;
         let sram = fused_line_buffer_bytes(model, lr_width, workload.feature_bits);
         Ok(IsoComputeFlow {
-            backend: self.name(),
+            backend: Self::NAME,
             tops: self.tops,
             dram: self.dram,
             feature_bytes_per_frame: 0.0,

@@ -167,7 +167,7 @@ impl Default for TpuBackend {
 }
 
 impl Backend for TpuBackend {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "tpu"
     }
 

@@ -52,7 +52,7 @@ fn main() {
     }
     println!("\nall {} experiments regenerated", bins.len());
 
-    section("cross-backend summary (one workload, all five flows)");
+    section("cross-backend summary (one workload, every registered flow)");
     let w = workload_row(
         ErNetSpec::new(ErNetTask::Dn, 3, 1, 0),
         128,

@@ -20,7 +20,7 @@ use ecnn_isa::params::QuantizedModel;
 use ecnn_model::ernet::ErNetSpec;
 use ecnn_model::{Model, ModelError, RealTimeSpec};
 use ecnn_sim::cost::PowerModel;
-use ecnn_sim::exec::{BlockExecutor, ExecError, ExecStats};
+use ecnn_sim::exec::{execute, BlockPlan, ExecError, ExecStats, PlanePool};
 use ecnn_sim::timing::simulate_frame;
 use ecnn_sim::EcnnConfig;
 use ecnn_tensor::Tensor;
@@ -118,6 +118,31 @@ pub enum EngineError {
         /// The capability that was requested (e.g. `"run_image"`).
         capability: &'static str,
     },
+    /// A sharded worker failed; carries which shard and which block of the
+    /// frame's grid, plus the underlying error.
+    Shard {
+        /// Worker index within the sharded backend.
+        shard: usize,
+        /// Row-major index of the failing block in the frame's block grid.
+        block: usize,
+        /// The error the worker hit.
+        source: Box<EngineError>,
+    },
+    /// A sharded worker panicked (a bug, not an input error).
+    Worker {
+        /// Worker index within the sharded backend.
+        shard: usize,
+    },
+    /// A band-execution request addressed block rows outside the frame's
+    /// grid (or an empty range).
+    Rows {
+        /// First requested block row.
+        start: usize,
+        /// One past the last requested block row.
+        end: usize,
+        /// Block rows the frame's grid actually has.
+        available: usize,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -134,6 +159,24 @@ impl fmt::Display for EngineError {
             } => {
                 write!(f, "backend {backend} does not support {capability}")
             }
+            EngineError::Shard {
+                shard,
+                block,
+                source,
+            } => {
+                write!(f, "shard {shard} failed at block {block}: {source}")
+            }
+            EngineError::Worker { shard } => write!(f, "shard {shard} worker panicked"),
+            EngineError::Rows {
+                start,
+                end,
+                available,
+            } => {
+                write!(
+                    f,
+                    "block rows {start}..{end} outside the frame grid of {available} row(s)"
+                )
+            }
         }
     }
 }
@@ -144,6 +187,7 @@ impl std::error::Error for EngineError {
             EngineError::Model(e) => Some(e),
             EngineError::Compile(e) => Some(e),
             EngineError::Exec(e) => Some(e),
+            EngineError::Shard { source, .. } => Some(&**source),
             _ => None,
         }
     }
@@ -179,13 +223,12 @@ pub struct ImageRunStats {
 impl ImageRunStats {
     fn absorb(&mut self, s: ExecStats, blocks: usize) {
         self.blocks += blocks;
-        self.exec.mac3 += s.mac3;
-        self.exec.mac1 += s.mac1;
-        self.exec.bb_read_bytes += s.bb_read_bytes;
-        self.exec.bb_write_bytes += s.bb_write_bytes;
-        self.exec.di_bytes += s.di_bytes;
-        self.exec.do_bytes += s.do_bytes;
-        self.exec.instructions += s.instructions;
+        self.exec.accumulate(&s);
+    }
+
+    /// Adds another run's counters into this one (sharded-band merging).
+    pub fn merge(&mut self, other: &ImageRunStats) {
+        self.absorb(other.exec, other.blocks);
     }
 }
 
@@ -267,8 +310,9 @@ impl fmt::Display for FrameReport {
 /// comparison baselines. Minimal capability is an analytical
 /// [`FrameReport`]; bit-exact flows additionally run real images.
 pub trait Backend {
-    /// Short stable identifier (`"ecnn"`, `"frame-based"`, …).
-    fn name(&self) -> &'static str;
+    /// Short stable identifier (`"ecnn"`, `"frame-based"`, `"ecnn[x2]"`,
+    /// …).
+    fn name(&self) -> &str;
 
     /// Frame-level throughput / traffic / power for `workload`.
     ///
@@ -297,6 +341,13 @@ pub trait Backend {
             backend: self.name().to_string(),
             capability: "run_image",
         })
+    }
+
+    /// The flow's block-parallel execution capability, when it has one
+    /// (`None` for purely analytical flows). [`crate::sharded::ShardedBackend`]
+    /// uses this to partition `run_image`'s block grid across workers.
+    fn block_parallel(&self) -> Option<&dyn crate::sharded::BlockParallel> {
+        None
     }
 }
 
@@ -392,6 +443,9 @@ impl EngineBuilder {
             workload = workload.with_feature_bits(bits);
         }
         let compiled = compile(&workload.qm, workload.block)?;
+        // Plan once up front so structurally invalid programs surface here
+        // as a structured error rather than on the first frame.
+        BlockPlan::new(&compiled.program, &compiled.leafs)?;
         Ok(Engine {
             config: self.config.unwrap_or_else(EcnnConfig::paper),
             power: self.power.unwrap_or_else(PowerModel::paper_40nm),
@@ -504,9 +558,38 @@ impl Engine {
         .finalize()
     }
 
+    /// Number of block rows in the frame grid for `image` — the unit the
+    /// sharded backend partitions across workers.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Image`] for geometry mismatches.
+    pub fn grid_rows(&self, image: &Tensor<f32>) -> Result<usize, EngineError> {
+        let p = &self.compiled.program;
+        if image.channels() != p.di_channels {
+            return Err(EngineError::Image(ImageMismatch {
+                width: image.width(),
+                height: image.height(),
+                channels: image.channels(),
+                expected_channels: p.di_channels,
+                block: p.di_side,
+            }));
+        }
+        let scale = self.workload.qm.model.output_scale();
+        let out_h = (image.height() as f64 * scale) as usize;
+        Ok(out_h.div_ceil(p.do_side).max(1))
+    }
+
     /// The unified cross-backend view of [`Engine::system_report`].
     pub fn frame_report(&self) -> FrameReport {
-        let sr = self.system_report();
+        self.frame_report_at(self.workload.spec)
+    }
+
+    /// [`Engine::frame_report`] evaluated at an explicit real-time spec
+    /// (the sharded backend reports each worker's band this way without
+    /// rebuilding the engine).
+    pub fn frame_report_at(&self, spec: RealTimeSpec) -> FrameReport {
+        let sr = self.system_report_at(spec);
         FrameReport {
             backend: "ecnn".into(),
             workload: self.workload.qm.model.name().to_string(),
@@ -534,14 +617,19 @@ impl Engine {
 
 /// Streaming multi-frame inference over one [`Engine`].
 ///
-/// All working buffers — the receptive-field crop, its quantized codes,
-/// the dequantized output block, the stitched frame and the executor's
-/// plane storage — are allocated once and reused for every subsequent
-/// frame of the same geometry, eliminating the per-frame allocation churn
-/// of the one-shot path.
+/// The session is the per-worker execution context of the plan/execute
+/// split: it holds the engine's [`BlockPlan`] plus one [`PlanePool`], and
+/// all working buffers — the receptive-field crop, its quantized codes,
+/// the dequantized output block, the stitched frame and the pooled planes
+/// — are allocated once and reused across blocks *and* frames, so
+/// steady-state streaming performs zero per-block allocations (observable
+/// via [`ExecStats::planes_allocated`]).
 pub struct Session<'e> {
     engine: &'e Engine,
-    executor: BlockExecutor<'e>,
+    /// The engine program's execution plan (shape/lifetime of every plane).
+    plan: BlockPlan<'e>,
+    /// This worker's plane arena.
+    pool: PlanePool,
     /// Receptive-field crop scratch, `di_channels × xi × xi`.
     block_f: Tensor<f32>,
     /// Quantized input codes scratch, same shape.
@@ -553,6 +641,8 @@ pub struct Session<'e> {
     frame: Option<Tensor<f32>>,
     frames: usize,
     frame_reallocs: usize,
+    /// Row-major grid index of the most recently started block.
+    last_block: Option<usize>,
     last_stats: ImageRunStats,
     totals: ImageRunStats,
 }
@@ -562,13 +652,16 @@ impl<'e> Session<'e> {
         let p = &engine.compiled.program;
         Self {
             engine,
-            executor: BlockExecutor::new(&engine.compiled.program, &engine.compiled.leafs),
+            plan: BlockPlan::new(&engine.compiled.program, &engine.compiled.leafs)
+                .expect("engine build validated the plan"),
+            pool: PlanePool::new(),
             block_f: Tensor::zeros(p.di_channels, p.di_side, p.di_side),
             codes: Tensor::zeros(p.di_channels, p.di_side, p.di_side),
             block_out: Tensor::zeros(p.do_channels, p.do_side, p.do_side),
             frame: None,
             frames: 0,
             frame_reallocs: 0,
+            last_block: None,
             last_stats: ImageRunStats::default(),
             totals: ImageRunStats::default(),
         }
@@ -587,67 +680,113 @@ impl<'e> Session<'e> {
     /// [`EngineError::Image`] for geometry mismatches; propagates
     /// simulator errors.
     pub fn process(&mut self, image: &Tensor<f32>) -> Result<&Tensor<f32>, EngineError> {
+        let rows = self.grid_rows(image)?;
+        self.process_rows(image, 0..rows)
+    }
+
+    /// Drains a queue of frames through the session, returning one
+    /// stitched output per frame. The batched entry point for
+    /// serving-style callers: every frame reuses the session's pooled
+    /// buffers, only the returned copies allocate.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing frame (outputs of earlier frames are
+    /// dropped); see [`Session::process`].
+    pub fn run_frames<'a, I>(&mut self, frames: I) -> Result<Vec<Tensor<f32>>, EngineError>
+    where
+        I: IntoIterator<Item = &'a Tensor<f32>>,
+    {
+        frames
+            .into_iter()
+            .map(|f| self.process(f).cloned())
+            .collect()
+    }
+
+    /// Number of block rows in the frame grid for `image` (see
+    /// [`Engine::grid_rows`]).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Image`] for geometry mismatches.
+    pub fn grid_rows(&self, image: &Tensor<f32>) -> Result<usize, EngineError> {
+        self.engine.grid_rows(image)
+    }
+
+    /// Processes only the block rows `rows` of `image`'s grid, stitching
+    /// them into a band-sized frame — the building block the sharded
+    /// backend hands to each worker. Blocks are addressed in the *global*
+    /// grid, so a band's pixels are bit-identical to the same rows of a
+    /// whole-frame [`Session::process`].
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Image`] for geometry mismatches, [`EngineError::Rows`]
+    /// for an empty or out-of-grid row range; propagates simulator errors
+    /// ([`Session::last_block_started`] then names the failing block).
+    pub fn process_rows(
+        &mut self,
+        image: &Tensor<f32>,
+        rows: std::ops::Range<usize>,
+    ) -> Result<&Tensor<f32>, EngineError> {
+        // Cleared up front so a failure before the first block does not
+        // leave a previous frame's index in `last_block_started`.
+        self.last_block = None;
+        let total_rows = self.grid_rows(image)?;
         let p = &self.engine.compiled.program;
-        if image.channels() != p.di_channels {
-            return Err(EngineError::Image(ImageMismatch {
-                width: image.width(),
-                height: image.height(),
-                channels: image.channels(),
-                expected_channels: p.di_channels,
-                block: p.di_side,
-            }));
-        }
         let scale = self.engine.workload.qm.model.output_scale();
         let out_w = (image.width() as f64 * scale) as usize;
         let out_h = (image.height() as f64 * scale) as usize;
         let xo = p.do_side;
         let xi = p.di_side;
+        if rows.is_empty() || rows.end > total_rows {
+            return Err(EngineError::Rows {
+                start: rows.start,
+                end: rows.end,
+                available: total_rows,
+            });
+        }
+        let band_top = rows.start * xo;
+        let band_h = (rows.end * xo).min(out_h) - band_top;
+        let cols = out_w.div_ceil(xo).max(1);
         match &self.frame {
-            Some(f) if f.shape() == (p.do_channels, out_h, out_w) => {}
+            Some(f) if f.shape() == (p.do_channels, band_h, out_w) => {}
             Some(_) => {
                 self.frame_reallocs += 1;
-                self.frame = Some(Tensor::zeros(p.do_channels, out_h, out_w));
+                self.frame = Some(Tensor::zeros(p.do_channels, band_h, out_w));
             }
-            None => self.frame = Some(Tensor::zeros(p.do_channels, out_h, out_w)),
+            None => self.frame = Some(Tensor::zeros(p.do_channels, band_h, out_w)),
         }
         let frame = self.frame.as_mut().expect("frame allocated above");
         // Border of the receptive field, in input-image pixels.
         let border = (xi as f64 - xo as f64 / scale) / 2.0;
-        // Snapshot the executor counters at frame start (not carried over
-        // from the previous frame) so a frame aborted by an executor error
+        // Snapshot the pool counters at frame start (not carried over from
+        // the previous frame) so a frame aborted by an executor error
         // cannot leak its partial work into the next frame's delta.
-        let mark = self.executor.stats();
+        let mark = self.pool.stats();
         let mut blocks = 0usize;
-        let mut by = 0usize;
-        while by < out_h {
+        for row in rows {
+            // rows.end <= ceil(out_h / xo), so by < out_h always holds.
+            let by = row * xo;
             let mut bx = 0usize;
             while bx < out_w {
+                self.last_block = Some(row * cols + bx / xo);
                 // Input-block origin for this output block.
                 let iy = (by as f64 / scale - border).round() as isize;
                 let ix = (bx as f64 / scale - border).round() as isize;
                 image.crop_padded_into(iy, ix, &mut self.block_f);
                 self.block_f
                     .map_into(&mut self.codes, |v| p.di_q.quantize(v));
-                let out_codes = self.executor.run(&self.codes)?;
+                let out_codes = execute(&self.plan, &mut self.pool, &self.codes)?;
                 blocks += 1;
                 out_codes.map_into(&mut self.block_out, |c| {
                     p.do_q.dequantize(c).clamp(0.0, 1.0)
                 });
-                frame.paste(&self.block_out, by, bx);
+                frame.paste(&self.block_out, by - band_top, bx);
                 bx += xo;
             }
-            by += xo;
         }
-        let now = self.executor.stats();
-        let delta = ExecStats {
-            mac3: now.mac3 - mark.mac3,
-            mac1: now.mac1 - mark.mac1,
-            bb_read_bytes: now.bb_read_bytes - mark.bb_read_bytes,
-            bb_write_bytes: now.bb_write_bytes - mark.bb_write_bytes,
-            di_bytes: now.di_bytes - mark.di_bytes,
-            do_bytes: now.do_bytes - mark.do_bytes,
-            instructions: now.instructions - mark.instructions,
-        };
+        let delta = self.pool.stats().delta_since(&mark);
         self.last_stats = ImageRunStats::default();
         self.last_stats.absorb(delta, blocks);
         self.totals.absorb(delta, blocks);
@@ -658,6 +797,18 @@ impl<'e> Session<'e> {
     /// Frames processed so far.
     pub fn frames(&self) -> usize {
         self.frames
+    }
+
+    /// Row-major grid index of the most recently started block — names
+    /// the failing block when [`Session::process_rows`] errors.
+    pub fn last_block_started(&self) -> Option<usize> {
+        self.last_block
+    }
+
+    /// Counters of this session's plane pool (cumulative over the whole
+    /// session; per-frame deltas are in [`Session::last_frame_stats`]).
+    pub fn pool_stats(&self) -> ExecStats {
+        self.pool.stats()
     }
 
     /// Statistics of the most recent frame.
@@ -742,7 +893,7 @@ impl Default for EcnnBackend {
 }
 
 impl Backend for EcnnBackend {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "ecnn"
     }
 
@@ -760,6 +911,10 @@ impl Backend for EcnnBackend {
         image: &Tensor<f32>,
     ) -> Result<(Tensor<f32>, ImageRunStats), EngineError> {
         self.engine(workload)?.run_image(image)
+    }
+
+    fn block_parallel(&self) -> Option<&dyn crate::sharded::BlockParallel> {
+        Some(self)
     }
 }
 
@@ -833,7 +988,17 @@ mod tests {
         session.process(&other).unwrap();
         let streamed = session.process(&img).unwrap();
         assert_eq!(streamed, &one_shot);
-        assert_eq!(session.last_frame_stats(), stats);
+        let last = session.last_frame_stats();
+        assert_eq!(last.blocks, stats.blocks);
+        // The work counters match; the pool counters differ by design: the
+        // warm session recycles every plane where the one-shot path had to
+        // populate a cold arena.
+        assert_eq!(last.exec.work(), stats.exec.work());
+        assert_eq!(
+            last.exec.planes_allocated, 0,
+            "warm frames allocate nothing"
+        );
+        assert!(last.exec.planes_reused > 0);
     }
 
     #[test]

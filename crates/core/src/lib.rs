@@ -14,7 +14,9 @@
 //! The same workload runs on every comparison flow through the
 //! [`Backend`] trait (`ecnn-baselines` implements it for the frame-based,
 //! fused-layer, TPU and Diffy flows), so eCNN and the paper's baselines
-//! share a single reporting surface.
+//! share a single reporting surface. [`ShardedBackend`] wraps any backend
+//! and partitions a frame's block grid across worker threads — see
+//! [`sharded`].
 //!
 //! # Example
 //!
@@ -48,6 +50,7 @@
 pub mod engine;
 pub mod pipeline;
 pub mod report;
+pub mod sharded;
 
 pub use engine::{
     Backend, EcnnBackend, Engine, EngineBuilder, EngineError, FrameReport, ImageMismatch,
@@ -57,3 +60,4 @@ pub use pipeline::PipelineError;
 #[allow(deprecated)]
 pub use pipeline::{Accelerator, Deployment};
 pub use report::SystemReport;
+pub use sharded::{BlockParallel, ShardedBackend};

@@ -21,7 +21,8 @@ use std::fmt;
 
 pub use crate::engine::{ImageMismatch, ImageRunStats};
 
-/// Pipeline errors (the legacy subset of [`EngineError`]).
+/// Pipeline errors (the legacy subset of [`EngineError`], plus a lossless
+/// carrier for everything newer).
 #[derive(Clone, Debug, PartialEq)]
 pub enum PipelineError {
     /// Compilation failed.
@@ -30,6 +31,10 @@ pub enum PipelineError {
     Exec(ExecError),
     /// The image cannot be processed by this deployment.
     Image(ImageMismatch),
+    /// Any engine error outside the legacy subset (builder, capability or
+    /// sharded-worker failures — the latter carry the failing shard and
+    /// block index), passed through losslessly.
+    Engine(Box<EngineError>),
 }
 
 impl fmt::Display for PipelineError {
@@ -38,6 +43,7 @@ impl fmt::Display for PipelineError {
             PipelineError::Compile(e) => write!(f, "compile: {e}"),
             PipelineError::Exec(e) => write!(f, "execute: {e}"),
             PipelineError::Image(m) => write!(f, "image: {m}"),
+            PipelineError::Engine(e) => write!(f, "engine: {e}"),
         }
     }
 }
@@ -48,6 +54,7 @@ impl std::error::Error for PipelineError {
             PipelineError::Compile(e) => Some(e),
             PipelineError::Exec(e) => Some(e),
             PipelineError::Image(_) => None,
+            PipelineError::Engine(e) => Some(&**e),
         }
     }
 }
@@ -70,9 +77,9 @@ impl From<EngineError> for PipelineError {
             EngineError::Compile(c) => PipelineError::Compile(c),
             EngineError::Exec(x) => PipelineError::Exec(x),
             EngineError::Image(m) => PipelineError::Image(m),
-            // The legacy surface never produces builder/model/capability
-            // errors: the shims always supply a model and a block size.
-            other => unreachable!("legacy pipeline produced {other:?}"),
+            // Builder/capability/sharded errors have no legacy twin; carry
+            // them whole so shard + block context survives the conversion.
+            other => PipelineError::Engine(Box::new(other)),
         }
     }
 }
@@ -83,6 +90,7 @@ impl From<PipelineError> for EngineError {
             PipelineError::Compile(c) => EngineError::Compile(c),
             PipelineError::Exec(x) => EngineError::Exec(x),
             PipelineError::Image(m) => EngineError::Image(m),
+            PipelineError::Engine(e) => *e,
         }
     }
 }

@@ -1,4 +1,14 @@
-//! Functional (bit-exact) execution of FBISA programs on one image block.
+//! Functional (bit-exact) execution of FBISA programs on one image block,
+//! split into a *plan* and an *execute* phase.
+//!
+//! [`BlockPlan`] walks a [`Program`] once up front: it validates leaf
+//! bookkeeping and operand availability (write-before-read) and computes
+//! every feature plane's shape and lifetime. [`execute`] then runs the
+//! plan against a [`PlanePool`] — a reusable arena of planes keyed by
+//! `(buffer, group)` plus the scratch accumulators — writing results in
+//! place, so steady-state block execution allocates nothing. One pool
+//! serves one worker: the streaming `Session` keeps one per stream and the
+//! sharded backend one per worker thread.
 //!
 //! The executor mirrors the CIU datapath of Section 6.3 exactly:
 //!
@@ -20,7 +30,8 @@ use ecnn_isa::program::Program;
 use ecnn_model::layer::PoolKind;
 use ecnn_model::model::InferenceKind;
 use ecnn_tensor::qformat::rescale_code;
-use ecnn_tensor::Tensor;
+use ecnn_tensor::{QFormat, Tensor};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -50,7 +61,7 @@ impl fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
-/// Activity counters accumulated over one block execution.
+/// Activity counters accumulated over block executions.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// LCONV3×3 multiply-accumulates actually performed.
@@ -67,38 +78,988 @@ pub struct ExecStats {
     pub do_bytes: u64,
     /// Instructions executed.
     pub instructions: u64,
+    /// Pool buffers whose backing storage had to be (re)allocated.
+    pub planes_allocated: u64,
+    /// Pool buffers handed out with their storage recycled in place.
+    pub planes_reused: u64,
 }
 
-/// Executes one program over one input block.
+impl ExecStats {
+    /// Adds `other`'s counters into `self`.
+    pub fn accumulate(&mut self, other: &ExecStats) {
+        self.mac3 += other.mac3;
+        self.mac1 += other.mac1;
+        self.bb_read_bytes += other.bb_read_bytes;
+        self.bb_write_bytes += other.bb_write_bytes;
+        self.di_bytes += other.di_bytes;
+        self.do_bytes += other.do_bytes;
+        self.instructions += other.instructions;
+        self.planes_allocated += other.planes_allocated;
+        self.planes_reused += other.planes_reused;
+    }
+
+    /// The deterministic work counters alone: the pool-recycling counters
+    /// (which depend on arena warm-up state, not on the input) are zeroed.
+    /// This is the subset that is comparable across differently-warmed
+    /// workers — e.g. a cold one-shot run vs a streaming session, or
+    /// differently sharded executions of the same frame.
+    pub fn work(&self) -> ExecStats {
+        ExecStats {
+            planes_allocated: 0,
+            planes_reused: 0,
+            ..*self
+        }
+    }
+
+    /// Counters accumulated since `mark`, an earlier snapshot of the same
+    /// monotonically growing stream.
+    pub fn delta_since(&self, mark: &ExecStats) -> ExecStats {
+        ExecStats {
+            mac3: self.mac3 - mark.mac3,
+            mac1: self.mac1 - mark.mac1,
+            bb_read_bytes: self.bb_read_bytes - mark.bb_read_bytes,
+            bb_write_bytes: self.bb_write_bytes - mark.bb_write_bytes,
+            di_bytes: self.di_bytes - mark.di_bytes,
+            do_bytes: self.do_bytes - mark.do_bytes,
+            instructions: self.instructions - mark.instructions,
+            planes_allocated: self.planes_allocated - mark.planes_allocated,
+            planes_reused: self.planes_reused - mark.planes_reused,
+        }
+    }
+}
+
+/// Identity of one pooled 32-channel plane: the logical buffer it lives in
+/// plus its group offset — the `(buffer, group)` key the arena recycles
+/// storage by.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PlaneKey {
+    /// A block-buffer plane.
+    Bb {
+        /// Buffer index.
+        id: u8,
+        /// 32-channel group inside the buffer.
+        group: u8,
+    },
+    /// A streamed-input plane (post-unshuffle).
+    Di {
+        /// 32-channel group within the streamed input.
+        group: u8,
+    },
+    /// A streamed-output plane.
+    Do {
+        /// 32-channel group within the streamed output.
+        group: u8,
+    },
+}
+
+impl From<FeatLoc> for PlaneKey {
+    fn from(loc: FeatLoc) -> Self {
+        match loc {
+            FeatLoc::Bb { id, group } => PlaneKey::Bb { id, group },
+            FeatLoc::Di { group } => PlaneKey::Di { group },
+            FeatLoc::Do { group } => PlaneKey::Do { group },
+        }
+    }
+}
+
+/// Planning-time record of one plane: where it lives, its shape, and its
+/// lifetime in instruction indices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlaneInfo {
+    /// The `(buffer, group)` the plane occupies.
+    pub key: PlaneKey,
+    /// Channel count: [`LEAF_CH`] for every plane except post-shuffle
+    /// `UPX2` destinations, which carry `out_groups·LEAF_CH/4` channels.
+    pub channels: usize,
+    /// Spatial height.
+    pub height: usize,
+    /// Spatial width.
+    pub width: usize,
+    /// Instruction index that writes the plane; `None` for DI planes,
+    /// which are streamed in before execution starts.
+    pub born: Option<usize>,
+    /// Index of the last instruction that reads the plane;
+    /// `program.instructions.len()` marks the output-assembly step (DO
+    /// planes). `None` for a plane that is never read.
+    pub last_use: Option<usize>,
+}
+
+/// The up-front execution plan for one [`Program`]: a single walk over the
+/// instruction stream that validates leaf bookkeeping and operand
+/// availability (write-before-read) and computes every plane's shape and
+/// lifetime, so that [`execute`] can run check- and allocation-free
+/// against a [`PlanePool`].
+#[derive(Clone, Debug)]
+pub struct BlockPlan<'a> {
+    program: &'a Program,
+    leafs: &'a [Vec<LeafParams>],
+    /// Post-unshuffle DI plane geometry.
+    di_groups: usize,
+    di_plane_side: usize,
+    /// Every plane the program touches: DI planes first, then one entry
+    /// per instruction write, in program order.
+    planes: Vec<PlaneInfo>,
+    /// DO groups assembled into the logical output block.
+    out_groups: usize,
+}
+
+impl<'a> BlockPlan<'a> {
+    /// Plans `program` with the IDU-decoded `leafs` (one vector per
+    /// instruction, as produced by the compiler or `PackedParams::unpack`).
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Leafs`] for leaf-count mismatches,
+    /// [`ExecError::MissingPlane`] / [`ExecError::ReadFromDo`] for operands
+    /// that are read before any instruction writes them, and
+    /// [`ExecError::Shape`] for statically inconsistent plane geometry.
+    pub fn new(program: &'a Program, leafs: &'a [Vec<LeafParams>]) -> Result<Self, ExecError> {
+        if leafs.len() != program.instructions.len() {
+            return Err(ExecError::Leafs(format!(
+                "{} leaf sets for {} instructions",
+                leafs.len(),
+                program.instructions.len()
+            )));
+        }
+        let s = program.input_unshuffle.unwrap_or(1);
+        if s == 0 || !program.di_side.is_multiple_of(s) {
+            return Err(ExecError::Shape(format!(
+                "DI side {} not divisible by unshuffle factor {s}",
+                program.di_side
+            )));
+        }
+        let di_plane_side = program.di_side / s;
+        let di_groups = (program.di_channels * s * s).div_ceil(LEAF_CH);
+
+        let mut planes: Vec<PlaneInfo> = Vec::new();
+        // Latest write per key (index into `planes`).
+        let mut live: HashMap<PlaneKey, usize> = HashMap::new();
+        for g in 0..di_groups {
+            let key = PlaneKey::Di { group: g as u8 };
+            live.insert(key, planes.len());
+            planes.push(PlaneInfo {
+                key,
+                channels: LEAF_CH,
+                height: di_plane_side,
+                width: di_plane_side,
+                born: None,
+                last_use: None,
+            });
+        }
+
+        let mark_read = |planes: &mut Vec<PlaneInfo>,
+                         live: &HashMap<PlaneKey, usize>,
+                         loc: FeatLoc,
+                         at: usize,
+                         expect_side: Option<usize>|
+         -> Result<(), ExecError> {
+            if matches!(loc, FeatLoc::Do { .. }) {
+                return Err(ExecError::ReadFromDo);
+            }
+            let idx = *live
+                .get(&PlaneKey::from(loc))
+                .ok_or(ExecError::MissingPlane(loc))?;
+            let info = &mut planes[idx];
+            if let Some(side) = expect_side {
+                if info.height != side || info.width != side {
+                    return Err(ExecError::Shape(format!(
+                        "plane {}x{} vs expected side {side}",
+                        info.height, info.width
+                    )));
+                }
+            }
+            info.last_use = Some(at);
+            Ok(())
+        };
+
+        for (i, (ins, leafset)) in program.instructions.iter().zip(leafs).enumerate() {
+            if leafset.len() != ins.leaf_modules() {
+                return Err(ExecError::Leafs(format!(
+                    "{} leafs but instruction declares {}",
+                    leafset.len(),
+                    ins.leaf_modules()
+                )));
+            }
+            for g in 0..ins.in_groups {
+                mark_read(
+                    &mut planes,
+                    &live,
+                    ins.src.offset(g),
+                    i,
+                    Some(ins.in_size.0),
+                )?;
+            }
+            if let Some(srcs) = ins.src_s {
+                // Geometry is checked at accumulation time (the srcS crop
+                // depends on the destination domain).
+                mark_read(&mut planes, &live, srcs, i, None)?;
+            }
+            if matches!(ins.dst, FeatLoc::Di { .. }) {
+                return Err(ExecError::Shape("cannot write to DI".into()));
+            }
+            let key = PlaneKey::from(ins.dst);
+            live.insert(key, planes.len());
+            planes.push(PlaneInfo {
+                key,
+                // Post-shuffle UPX2 planes pack out_groups·LEAF_CH pre-
+                // shuffle channels into out_groups·LEAF_CH/4 at 2× side.
+                channels: if ins.opcode == Opcode::Upx2 {
+                    ins.out_groups * LEAF_CH / 4
+                } else {
+                    LEAF_CH
+                },
+                height: ins.out_size.1,
+                width: ins.out_size.0,
+                born: Some(i),
+                last_use: None,
+            });
+        }
+
+        let out_groups = program.do_channels.div_ceil(LEAF_CH);
+        let end = program.instructions.len();
+        for g in 0..out_groups {
+            let key = PlaneKey::Do { group: g as u8 };
+            let idx = *live
+                .get(&key)
+                .ok_or(ExecError::MissingPlane(FeatLoc::Do { group: g as u8 }))?;
+            if planes[idx].height != program.do_side {
+                return Err(ExecError::Shape(format!(
+                    "DO plane side {} vs {}",
+                    planes[idx].height, program.do_side
+                )));
+            }
+            planes[idx].last_use = Some(end);
+        }
+
+        Ok(Self {
+            program,
+            leafs,
+            di_groups,
+            di_plane_side,
+            planes,
+            out_groups,
+        })
+    }
+
+    /// The planned program.
+    pub fn program(&self) -> &'a Program {
+        self.program
+    }
+
+    /// Every plane the program touches, with shapes and lifetimes: DI
+    /// planes first (born `None`), then one entry per instruction write in
+    /// program order.
+    pub fn planes(&self) -> &[PlaneInfo] {
+        &self.planes
+    }
+
+    /// Number of 32-channel DI planes streamed in per block.
+    pub fn di_groups(&self) -> usize {
+        self.di_groups
+    }
+
+    /// Peak bytes of *keyed* `(buffer, group)` plane storage one block
+    /// execution needs. Scratch buffers (the gather input, the `i64`
+    /// accumulators, the ER mid plane, the DNX2 pre-pool plane and the
+    /// assembled output) are pool-resident too but not counted here — a
+    /// warm pool's total footprint is larger, dominated by the 8-byte
+    /// accumulator elements.
+    pub fn peak_plane_bytes(&self) -> usize {
+        // Keys are recycled in place, so the pool's footprint is the max
+        // shape ever taken per key.
+        let mut peak: HashMap<PlaneKey, usize> = HashMap::new();
+        for p in &self.planes {
+            let bytes = p.channels * p.height * p.width * std::mem::size_of::<i16>();
+            let e = peak.entry(p.key).or_insert(0);
+            *e = (*e).max(bytes);
+        }
+        peak.values().sum()
+    }
+}
+
+/// A reusable arena of feature planes (keyed by [`PlaneKey`]) and scratch
+/// accumulators. One pool serves one executor worker; after the first
+/// block has warmed every buffer to its peak size, [`execute`] performs
+/// zero allocations per block. The pool also owns the [`ExecStats`]
+/// counters its executions accumulate.
+#[derive(Debug, Default)]
+pub struct PlanePool {
+    planes: HashMap<PlaneKey, Tensor<i16>>,
+    /// Gathered (possibly multi-group) input scratch.
+    wide: Option<Tensor<i16>>,
+    /// Main full-precision accumulator.
+    acc_a: Option<Tensor<i64>>,
+    /// Secondary accumulator: UPX2 shuffle target / ER per-leaf 3×3 stage.
+    acc_b: Option<Tensor<i64>>,
+    /// ER requantized expansion plane.
+    mid: Option<Tensor<i16>>,
+    /// DNX2 pre-pool quantized plane.
+    quant: Option<Tensor<i16>>,
+    /// Assembled logical output block.
+    out: Option<Tensor<i16>>,
+    stats: ExecStats,
+}
+
+/// Ensures `slot` holds a tensor, recording whether recycling it for
+/// `needed` elements keeps its storage (`planes_reused`) or must allocate
+/// (`planes_allocated`).
+fn ensure_slot<'s, T: Copy + Default>(
+    slot: &'s mut Option<Tensor<T>>,
+    stats: &mut ExecStats,
+    needed: usize,
+) -> &'s mut Tensor<T> {
+    match slot {
+        Some(t) => {
+            if t.capacity() < needed {
+                stats.planes_allocated += 1;
+            } else {
+                stats.planes_reused += 1;
+            }
+        }
+        None => {
+            stats.planes_allocated += 1;
+            *slot = Some(Tensor::zeros(1, 1, 1));
+        }
+    }
+    slot.as_mut().expect("slot filled above")
+}
+
+/// [`ensure_slot`] plus an in-place [`Tensor::reset`] to `c×h×w`
+/// (zero-filled).
+fn ensure<'s, T: Copy + Default>(
+    slot: &'s mut Option<Tensor<T>>,
+    stats: &mut ExecStats,
+    c: usize,
+    h: usize,
+    w: usize,
+) -> &'s mut Tensor<T> {
+    let t = ensure_slot(slot, stats, c * h * w);
+    t.reset(c, h, w);
+    t
+}
+
+/// [`ensure`] without the zero-fill — for scratch whose every element the
+/// caller is about to overwrite (stale values may survive the reshape).
+fn ensure_overwrite<'s, T: Copy + Default>(
+    slot: &'s mut Option<Tensor<T>>,
+    stats: &mut ExecStats,
+    c: usize,
+    h: usize,
+    w: usize,
+) -> &'s mut Tensor<T> {
+    let t = ensure_slot(slot, stats, c * h * w);
+    t.reset_no_fill(c, h, w);
+    t
+}
+
+/// Checks out the pooled plane for `key` at shape `c×h×w`, recycling its
+/// storage when capacity allows. `zero` selects whether recycled contents
+/// are cleared; pass `false` only when every element will be overwritten.
+fn checkout<'m>(
+    planes: &'m mut HashMap<PlaneKey, Tensor<i16>>,
+    stats: &mut ExecStats,
+    key: PlaneKey,
+    c: usize,
+    h: usize,
+    w: usize,
+    zero: bool,
+) -> &'m mut Tensor<i16> {
+    match planes.entry(key) {
+        Entry::Occupied(e) => {
+            let t = e.into_mut();
+            if t.capacity() < c * h * w {
+                stats.planes_allocated += 1;
+            } else {
+                stats.planes_reused += 1;
+            }
+            if zero {
+                t.reset(c, h, w);
+            } else {
+                t.reset_no_fill(c, h, w);
+            }
+            t
+        }
+        Entry::Vacant(v) => {
+            stats.planes_allocated += 1;
+            v.insert(Tensor::zeros(c, h, w))
+        }
+    }
+}
+
+/// Reads the pooled plane for `loc`, charging block-buffer read traffic.
+fn read_plane<'m>(
+    planes: &'m HashMap<PlaneKey, Tensor<i16>>,
+    stats: &mut ExecStats,
+    loc: FeatLoc,
+) -> Result<&'m Tensor<i16>, ExecError> {
+    if matches!(loc, FeatLoc::Do { .. }) {
+        return Err(ExecError::ReadFromDo);
+    }
+    let plane = planes
+        .get(&PlaneKey::from(loc))
+        .ok_or(ExecError::MissingPlane(loc))?;
+    if matches!(loc, FeatLoc::Bb { .. }) {
+        stats.bb_read_bytes += plane.len() as u64;
+    }
+    Ok(plane)
+}
+
+impl PlanePool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks out the plane for `key` with shape `channels×height×width`
+    /// (zero-filled), recycling its storage when capacity allows. Every
+    /// key owns disjoint storage: a checked-out plane never aliases
+    /// another live plane.
+    pub fn checkout(
+        &mut self,
+        key: PlaneKey,
+        channels: usize,
+        height: usize,
+        width: usize,
+    ) -> &mut Tensor<i16> {
+        checkout(
+            &mut self.planes,
+            &mut self.stats,
+            key,
+            channels,
+            height,
+            width,
+            true,
+        )
+    }
+
+    /// The plane currently pooled for `key`, if any.
+    pub fn plane(&self, key: PlaneKey) -> Option<&Tensor<i16>> {
+        self.planes.get(&key)
+    }
+
+    /// Counters accumulated by executions (and checkouts) on this pool.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// Number of pooled planes currently resident.
+    pub fn resident_planes(&self) -> usize {
+        self.planes.len()
+    }
+
+    /// Drops every pooled buffer (planes, scratch and the assembled
+    /// output) while keeping the counters.
+    pub fn clear(&mut self) {
+        self.planes.clear();
+        self.wide = None;
+        self.acc_a = None;
+        self.acc_b = None;
+        self.mid = None;
+        self.quant = None;
+        self.out = None;
+    }
+}
+
+/// Executes one planned block on `pool`, returning the pool-owned logical
+/// output block (side `program.do_side`), valid until the next execution.
+///
+/// `input` holds the *logical* input channels (e.g. 3 for RGB) as codes in
+/// the program's `di_q` format, with side `program.di_side`.
+///
+/// # Errors
+///
+/// See [`ExecError`]. Operand availability and leaf bookkeeping were
+/// already validated by [`BlockPlan::new`]; the remaining runtime errors
+/// guard data-dependent geometry.
+pub fn execute<'p>(
+    plan: &BlockPlan<'_>,
+    pool: &'p mut PlanePool,
+    input: &Tensor<i16>,
+) -> Result<&'p Tensor<i16>, ExecError> {
+    let p = plan.program;
+    if input.height() != p.di_side || input.width() != p.di_side {
+        return Err(ExecError::Shape(format!(
+            "input {}x{} vs DI side {}",
+            input.height(),
+            input.width(),
+            p.di_side
+        )));
+    }
+    if input.channels() != p.di_channels {
+        return Err(ExecError::Shape(format!(
+            "input channels {} vs {}",
+            input.channels(),
+            p.di_channels
+        )));
+    }
+    stream_input(plan, pool, input);
+    for (i, ins) in p.instructions.iter().enumerate() {
+        let leafs = plan.leafs[i].as_slice();
+        match ins.opcode {
+            Opcode::Conv | Opcode::Dnx2 | Opcode::Upx2 => exec_conv3(p, ins, leafs, pool)?,
+            Opcode::Conv1 => exec_conv1(p, ins, leafs, pool)?,
+            Opcode::Er => exec_er(p, ins, leafs, pool)?,
+        }
+        pool.stats.instructions += 1;
+    }
+    assemble_output(p, plan.out_groups, pool)
+}
+
+/// Unpacks the DI stream into pooled 32-channel planes, applying the
+/// DI-side unshuffle (DnERNet-12ch) and zero-channel padding in place.
+fn stream_input(plan: &BlockPlan<'_>, pool: &mut PlanePool, input: &Tensor<i16>) {
+    pool.stats.di_bytes += input.len() as u64;
+    let s = plan.program.input_unshuffle.unwrap_or(1);
+    let side = plan.di_plane_side;
+    let in_ch = input.channels();
+    for g in 0..plan.di_groups {
+        let plane = checkout(
+            &mut pool.planes,
+            &mut pool.stats,
+            PlaneKey::Di { group: g as u8 },
+            LEAF_CH,
+            side,
+            side,
+            false,
+        );
+        for c in 0..LEAF_CH {
+            let oc = g * LEAF_CH + c;
+            let ic = oc / (s * s);
+            if ic >= in_ch {
+                // Zero-channel padding (the plane is not pre-cleared).
+                for y in 0..side {
+                    for x in 0..side {
+                        *plane.at_mut(c, y, x) = 0;
+                    }
+                }
+                continue;
+            }
+            let rem = oc % (s * s);
+            let (dy, dx) = (rem / s, rem % s);
+            for y in 0..side {
+                for x in 0..side {
+                    *plane.at_mut(c, y, x) = input.at(ic, y * s + dy, x * s + dx);
+                }
+            }
+        }
+    }
+}
+
+/// Gathers `groups` consecutive planes into the pool's wide scratch.
+fn gather<'m>(
+    planes: &HashMap<PlaneKey, Tensor<i16>>,
+    wide: &'m mut Option<Tensor<i16>>,
+    stats: &mut ExecStats,
+    base: FeatLoc,
+    groups: usize,
+    side: usize,
+) -> Result<&'m Tensor<i16>, ExecError> {
+    let wide = ensure_overwrite(wide, stats, groups * LEAF_CH, side, side);
+    for g in 0..groups {
+        let plane = read_plane(planes, stats, base.offset(g))?;
+        if plane.height() != side || plane.width() != side {
+            return Err(ExecError::Shape(format!(
+                "plane {}x{} vs expected side {side}",
+                plane.height(),
+                plane.width()
+            )));
+        }
+        for c in 0..LEAF_CH {
+            for y in 0..side {
+                for x in 0..side {
+                    *wide.at_mut(g * LEAF_CH + c, y, x) = plane.at(c, y, x);
+                }
+            }
+        }
+    }
+    Ok(wide)
+}
+
+/// Charges write traffic for a plane of `len` elements landing on `key`.
+fn count_write(stats: &mut ExecStats, program: &Program, key: PlaneKey, len: usize, px: usize) {
+    match key {
+        PlaneKey::Bb { .. } => stats.bb_write_bytes += len as u64,
+        PlaneKey::Do { group } => {
+            // Only logical channels leave the chip.
+            stats.do_bytes += len
+                .min(LEAF_CH.min(program.do_channels.saturating_sub(group as usize * LEAF_CH)) * px)
+                as u64;
+        }
+        PlaneKey::Di { .. } => unreachable!("plan rejects DI writes"),
+    }
+}
+
+fn exec_conv3(
+    program: &Program,
+    ins: &Instruction,
+    leafs: &[LeafParams],
+    pool: &mut PlanePool,
+) -> Result<(), ExecError> {
+    let input = gather(
+        &pool.planes,
+        &mut pool.wide,
+        &mut pool.stats,
+        ins.src,
+        ins.in_groups,
+        ins.in_size.0,
+    )?;
+    let prod_frac = ins.q.w3.frac() as i32 + ins.q.src.frac() as i32;
+    // Leaf ordering (see compiler): UPX2 has one leaf per pre-shuffle
+    // output plane; CONV/DNX2 have one leaf per input group.
+    let out_planes = if ins.opcode == Opcode::Upx2 {
+        ins.out_groups
+    } else {
+        1
+    };
+    let weights = |op_: usize, ig: usize| {
+        let leaf = if ins.opcode == Opcode::Upx2 {
+            &leafs[op_]
+        } else {
+            &leafs[ig]
+        };
+        leaf.w3.as_slice()
+    };
+    let b3_frac = ins.q.b3.frac() as i32;
+    let biases = |op_: usize| -> Vec<i64> {
+        let mut b = vec![0i64; LEAF_CH];
+        if ins.opcode == Opcode::Upx2 {
+            for (oc, bv) in b.iter_mut().enumerate() {
+                *bv = align(leafs[op_].b3[oc] as i64, b3_frac, prod_frac);
+            }
+        } else {
+            for leaf in leafs {
+                for (oc, bv) in b.iter_mut().enumerate() {
+                    *bv += align(leaf.b3[oc] as i64, b3_frac, prod_frac);
+                }
+            }
+        }
+        b
+    };
+    let (cw, chh) = ins.conv_out_size();
+    let conv_acc = ensure_overwrite(
+        &mut pool.acc_a,
+        &mut pool.stats,
+        out_planes * LEAF_CH,
+        chh,
+        cw,
+    );
+    conv3_acc_into(
+        ins,
+        input,
+        &weights,
+        &biases,
+        out_planes,
+        conv_acc,
+        &mut pool.stats,
+    );
+
+    let acc: &mut Tensor<i64> = if ins.opcode == Opcode::Upx2 {
+        let shuffled = ensure_slot(&mut pool.acc_b, &mut pool.stats, conv_acc.len());
+        conv_acc.pixel_shuffle_into(2, shuffled);
+        shuffled
+    } else {
+        conv_acc
+    };
+    // srcS accumulation (ADDE) in the destination domain.
+    if let Some(srcs) = ins.src_s {
+        let sq = ins.q.src_s.expect("checked by Instruction::check");
+        let plane = read_plane(&pool.planes, &mut pool.stats, srcs)?;
+        add_aligned(acc, plane, sq.frac() as i32, prod_frac);
+    }
+    if ins.relu {
+        for v in acc.as_mut_slice() {
+            if *v < 0 {
+                *v = 0;
+            }
+        }
+    }
+    // Requantize to the destination format, then Dst Reorder (pooling).
+    let dst_key = PlaneKey::from(ins.dst);
+    if ins.opcode == Opcode::Dnx2 {
+        let (qc, qh, qw) = acc.shape();
+        let quantized = ensure_overwrite(&mut pool.quant, &mut pool.stats, qc, qh, qw);
+        requantize_into(acc, prod_frac, ins.q.dst, quantized);
+        let factor = ins.pool_factor;
+        if qh / factor != ins.out_size.1 || qw / factor != ins.out_size.0 {
+            return Err(ExecError::Shape(format!(
+                "produced {}x{} vs declared {:?}",
+                qw / factor,
+                qh / factor,
+                ins.out_size
+            )));
+        }
+        let dst = checkout(
+            &mut pool.planes,
+            &mut pool.stats,
+            dst_key,
+            LEAF_CH,
+            ins.out_size.1,
+            ins.out_size.0,
+            false,
+        );
+        pool_into(
+            quantized,
+            ins.pool.expect("DNX2 carries a pool"),
+            factor,
+            dst,
+        );
+        let (len, px) = (dst.len(), dst.height() * dst.width());
+        count_write(&mut pool.stats, program, dst_key, len, px);
+    } else {
+        // Post-shuffle UPX2 planes carry out_groups·LEAF_CH/4 channels
+        // (8 for a 32→3ch upsampling tail); everything else is LEAF_CH.
+        let (ac, ah, aw) = acc.shape();
+        if ah != ins.out_size.1 || aw != ins.out_size.0 {
+            return Err(ExecError::Shape(format!(
+                "produced {aw}x{ah} vs declared {:?}",
+                ins.out_size
+            )));
+        }
+        let dst = checkout(
+            &mut pool.planes,
+            &mut pool.stats,
+            dst_key,
+            ac,
+            ins.out_size.1,
+            ins.out_size.0,
+            false,
+        );
+        requantize_into(acc, prod_frac, ins.q.dst, dst);
+        let (len, px) = (dst.len(), dst.height() * dst.width());
+        count_write(&mut pool.stats, program, dst_key, len, px);
+    }
+    Ok(())
+}
+
+fn exec_conv1(
+    program: &Program,
+    ins: &Instruction,
+    leafs: &[LeafParams],
+    pool: &mut PlanePool,
+) -> Result<(), ExecError> {
+    let input = gather(
+        &pool.planes,
+        &mut pool.wide,
+        &mut pool.stats,
+        ins.src,
+        ins.in_groups,
+        ins.in_size.0,
+    )?;
+    let w1q = ins.q.w1.expect("checked");
+    let b1q = ins.q.b1.expect("checked");
+    let prod_frac = w1q.frac() as i32 + ins.q.src.frac() as i32;
+    let side = input.height();
+    let acc = ensure_overwrite(&mut pool.acc_a, &mut pool.stats, LEAF_CH, side, side);
+    for oc in 0..LEAF_CH {
+        let mut b = 0i64;
+        for leaf in leafs {
+            b += align(leaf.b1[oc] as i64, b1q.frac() as i32, prod_frac);
+        }
+        for y in 0..side {
+            for x in 0..side {
+                *acc.at_mut(oc, y, x) = b;
+            }
+        }
+    }
+    for (ig, leaf) in leafs.iter().enumerate() {
+        for oc in 0..LEAF_CH {
+            for ic in 0..LEAF_CH {
+                let wv = leaf.w1[oc * LEAF_CH + ic] as i64;
+                if wv == 0 {
+                    continue;
+                }
+                for y in 0..side {
+                    for x in 0..side {
+                        *acc.at_mut(oc, y, x) += wv * input.at(ig * LEAF_CH + ic, y, x) as i64;
+                    }
+                }
+            }
+        }
+    }
+    pool.stats.mac1 += (leafs.len() * LEAF_CH * LEAF_CH * side * side) as u64;
+    if let Some(srcs) = ins.src_s {
+        let sq = ins.q.src_s.expect("checked");
+        let plane = read_plane(&pool.planes, &mut pool.stats, srcs)?;
+        add_aligned(acc, plane, sq.frac() as i32, prod_frac);
+    }
+    if ins.relu {
+        for v in acc.as_mut_slice() {
+            if *v < 0 {
+                *v = 0;
+            }
+        }
+    }
+    let dst_key = PlaneKey::from(ins.dst);
+    let dst = checkout(
+        &mut pool.planes,
+        &mut pool.stats,
+        dst_key,
+        LEAF_CH,
+        side,
+        side,
+        false,
+    );
+    requantize_into(acc, prod_frac, ins.q.dst, dst);
+    let (len, px) = (dst.len(), dst.height() * dst.width());
+    count_write(&mut pool.stats, program, dst_key, len, px);
+    Ok(())
+}
+
+fn exec_er(
+    program: &Program,
+    ins: &Instruction,
+    leafs: &[LeafParams],
+    pool: &mut PlanePool,
+) -> Result<(), ExecError> {
+    let midq = ins.q.mid.expect("ER carries a mid format");
+    let w1q = ins.q.w1.expect("checked");
+    let b1q = ins.q.b1.expect("checked");
+    let prod3 = ins.q.w3.frac() as i32 + ins.q.src.frac() as i32;
+    let prod1 = w1q.frac() as i32 + midq.frac() as i32;
+    let (cw, chh) = ins.conv_out_size();
+    let input = gather(
+        &pool.planes,
+        &mut pool.wide,
+        &mut pool.stats,
+        ins.src,
+        ins.in_groups,
+        ins.in_size.0,
+    )?;
+    let acc1 = ensure(&mut pool.acc_a, &mut pool.stats, LEAF_CH, chh, cw);
+    // 1x1 biases (first leaf only carries nonzero values).
+    for leaf in leafs {
+        for oc in 0..LEAF_CH {
+            let b = align(leaf.b1[oc] as i64, b1q.frac() as i32, prod1);
+            if b != 0 {
+                for y in 0..chh {
+                    for x in 0..cw {
+                        *acc1.at_mut(oc, y, x) += b;
+                    }
+                }
+            }
+        }
+    }
+    for leaf in leafs {
+        // Expansion plane: CONV3x3 -> ReLU -> quantize to mid format.
+        let weights = |_: usize, _: usize| leaf.w3.as_slice();
+        let b3_frac = ins.q.b3.frac() as i32;
+        let biases = |_: usize| -> Vec<i64> {
+            (0..LEAF_CH)
+                .map(|oc| align(leaf.b3[oc] as i64, b3_frac, prod3))
+                .collect()
+        };
+        let mut single = Instruction::clone(ins);
+        single.in_groups = 1;
+        // The plane convolves the single 32ch input group.
+        let acc3 = ensure_overwrite(&mut pool.acc_b, &mut pool.stats, LEAF_CH, chh, cw);
+        conv3_acc_into(&single, input, &weights, &biases, 1, acc3, &mut pool.stats);
+        let mid = ensure_overwrite(&mut pool.mid, &mut pool.stats, LEAF_CH, chh, cw);
+        for (m, &a) in mid.as_mut_slice().iter_mut().zip(acc3.as_slice()) {
+            let v = if a < 0 { 0 } else { a }; // ER's internal ReLU
+            *m = midq.clamp_code(rescale_code(v, prod3, midq.frac() as i32));
+        }
+        // LCONV1x1: plane's columns accumulate into the 32ch output.
+        for oc in 0..LEAF_CH {
+            for ic in 0..LEAF_CH {
+                let wv = leaf.w1[oc * LEAF_CH + ic] as i64;
+                if wv == 0 {
+                    continue;
+                }
+                for y in 0..chh {
+                    for x in 0..cw {
+                        *acc1.at_mut(oc, y, x) += wv * mid.at(ic, y, x) as i64;
+                    }
+                }
+            }
+        }
+    }
+    pool.stats.mac1 += (leafs.len() * LEAF_CH * LEAF_CH * cw * chh) as u64;
+    // Module residual via srcS.
+    if let Some(srcs) = ins.src_s {
+        let sq = ins.q.src_s.expect("checked");
+        let plane = read_plane(&pool.planes, &mut pool.stats, srcs)?;
+        add_aligned(acc1, plane, sq.frac() as i32, prod1);
+    }
+    let dst_key = PlaneKey::from(ins.dst);
+    let dst = checkout(
+        &mut pool.planes,
+        &mut pool.stats,
+        dst_key,
+        LEAF_CH,
+        chh,
+        cw,
+        false,
+    );
+    requantize_into(acc1, prod1, ins.q.dst, dst);
+    let (len, px) = (dst.len(), dst.height() * dst.width());
+    count_write(&mut pool.stats, program, dst_key, len, px);
+    Ok(())
+}
+
+/// Assembles the logical output block from the pooled DO planes.
+fn assemble_output<'p>(
+    program: &Program,
+    out_groups: usize,
+    pool: &'p mut PlanePool,
+) -> Result<&'p Tensor<i16>, ExecError> {
+    // Every (channel, y, x) is written below — the DO groups tile the
+    // logical channel range — so stale contents need no clearing.
+    let out = ensure_overwrite(
+        &mut pool.out,
+        &mut pool.stats,
+        program.do_channels,
+        program.do_side,
+        program.do_side,
+    );
+    for g in 0..out_groups {
+        let plane = pool
+            .planes
+            .get(&PlaneKey::Do { group: g as u8 })
+            .ok_or(ExecError::MissingPlane(FeatLoc::Do { group: g as u8 }))?;
+        if plane.height() != program.do_side {
+            return Err(ExecError::Shape(format!(
+                "DO plane side {} vs {}",
+                plane.height(),
+                program.do_side
+            )));
+        }
+        for c in 0..LEAF_CH {
+            let oc = g * LEAF_CH + c;
+            if oc >= program.do_channels {
+                break;
+            }
+            for y in 0..program.do_side {
+                for x in 0..program.do_side {
+                    *out.at_mut(oc, y, x) = plane.at(c, y, x);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Executes one program over one input block — the plan-then-execute API
+/// behind a stateful handle, kept for one-shot callers and tests.
 ///
 /// # Example
 ///
 /// See the crate-level tests and `tests/pipeline.rs` for end-to-end usage;
-/// the executor is normally driven by `ecnn-core`'s block pipeline.
+/// the executor is normally driven by `ecnn-core`'s block pipeline, which
+/// holds a [`BlockPlan`] and a [`PlanePool`] per worker instead.
 pub struct BlockExecutor<'a> {
-    program: &'a Program,
-    leafs: &'a [Vec<LeafParams>],
-    /// 32-channel planes living in (virtual) block buffers.
-    planes: HashMap<(u8, u8), Tensor<i16>>,
-    /// DI planes (32-channel, possibly pre-unshuffled).
-    di: Vec<Tensor<i16>>,
-    /// DO planes keyed by output group.
-    dout: HashMap<u8, Tensor<i16>>,
-    stats: ExecStats,
+    plan: Result<BlockPlan<'a>, ExecError>,
+    pool: PlanePool,
 }
 
 impl<'a> BlockExecutor<'a> {
     /// Creates an executor for `program` with the IDU-decoded `leafs` (one
     /// vector per instruction, as produced by the compiler or by
-    /// `PackedParams::unpack`).
+    /// `PackedParams::unpack`). Planning errors surface on the first
+    /// [`BlockExecutor::run`].
     pub fn new(program: &'a Program, leafs: &'a [Vec<LeafParams>]) -> Self {
         Self {
-            program,
-            leafs,
-            planes: HashMap::new(),
-            di: Vec::new(),
-            dout: HashMap::new(),
-            stats: ExecStats::default(),
+            plan: BlockPlan::new(program, leafs),
+            pool: PlanePool::new(),
         }
     }
 
@@ -112,402 +1073,49 @@ impl<'a> BlockExecutor<'a> {
     ///
     /// See [`ExecError`].
     pub fn run(&mut self, input: &Tensor<i16>) -> Result<Tensor<i16>, ExecError> {
-        let p = self.program;
-        if input.height() != p.di_side || input.width() != p.di_side {
-            return Err(ExecError::Shape(format!(
-                "input {}x{} vs DI side {}",
-                input.height(),
-                input.width(),
-                p.di_side
-            )));
+        match &self.plan {
+            Ok(plan) => execute(plan, &mut self.pool, input).cloned(),
+            Err(e) => Err(e.clone()),
         }
-        if input.channels() != p.di_channels {
-            return Err(ExecError::Shape(format!(
-                "input channels {} vs {}",
-                input.channels(),
-                p.di_channels
-            )));
-        }
-        self.stats.di_bytes += (input.len()) as u64;
-
-        // DI-side unshuffle (DnERNet-12ch) and 32-channel plane packing.
-        let streamed = match p.input_unshuffle {
-            Some(f) => input.pixel_unshuffle(f),
-            None => input.clone(),
-        };
-        let groups = streamed.channels().div_ceil(LEAF_CH);
-        let padded = streamed.with_channels(groups * LEAF_CH);
-        self.di = (0..groups)
-            .map(|g| {
-                Tensor::from_fn(LEAF_CH, padded.height(), padded.width(), |c, y, x| {
-                    padded.at(g * LEAF_CH + c, y, x)
-                })
-            })
-            .collect();
-
-        if self.leafs.len() != p.instructions.len() {
-            return Err(ExecError::Leafs(format!(
-                "{} leaf sets for {} instructions",
-                self.leafs.len(),
-                p.instructions.len()
-            )));
-        }
-        for (ins, leafs) in p.instructions.iter().zip(self.leafs) {
-            self.exec(ins, leafs)?;
-            self.stats.instructions += 1;
-        }
-
-        // Assemble the logical output from DO planes.
-        let out_groups = p.do_channels.div_ceil(LEAF_CH);
-        let mut out = Tensor::zeros(p.do_channels, p.do_side, p.do_side);
-        for g in 0..out_groups {
-            let plane = self
-                .dout
-                .get(&(g as u8))
-                .ok_or(ExecError::MissingPlane(FeatLoc::Do { group: g as u8 }))?;
-            if plane.height() != p.do_side {
-                return Err(ExecError::Shape(format!(
-                    "DO plane side {} vs {}",
-                    plane.height(),
-                    p.do_side
-                )));
-            }
-            for c in 0..LEAF_CH {
-                let oc = g * LEAF_CH + c;
-                if oc >= p.do_channels {
-                    break;
-                }
-                for y in 0..p.do_side {
-                    for x in 0..p.do_side {
-                        *out.at_mut(oc, y, x) = plane.at(c, y, x);
-                    }
-                }
-            }
-        }
-        Ok(out)
     }
 
     /// Counters accumulated so far.
     pub fn stats(&self) -> ExecStats {
-        self.stats
+        self.pool.stats()
     }
 
-    fn read_plane(&mut self, loc: FeatLoc) -> Result<Tensor<i16>, ExecError> {
-        match loc {
-            FeatLoc::Bb { id, group } => {
-                let t = self
-                    .planes
-                    .get(&(id, group))
-                    .ok_or(ExecError::MissingPlane(loc))?
-                    .clone();
-                self.stats.bb_read_bytes += t.len() as u64;
-                Ok(t)
-            }
-            FeatLoc::Di { group } => self
-                .di
-                .get(group as usize)
-                .cloned()
-                .ok_or(ExecError::MissingPlane(loc)),
-            FeatLoc::Do { .. } => Err(ExecError::ReadFromDo),
-        }
+    /// The execution plan, when planning succeeded.
+    pub fn plan(&self) -> Result<&BlockPlan<'a>, &ExecError> {
+        self.plan.as_ref()
     }
 
-    fn write_plane(&mut self, loc: FeatLoc, plane: Tensor<i16>) -> Result<(), ExecError> {
-        match loc {
-            FeatLoc::Bb { id, group } => {
-                self.stats.bb_write_bytes += plane.len() as u64;
-                self.planes.insert((id, group), plane);
-                Ok(())
-            }
-            FeatLoc::Do { group } => {
-                self.stats.do_bytes += plane.len().min(
-                    // Only logical channels leave the chip.
-                    LEAF_CH.min(
-                        self.program
-                            .do_channels
-                            .saturating_sub(group as usize * LEAF_CH),
-                    ) * plane.height()
-                        * plane.width(),
-                ) as u64;
-                self.dout.insert(group, plane);
-                Ok(())
-            }
-            FeatLoc::Di { .. } => Err(ExecError::Shape("cannot write to DI".into())),
-        }
-    }
-
-    /// Gathers `groups` consecutive planes into one wide tensor.
-    fn gather(
-        &mut self,
-        base: FeatLoc,
-        groups: usize,
-        side: usize,
-    ) -> Result<Tensor<i16>, ExecError> {
-        let mut wide = Tensor::zeros(groups * LEAF_CH, side, side);
-        for g in 0..groups {
-            let plane = self.read_plane(base.offset(g))?;
-            if plane.height() != side || plane.width() != side {
-                return Err(ExecError::Shape(format!(
-                    "plane {}x{} vs expected side {side}",
-                    plane.height(),
-                    plane.width()
-                )));
-            }
-            for c in 0..LEAF_CH {
-                for y in 0..side {
-                    for x in 0..side {
-                        *wide.at_mut(g * LEAF_CH + c, y, x) = plane.at(c, y, x);
-                    }
-                }
-            }
-        }
-        Ok(wide)
-    }
-
-    fn exec(&mut self, ins: &Instruction, leafs: &[LeafParams]) -> Result<(), ExecError> {
-        if leafs.len() != ins.leaf_modules() {
-            return Err(ExecError::Leafs(format!(
-                "{} leafs but instruction declares {}",
-                leafs.len(),
-                ins.leaf_modules()
-            )));
-        }
-        let input = self.gather(ins.src, ins.in_groups, ins.in_size.0)?;
-        match ins.opcode {
-            Opcode::Conv | Opcode::Dnx2 | Opcode::Upx2 => self.exec_conv3(ins, leafs, &input),
-            Opcode::Conv1 => self.exec_conv1(ins, leafs, &input),
-            Opcode::Er => self.exec_er(ins, leafs, &input),
-        }
-    }
-
-    fn exec_conv3(
-        &mut self,
-        ins: &Instruction,
-        leafs: &[LeafParams],
-        input: &Tensor<i16>,
-    ) -> Result<(), ExecError> {
-        let prod_frac = ins.q.w3.frac() as i32 + ins.q.src.frac() as i32;
-        // Leaf ordering (see compiler): UPX2 has one leaf per pre-shuffle
-        // output plane; CONV/DNX2 have one leaf per input group.
-        let out_planes = if ins.opcode == Opcode::Upx2 {
-            ins.out_groups
-        } else {
-            1
-        };
-        let weights = |op_: usize, ig: usize| {
-            let leaf = if ins.opcode == Opcode::Upx2 {
-                &leafs[op_]
-            } else {
-                &leafs[ig]
-            };
-            leaf.w3.as_slice()
-        };
-        let b3_frac = ins.q.b3.frac() as i32;
-        let biases = |op_: usize| -> Vec<i64> {
-            let mut b = vec![0i64; LEAF_CH];
-            if ins.opcode == Opcode::Upx2 {
-                for (oc, bv) in b.iter_mut().enumerate() {
-                    *bv = align(leafs[op_].b3[oc] as i64, b3_frac, prod_frac);
-                }
-            } else {
-                for leaf in leafs {
-                    for (oc, bv) in b.iter_mut().enumerate() {
-                        *bv += align(leaf.b3[oc] as i64, b3_frac, prod_frac);
-                    }
-                }
-            }
-            b
-        };
-        let mut acc = conv3_acc(ins, input, &weights, &biases, out_planes, &mut self.stats);
-
-        if ins.opcode == Opcode::Upx2 {
-            acc = acc.pixel_shuffle(2);
-        }
-        // srcS accumulation (ADDE) in the destination domain.
-        if let Some(srcs) = ins.src_s {
-            let sq = ins.q.src_s.expect("checked by Instruction::check");
-            let plane = self.read_plane(srcs)?;
-            add_aligned(&mut acc, &plane, sq.frac() as i32, prod_frac);
-        }
-        if ins.relu {
-            for v in acc.as_mut_slice() {
-                if *v < 0 {
-                    *v = 0;
-                }
-            }
-        }
-        // Requantize to the destination format.
-        let dst_frac = ins.q.dst.frac() as i32;
-        let quantized: Tensor<i16> =
-            acc.map(|a| ins.q.dst.clamp_code(rescale_code(a, prod_frac, dst_frac)));
-        // Dst Reorder: pooling.
-        let final_plane = if ins.opcode == Opcode::Dnx2 {
-            pool(
-                &quantized,
-                ins.pool.expect("DNX2 carries a pool"),
-                ins.pool_factor,
-            )
-        } else {
-            quantized
-        };
-        if final_plane.height() != ins.out_size.1 || final_plane.width() != ins.out_size.0 {
-            return Err(ExecError::Shape(format!(
-                "produced {}x{} vs declared {:?}",
-                final_plane.width(),
-                final_plane.height(),
-                ins.out_size
-            )));
-        }
-        self.write_plane(ins.dst, final_plane)
-    }
-
-    fn exec_conv1(
-        &mut self,
-        ins: &Instruction,
-        leafs: &[LeafParams],
-        input: &Tensor<i16>,
-    ) -> Result<(), ExecError> {
-        let w1q = ins.q.w1.expect("checked");
-        let b1q = ins.q.b1.expect("checked");
-        let prod_frac = w1q.frac() as i32 + ins.q.src.frac() as i32;
-        let side = input.height();
-        let mut acc = Tensor::<i64>::zeros(LEAF_CH, side, side);
-        for (oc, _) in (0..LEAF_CH).enumerate() {
-            let mut b = 0i64;
-            for leaf in leafs {
-                b += align(leaf.b1[oc] as i64, b1q.frac() as i32, prod_frac);
-            }
-            for y in 0..side {
-                for x in 0..side {
-                    *acc.at_mut(oc, y, x) = b;
-                }
-            }
-        }
-        for (ig, leaf) in leafs.iter().enumerate() {
-            for oc in 0..LEAF_CH {
-                for ic in 0..LEAF_CH {
-                    let wv = leaf.w1[oc * LEAF_CH + ic] as i64;
-                    if wv == 0 {
-                        continue;
-                    }
-                    for y in 0..side {
-                        for x in 0..side {
-                            *acc.at_mut(oc, y, x) += wv * input.at(ig * LEAF_CH + ic, y, x) as i64;
-                        }
-                    }
-                }
-            }
-        }
-        self.stats.mac1 += (leafs.len() * LEAF_CH * LEAF_CH * side * side) as u64;
-        if let Some(srcs) = ins.src_s {
-            let sq = ins.q.src_s.expect("checked");
-            let plane = self.read_plane(srcs)?;
-            add_aligned(&mut acc, &plane, sq.frac() as i32, prod_frac);
-        }
-        if ins.relu {
-            for v in acc.as_mut_slice() {
-                if *v < 0 {
-                    *v = 0;
-                }
-            }
-        }
-        let dst_frac = ins.q.dst.frac() as i32;
-        let out: Tensor<i16> =
-            acc.map(|a| ins.q.dst.clamp_code(rescale_code(a, prod_frac, dst_frac)));
-        self.write_plane(ins.dst, out)
-    }
-
-    fn exec_er(
-        &mut self,
-        ins: &Instruction,
-        leafs: &[LeafParams],
-        input: &Tensor<i16>,
-    ) -> Result<(), ExecError> {
-        let midq = ins.q.mid.expect("ER carries a mid format");
-        let w1q = ins.q.w1.expect("checked");
-        let b1q = ins.q.b1.expect("checked");
-        let prod3 = ins.q.w3.frac() as i32 + ins.q.src.frac() as i32;
-        let prod1 = w1q.frac() as i32 + midq.frac() as i32;
-        let (cw, chh) = ins.conv_out_size();
-        let mut acc1 = Tensor::<i64>::zeros(LEAF_CH, chh, cw);
-        // 1x1 biases (first leaf only carries nonzero values).
-        for leaf in leafs {
-            for oc in 0..LEAF_CH {
-                let b = align(leaf.b1[oc] as i64, b1q.frac() as i32, prod1);
-                if b != 0 {
-                    for y in 0..chh {
-                        for x in 0..cw {
-                            *acc1.at_mut(oc, y, x) += b;
-                        }
-                    }
-                }
-            }
-        }
-        for (e, leaf) in leafs.iter().enumerate() {
-            // Expansion plane e: CONV3x3 -> ReLU -> quantize to mid format.
-            let weights = |_: usize, _: usize| leaf.w3.as_slice();
-            let b3_frac = ins.q.b3.frac() as i32;
-            let biases = |_: usize| -> Vec<i64> {
-                (0..LEAF_CH)
-                    .map(|oc| align(leaf.b3[oc] as i64, b3_frac, prod3))
-                    .collect()
-            };
-            let mut single = Instruction::clone(ins);
-            single.in_groups = 1;
-            // The plane convolves the single 32ch input group.
-            let acc3 = conv3_acc(&single, input, &weights, &biases, 1, &mut self.stats);
-            let mid: Tensor<i16> = acc3.map(|a| {
-                let v = if a < 0 { 0 } else { a }; // ER's internal ReLU
-                midq.clamp_code(rescale_code(v, prod3, midq.frac() as i32))
-            });
-            // LCONV1x1: plane e's columns accumulate into the 32ch output.
-            for oc in 0..LEAF_CH {
-                for ic in 0..LEAF_CH {
-                    let wv = leaf.w1[oc * LEAF_CH + ic] as i64;
-                    if wv == 0 {
-                        continue;
-                    }
-                    for y in 0..chh {
-                        for x in 0..cw {
-                            *acc1.at_mut(oc, y, x) += wv * mid.at(ic, y, x) as i64;
-                        }
-                    }
-                }
-            }
-            let _ = e;
-        }
-        self.stats.mac1 += (leafs.len() * LEAF_CH * LEAF_CH * cw * chh) as u64;
-        // Module residual via srcS.
-        if let Some(srcs) = ins.src_s {
-            let sq = ins.q.src_s.expect("checked");
-            let plane = self.read_plane(srcs)?;
-            add_aligned(&mut acc1, &plane, sq.frac() as i32, prod1);
-        }
-        let dst_frac = ins.q.dst.frac() as i32;
-        let out: Tensor<i16> = acc1.map(|a| ins.q.dst.clamp_code(rescale_code(a, prod1, dst_frac)));
-        self.write_plane(ins.dst, out)
+    /// The executor's plane pool.
+    pub fn pool(&self) -> &PlanePool {
+        &self.pool
     }
 }
 
 /// Full-precision 3×3 convolution of `input` (all groups) producing
-/// `out_planes × 32` channels of `i64` accumulators. `weights(out_plane,
+/// `out_planes × 32` channels of `i64` accumulators in `acc` (already
+/// shaped by the caller; every element is overwritten). `weights(out_plane,
 /// in_group)` yields one leaf's 32×32×9 filter; `biases(out_plane)` yields
 /// accumulator-aligned biases.
-fn conv3_acc<'w>(
+fn conv3_acc_into<'w>(
     ins: &Instruction,
     input: &Tensor<i16>,
     weights: &dyn Fn(usize, usize) -> &'w [i16],
     biases: &dyn Fn(usize) -> Vec<i64>,
     out_planes: usize,
+    acc: &mut Tensor<i64>,
     stats: &mut ExecStats,
-) -> Tensor<i64> {
+) {
     let (cw, chh) = ins.conv_out_size();
     let (ih, iw) = (input.height(), input.width());
     let origin: isize = match ins.inference {
         InferenceKind::TruncatedPyramid => 1,
         InferenceKind::ZeroPadded => 0,
     };
-    let mut acc = Tensor::<i64>::zeros(out_planes * LEAF_CH, chh, cw);
+    debug_assert_eq!(acc.shape(), (out_planes * LEAF_CH, chh, cw));
     for op_ in 0..out_planes {
         let b = biases(op_);
         // `oc` addresses both the bias table and the plane offset.
@@ -552,7 +1160,6 @@ fn conv3_acc<'w>(
         }
     }
     stats.mac3 += (out_planes * ins.in_groups * LEAF_CH * LEAF_CH * 9 * cw * chh) as u64;
-    acc
 }
 
 /// Aligns a code from `from_frac` to `to_frac` (upshift exact, downshift
@@ -585,25 +1192,43 @@ fn add_aligned(acc: &mut Tensor<i64>, plane: &Tensor<i16>, plane_frac: i32, acc_
     }
 }
 
-/// Pooling on quantized codes (Dst Reorder).
-fn pool(t: &Tensor<i16>, kind: PoolKind, factor: usize) -> Tensor<i16> {
-    let (c, h, w) = t.shape();
-    Tensor::from_fn(c, h / factor, w / factor, |ch, y, x| match kind {
-        PoolKind::Stride => t.at(ch, y * factor, x * factor),
-        PoolKind::Max => {
-            let mut m = i16::MIN;
-            for dy in 0..factor {
-                for dx in 0..factor {
-                    m = m.max(t.at(ch, y * factor + dy, x * factor + dx));
-                }
+/// Requantizes full-precision accumulators at `acc_frac` into `dst`'s
+/// codes at format `q` — the datapath's single output rounding. `dst` is
+/// already shaped to match `acc`; every element is overwritten.
+fn requantize_into(acc: &Tensor<i64>, acc_frac: i32, q: QFormat, dst: &mut Tensor<i16>) {
+    debug_assert_eq!(acc.len(), dst.len());
+    let dst_frac = q.frac() as i32;
+    for (d, &a) in dst.as_mut_slice().iter_mut().zip(acc.as_slice()) {
+        *d = q.clamp_code(rescale_code(a, acc_frac, dst_frac));
+    }
+}
+
+/// Pooling on quantized codes (Dst Reorder) into a pre-shaped destination.
+fn pool_into(t: &Tensor<i16>, kind: PoolKind, factor: usize, dst: &mut Tensor<i16>) {
+    let (c, _, _) = t.shape();
+    debug_assert_eq!(dst.channels(), c);
+    for ch in 0..c {
+        for y in 0..dst.height() {
+            for x in 0..dst.width() {
+                *dst.at_mut(ch, y, x) = match kind {
+                    PoolKind::Stride => t.at(ch, y * factor, x * factor),
+                    PoolKind::Max => {
+                        let mut m = i16::MIN;
+                        for dy in 0..factor {
+                            for dx in 0..factor {
+                                m = m.max(t.at(ch, y * factor + dy, x * factor + dx));
+                            }
+                        }
+                        m
+                    }
+                };
             }
-            m
         }
-    })
+    }
 }
 
 /// Convenience: quantize a float image block into input codes for
-/// [`BlockExecutor::run`].
+/// [`execute`] / [`BlockExecutor::run`].
 pub fn quantize_input(block: &Tensor<f32>, program: &Program) -> Tensor<i16> {
     block.map(|v| program.di_q.quantize(v))
 }
@@ -794,5 +1419,95 @@ mod tests {
         let input = quantize_input(&img, &c.program);
         let mut ex = BlockExecutor::new(&c.program, &c.leafs);
         assert!(matches!(ex.run(&input), Err(ExecError::Shape(_))));
+    }
+
+    #[test]
+    fn plan_computes_shapes_and_lifetimes() {
+        let m = ErNetSpec::new(ErNetTask::Dn, 2, 1, 0).build().unwrap();
+        let qm = QuantizedModel::uniform(&m);
+        let c = compile(&qm, 40).unwrap();
+        let plan = BlockPlan::new(&c.program, &c.leafs).unwrap();
+        let planes = plan.planes();
+        assert_eq!(
+            planes.len(),
+            plan.di_groups() + c.program.instructions.len()
+        );
+        // DI planes are streamed in, not written by instructions.
+        assert!(planes[..plan.di_groups()].iter().all(|p| p.born.is_none()));
+        // Every instruction write records its shape; a read never precedes
+        // its write.
+        for p in &planes[plan.di_groups()..] {
+            let born = p.born.expect("instruction planes have a writer");
+            assert_eq!(p.channels, LEAF_CH);
+            if let Some(last) = p.last_use {
+                assert!(last > born, "lifetime runs forward");
+            }
+        }
+        // The DO plane survives until output assembly.
+        let end = c.program.instructions.len();
+        assert!(planes
+            .iter()
+            .any(|p| matches!(p.key, PlaneKey::Do { .. }) && p.last_use == Some(end)));
+        assert!(plan.peak_plane_bytes() > 0);
+    }
+
+    #[test]
+    fn pool_allocates_once_across_blocks() {
+        let m = ErNetSpec::new(ErNetTask::Dn, 2, 1, 0).build().unwrap();
+        let qm = QuantizedModel::uniform(&m);
+        let c = compile(&qm, 40).unwrap();
+        let plan = BlockPlan::new(&c.program, &c.leafs).unwrap();
+        let mut pool = PlanePool::new();
+        let img = SyntheticImage::new(ecnn_tensor::ImageKind::Mixed, 8).rgb(40, 40);
+        let input = quantize_input(&img, &c.program);
+        execute(&plan, &mut pool, &input).unwrap();
+        let warm = pool.stats();
+        assert!(warm.planes_allocated > 0, "first block allocates the arena");
+        for _ in 0..3 {
+            execute(&plan, &mut pool, &input).unwrap();
+        }
+        let steady = pool.stats().delta_since(&warm);
+        assert_eq!(steady.planes_allocated, 0, "warm blocks must not allocate");
+        assert!(steady.planes_reused > 0);
+    }
+
+    #[test]
+    fn pool_reuse_does_not_leak_state_across_blocks() {
+        // A warm pool must produce bit-identical output to a fresh one.
+        let m = ErNetSpec::new(ErNetTask::Sr2, 2, 1, 0).build().unwrap();
+        let qm = QuantizedModel::uniform(&m);
+        let c = compile(&qm, 32).unwrap();
+        let a = quantize_input(
+            &SyntheticImage::new(ecnn_tensor::ImageKind::Edges, 1).rgb(32, 32),
+            &c.program,
+        );
+        let b = quantize_input(
+            &SyntheticImage::new(ecnn_tensor::ImageKind::Texture, 2).rgb(32, 32),
+            &c.program,
+        );
+        let mut warm = BlockExecutor::new(&c.program, &c.leafs);
+        warm.run(&a).unwrap();
+        let warm_out = warm.run(&b).unwrap();
+        let fresh_out = BlockExecutor::new(&c.program, &c.leafs).run(&b).unwrap();
+        assert_eq!(warm_out, fresh_out);
+    }
+
+    #[test]
+    fn checkout_recycles_storage_per_key() {
+        let mut pool = PlanePool::new();
+        let key = PlaneKey::Bb { id: 0, group: 0 };
+        let ptr = pool.checkout(key, LEAF_CH, 10, 10).as_slice().as_ptr();
+        // Shrinking reuses the same storage; a different key gets its own.
+        let ptr2 = pool.checkout(key, LEAF_CH, 8, 8).as_slice().as_ptr();
+        assert_eq!(ptr, ptr2);
+        let other = pool
+            .checkout(PlaneKey::Bb { id: 1, group: 0 }, LEAF_CH, 8, 8)
+            .as_slice()
+            .as_ptr();
+        assert_ne!(ptr, other);
+        let s = pool.stats();
+        assert_eq!(s.planes_allocated, 2);
+        assert_eq!(s.planes_reused, 1);
+        assert_eq!(pool.resident_planes(), 2);
     }
 }

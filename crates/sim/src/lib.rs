@@ -7,6 +7,10 @@
 //!   ER internal requantization, `srcS` residual/partial-sum accumulation,
 //!   pixel-shuffle and pooling write reorders. Validated against the
 //!   `ecnn-tensor` golden kernels and the `ecnn-nn` fixed-point reference.
+//!   Split into a plan phase ([`exec::BlockPlan`]: one up-front walk
+//!   computing every plane's shape and lifetime) and an execute phase
+//!   ([`exec::execute`]) running in place against a reusable
+//!   [`exec::PlanePool`] arena.
 //! * [`timing`] — the **cycle** model: the two-stage instruction pipeline
 //!   (IDU parameter decoding for instruction *i+1* overlaps CIU compute of
 //!   instruction *i*), one leaf-module per 4×2 tile per cycle in the CIU,
@@ -27,5 +31,7 @@ pub mod timing;
 
 pub use config::EcnnConfig;
 pub use cost::{AreaReport, PowerReport};
-pub use exec::{BlockExecutor, ExecError, ExecStats};
+pub use exec::{
+    execute, BlockExecutor, BlockPlan, ExecError, ExecStats, PlaneInfo, PlaneKey, PlanePool,
+};
 pub use timing::{simulate_frame, FrameReport};

@@ -125,6 +125,67 @@ impl<T: Copy + Default> Tensor<T> {
         out
     }
 
+    /// Reshapes the tensor in place to `channels × height × width`, filling
+    /// every element with `T::default()`. The backing storage is kept, so
+    /// once a buffer has been grown to its peak size no further allocation
+    /// happens — the plane-pool arena's recycling primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn reset(&mut self, channels: usize, height: usize, width: usize) {
+        assert!(
+            channels > 0 && height > 0 && width > 0,
+            "tensor dimensions must be nonzero: {channels}x{height}x{width}"
+        );
+        self.channels = channels;
+        self.height = height;
+        self.width = width;
+        self.data.clear();
+        self.data.resize(channels * height * width, T::default());
+    }
+
+    /// [`Tensor::reset`] without the zero-fill: surviving elements keep
+    /// their previous (stale) values, so this writes nothing beyond any
+    /// grown tail. Only for buffers whose every element is about to be
+    /// overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn reset_no_fill(&mut self, channels: usize, height: usize, width: usize) {
+        assert!(
+            channels > 0 && height > 0 && width > 0,
+            "tensor dimensions must be nonzero: {channels}x{height}x{width}"
+        );
+        self.channels = channels;
+        self.height = height;
+        self.width = width;
+        self.data.resize(channels * height * width, T::default());
+    }
+
+    /// [`Tensor::pixel_shuffle`] into a caller-owned buffer, reusing its
+    /// storage (the buffer is reshaped to the shuffled geometry; every
+    /// element is overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel count is not divisible by `s²`.
+    pub fn pixel_shuffle_into(&self, s: usize, dst: &mut Tensor<T>) {
+        assert!(s > 0 && self.channels.is_multiple_of(s * s));
+        let c = self.channels / (s * s);
+        dst.reset_no_fill(c, self.height * s, self.width * s);
+        for oc in 0..c {
+            for y in 0..dst.height {
+                for x in 0..dst.width {
+                    let (dy, dx) = (y % s, x % s);
+                    let ic = oc * s * s + dy * s + dx;
+                    *dst.at_mut(oc, y, x) = self.at(ic, y / s, x / s);
+                }
+            }
+        }
+    }
+
     /// [`Tensor::crop_padded`] into a caller-owned buffer: `dst`'s shape
     /// selects the crop size, and its storage is reused — the streaming
     /// session's per-frame hot path.
@@ -284,6 +345,14 @@ impl<T: Copy> Tensor<T> {
     #[inline]
     pub fn len(&self) -> usize {
         self.data.len()
+    }
+
+    /// Elements the backing storage can hold without reallocating (≥
+    /// [`Tensor::len`]); lets arenas detect whether a [`Tensor::reset`]
+    /// will allocate.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
     }
 
     /// Always false: zero-sized tensors cannot be constructed.
@@ -514,6 +583,28 @@ mod tests {
         assert_eq!(c.at(0, 1, 1), 6.0);
         assert_eq!(b.mean_sq(), 1.0);
         assert_eq!(a.max_abs(), 2.0);
+    }
+
+    #[test]
+    fn reset_reuses_storage_and_zero_fills() {
+        let mut t = Tensor::from_fn(2, 4, 4, |_, _, _| 7.0f32);
+        let ptr = t.as_slice().as_ptr();
+        let cap = t.capacity();
+        t.reset(1, 3, 3);
+        assert_eq!(t.shape(), (1, 3, 3));
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(t.as_slice().as_ptr(), ptr, "shrinking must not reallocate");
+        assert_eq!(t.capacity(), cap);
+        t.reset(2, 4, 4); // back to the peak: capacity suffices
+        assert_eq!(t.as_slice().as_ptr(), ptr);
+    }
+
+    #[test]
+    fn pixel_shuffle_into_matches_allocating_version() {
+        let t = Tensor::from_fn(8, 3, 5, |c, y, x| (c * 100 + y * 10 + x) as f32);
+        let mut dst = Tensor::<f32>::zeros(1, 1, 1);
+        t.pixel_shuffle_into(2, &mut dst);
+        assert_eq!(dst, t.pixel_shuffle(2));
     }
 
     #[test]

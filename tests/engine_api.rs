@@ -49,7 +49,11 @@ fn all_registered_backends_report_one_workload() {
     )
     .unwrap();
     let backends = registry();
-    assert_eq!(backends.len(), 5, "ecnn + four baselines");
+    assert_eq!(
+        backends.len(),
+        7,
+        "ecnn + two sharded variants + four baselines"
+    );
     let mut reports = Vec::new();
     for backend in &backends {
         let r = backend
@@ -67,10 +71,21 @@ fn all_registered_backends_report_one_workload() {
         reports.push(r);
     }
     // The block-based flow wins the bandwidth comparison — the paper's
-    // headline — and the table renders one row per backend.
+    // headline — and the table renders one row per backend. Sharding
+    // keeps the traffic totals intact.
     let ecnn = &reports[0];
-    let frame_based = &reports[1];
+    let frame_based = reports
+        .iter()
+        .find(|r| r.backend == "frame-based")
+        .expect("frame-based registered");
     assert!(frame_based.dram_bytes_per_frame > 10.0 * ecnn.dram_bytes_per_frame);
+    for sharded in reports.iter().filter(|r| r.backend.starts_with("ecnn[x")) {
+        // Per-shard analytic byte counts truncate independently, so the
+        // sum may differ from the whole-frame value by under a byte per
+        // shard per direction.
+        let diff = (sharded.dram_bytes_per_frame - ecnn.dram_bytes_per_frame).abs();
+        assert!(diff <= 8.0, "{}: traffic drift {diff} B", sharded.backend);
+    }
     let table = FrameReport::table(&reports);
     assert_eq!(table.lines().count(), 1 + reports.len());
     for backend in &backends {
