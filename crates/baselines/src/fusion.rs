@@ -1,4 +1,4 @@
-//! Fused-layer line-buffer flow (Alwani et al. [4]) — the alternative the
+//! Fused-layer line-buffer flow (Alwani et al. \[4\]) — the alternative the
 //! paper rejects: it avoids DRAM traffic like the block flow but its SRAM
 //! grows linearly with depth × image width × channels.
 

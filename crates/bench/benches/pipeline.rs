@@ -1,0 +1,74 @@
+//! Criterion benchmark for the pipelined session: frames/sec over a
+//! short queue on the eSR-4K workload (SrERNet x4), comparing the serial
+//! `Session::run_frames` baseline against `AsyncSession` at 1, 2 and 4
+//! workers.
+//!
+//! On a multi-core host the 4-worker pipeline overlaps the quantize /
+//! execute / stitch stages of neighbouring frames and should clear at
+//! least 1.5x the serial frame throughput; on a single hardware thread
+//! the async rows measure the (small) pipelining overhead instead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecnn_core::engine::Engine;
+use ecnn_model::ernet::{ErNetSpec, ErNetTask};
+use ecnn_model::RealTimeSpec;
+use ecnn_tensor::{ImageKind, SyntheticImage, Tensor};
+use std::hint::black_box;
+
+/// The eSR-4K flow: SrERNet x4 at the UHD30 real-time target. The
+/// benchmark frames are small crops (a 2x2 block grid each, so band
+/// splitting still engages) because a bit-exact x4-SR block costs
+/// hundreds of milliseconds — the pipeline is identical at full 4K,
+/// just with proportionally more blocks per frame.
+fn engine() -> Engine {
+    Engine::builder()
+        .ernet(ErNetSpec::new(ErNetTask::Sr4, 1, 1, 0))
+        .block(32)
+        .realtime(RealTimeSpec::UHD30)
+        .build()
+        .unwrap()
+}
+
+fn frames() -> Vec<Tensor<f32>> {
+    (0..3)
+        .map(|seed| SyntheticImage::new(ImageKind::Mixed, seed).rgb(32, 48))
+        .collect()
+}
+
+fn bench_serial_queue(c: &mut Criterion) {
+    let eng = engine();
+    let queue = frames();
+    let mut session = eng.session();
+    session.run_frames(queue.iter()).unwrap(); // warm the plane pool
+    c.bench_function("pipeline/esr4k_3frames_run_frames", |b| {
+        b.iter(|| black_box(session.run_frames(black_box(queue.iter())).unwrap()))
+    });
+}
+
+fn bench_async_queue(c: &mut Criterion) {
+    let eng = engine();
+    let queue = frames();
+    for workers in [1usize, 2, 4] {
+        let mut session = eng.async_session(workers);
+        // Warm every worker's pool before measuring.
+        for frame in &queue {
+            session.submit(frame.clone()).unwrap();
+        }
+        session.drain().unwrap();
+        c.bench_function(&format!("pipeline/esr4k_3frames_async_x{workers}"), |b| {
+            b.iter(|| {
+                for frame in &queue {
+                    session.submit(black_box(frame.clone())).unwrap();
+                }
+                black_box(session.drain().unwrap())
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_serial_queue, bench_async_queue
+}
+criterion_main!(benches);

@@ -133,6 +133,25 @@ pub enum EngineError {
         /// Worker index within the sharded backend.
         shard: usize,
     },
+    /// A pipelined frame failed in flight; carries the frame's submission
+    /// index, the worker (shard) that hit the failure and the failing
+    /// block of the frame's grid, plus the underlying error.
+    Frame {
+        /// Submission index of the frame within its [`crate::pipe::AsyncSession`].
+        frame: usize,
+        /// Worker index within the session's pool.
+        shard: usize,
+        /// Row-major index of the failing block in the frame's block grid.
+        block: usize,
+        /// The error the worker hit.
+        source: Box<EngineError>,
+    },
+    /// A frame ticket unknown to the session it was polled on: never
+    /// issued there, or its result was already claimed.
+    Ticket {
+        /// Submission index the ticket names.
+        frame: usize,
+    },
     /// A band-execution request addressed block rows outside the frame's
     /// grid (or an empty range).
     Rows {
@@ -167,6 +186,20 @@ impl fmt::Display for EngineError {
                 write!(f, "shard {shard} failed at block {block}: {source}")
             }
             EngineError::Worker { shard } => write!(f, "shard {shard} worker panicked"),
+            EngineError::Frame {
+                frame,
+                shard,
+                block,
+                source,
+            } => {
+                write!(
+                    f,
+                    "frame {frame} failed in flight (shard {shard}, block {block}): {source}"
+                )
+            }
+            EngineError::Ticket { frame } => {
+                write!(f, "frame ticket {frame}: unknown or already claimed")
+            }
             EngineError::Rows {
                 start,
                 end,
@@ -187,7 +220,9 @@ impl std::error::Error for EngineError {
             EngineError::Model(e) => Some(e),
             EngineError::Compile(e) => Some(e),
             EngineError::Exec(e) => Some(e),
-            EngineError::Shard { source, .. } => Some(&**source),
+            EngineError::Shard { source, .. } | EngineError::Frame { source, .. } => {
+                Some(&**source)
+            }
             _ => None,
         }
     }
@@ -504,6 +539,15 @@ impl Engine {
         Session::new(self)
     }
 
+    /// Opens a pipelined session on `workers` long-lived worker threads:
+    /// submitted frames are quantized, executed and stitched as
+    /// overlapping band stages, and results come back through poll-based
+    /// tickets. Output pixels are bit-identical to [`Session::run_frames`]
+    /// at any worker count; see [`crate::pipe::AsyncSession`].
+    pub fn async_session(&self, workers: usize) -> crate::pipe::AsyncSession {
+        crate::pipe::AsyncSession::new(self, workers)
+    }
+
     /// Runs a single image through the block pipeline (partition →
     /// recompute → stitch) on the bit-exact simulator.
     ///
@@ -558,13 +602,19 @@ impl Engine {
         .finalize()
     }
 
-    /// Number of block rows in the frame grid for `image` — the unit the
-    /// sharded backend partitions across workers.
+    /// Output frame dimensions `(out_h, out_w)` for `image`, derived
+    /// integer-exactly from the model's rational output scale. This is
+    /// the single source of truth every execution path (whole-frame,
+    /// band, sharded, pipelined) stitches against: truncating the float
+    /// product `dim * output_scale()` can land one pixel short of the
+    /// block-grid geometry for non-power-of-two scale denominators.
     ///
     /// # Errors
     ///
-    /// [`EngineError::Image`] for geometry mismatches.
-    pub fn grid_rows(&self, image: &Tensor<f32>) -> Result<usize, EngineError> {
+    /// [`EngineError::Image`] for geometry mismatches; [`EngineError::Rows`]
+    /// when the output would be empty (zero output rows or columns), so
+    /// every downstream grid has at least one block row.
+    pub fn out_dims(&self, image: &Tensor<f32>) -> Result<(usize, usize), EngineError> {
         let p = &self.compiled.program;
         if image.channels() != p.di_channels {
             return Err(EngineError::Image(ImageMismatch {
@@ -575,9 +625,45 @@ impl Engine {
                 block: p.di_side,
             }));
         }
-        let scale = self.workload.qm.model.output_scale();
-        let out_h = (image.height() as f64 * scale) as usize;
-        Ok(out_h.div_ceil(p.do_side).max(1))
+        let (num, den) = self.workload.qm.model.output_scale_rational();
+        let out_h = image.height() * num / den;
+        let out_w = image.width() * num / den;
+        if out_h == 0 || out_w == 0 {
+            // A frame with no output blocks: structured error at entry
+            // rather than a silent empty grid downstream.
+            return Err(EngineError::Rows {
+                start: 0,
+                end: 0,
+                available: 0,
+            });
+        }
+        Ok((out_h, out_w))
+    }
+
+    /// Block-grid shape `(rows, cols)` of the output frame for `image` —
+    /// the one derivation every partitioned path (sharded, pipelined)
+    /// addresses blocks by, each at least 1 whenever [`Engine::out_dims`]
+    /// accepts the image.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Image`] for geometry mismatches; [`EngineError::Rows`]
+    /// for frames whose output grid would be empty.
+    pub fn grid_dims(&self, image: &Tensor<f32>) -> Result<(usize, usize), EngineError> {
+        let (out_h, out_w) = self.out_dims(image)?;
+        let xo = self.compiled.program.do_side;
+        Ok((out_h.div_ceil(xo), out_w.div_ceil(xo)))
+    }
+
+    /// Number of block rows in the frame grid for `image` — the unit the
+    /// sharded backend partitions across workers (see
+    /// [`Engine::grid_dims`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::grid_dims`].
+    pub fn grid_rows(&self, image: &Tensor<f32>) -> Result<usize, EngineError> {
+        Ok(self.grid_dims(image)?.0)
     }
 
     /// The unified cross-backend view of [`Engine::system_report`].
@@ -732,11 +818,10 @@ impl<'e> Session<'e> {
         // Cleared up front so a failure before the first block does not
         // leave a previous frame's index in `last_block_started`.
         self.last_block = None;
-        let total_rows = self.grid_rows(image)?;
+        let (out_h, out_w) = self.engine.out_dims(image)?;
+        let (total_rows, cols) = self.engine.grid_dims(image)?;
         let p = &self.engine.compiled.program;
         let scale = self.engine.workload.qm.model.output_scale();
-        let out_w = (image.width() as f64 * scale) as usize;
-        let out_h = (image.height() as f64 * scale) as usize;
         let xo = p.do_side;
         let xi = p.di_side;
         if rows.is_empty() || rows.end > total_rows {
@@ -748,7 +833,6 @@ impl<'e> Session<'e> {
         }
         let band_top = rows.start * xo;
         let band_h = (rows.end * xo).min(out_h) - band_top;
-        let cols = out_w.div_ceil(xo).max(1);
         match &self.frame {
             Some(f) if f.shape() == (p.do_channels, band_h, out_w) => {}
             Some(_) => {
@@ -826,6 +910,14 @@ impl<'e> Session<'e> {
     /// stream.
     pub fn frame_reallocs(&self) -> usize {
         self.frame_reallocs
+    }
+
+    /// The stitched output of the most recent [`Session::process`] /
+    /// [`Session::process_rows`] call (`None` before the first frame) —
+    /// lets long-lived workers hand the band onward without cloning it
+    /// or consuming the session.
+    pub fn last_frame(&self) -> Option<&Tensor<f32>> {
+        self.frame.as_ref()
     }
 
     /// Consumes the session, returning the stitched frame buffer

@@ -16,7 +16,8 @@
 //! fused-layer, TPU and Diffy flows), so eCNN and the paper's baselines
 //! share a single reporting surface. [`ShardedBackend`] wraps any backend
 //! and partitions a frame's block grid across worker threads — see
-//! [`sharded`].
+//! [`sharded`] — and [`AsyncSession`] pipelines whole frame queues over a
+//! persistent worker pool with poll-based tickets — see [`pipe`].
 //!
 //! # Example
 //!
@@ -48,6 +49,7 @@
 //! ```
 
 pub mod engine;
+pub mod pipe;
 pub mod pipeline;
 pub mod report;
 pub mod sharded;
@@ -56,8 +58,9 @@ pub use engine::{
     Backend, EcnnBackend, Engine, EngineBuilder, EngineError, FrameReport, ImageMismatch,
     ImageRunStats, Session, Workload,
 };
+pub use pipe::{AsyncSession, FramePoll, FrameTicket};
 pub use pipeline::PipelineError;
 #[allow(deprecated)]
 pub use pipeline::{Accelerator, Deployment};
 pub use report::SystemReport;
-pub use sharded::{BlockParallel, ShardedBackend};
+pub use sharded::{partition_rows, BlockParallel, ShardedBackend};

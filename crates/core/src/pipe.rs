@@ -1,0 +1,539 @@
+//! Pipelined asynchronous inference sessions.
+//!
+//! The block-based dataflow streams: the paper's accelerator overlaps
+//! block fetch, compute and writeback to sustain real-time 4K rates.
+//! [`AsyncSession`] brings that overlap to the serving path. Where
+//! [`Session::run_frames`](crate::engine::Session::run_frames) drains its
+//! queue strictly serially — frame `i+1` waits until frame `i` is
+//! quantized, executed *and* stitched — an `AsyncSession` keeps a small
+//! pool of long-lived worker threads (fed through a `crossbeam` MPMC
+//! channel), splits every submitted frame into the same block-row bands
+//! the sharded backend uses, and lets the stages of different frames
+//! overlap: while one worker stitches the tail band of frame `i`, others
+//! are already quantizing and executing the head bands of frame `i+1`.
+//!
+//! A serving-style caller pipelines decode → inference → encode without
+//! blocking:
+//!
+//! 1. [`AsyncSession::submit`] hands a decoded frame in and returns a
+//!    [`FrameTicket`] immediately (blocking only when the bounded
+//!    in-flight window is full — the back-pressure that keeps a fast
+//!    producer from outrunning the executor);
+//! 2. [`AsyncSession::poll`] is non-blocking: [`FramePoll::Pending`]
+//!    while the frame is in flight, [`FramePoll::Ready`] with the
+//!    stitched output and its per-frame [`ImageRunStats`] once done;
+//! 3. [`AsyncSession::drain`] waits for everything still in flight and
+//!    returns the remaining results in submission order.
+//!
+//! Output pixels are **bit-identical** to the serial session at any
+//! worker count: every band executes exactly the blocks the whole-frame
+//! flow would (global grid addressing, same receptive-field crops), and
+//! bands land in disjoint rows of the output frame. Per-frame stats are
+//! merged from the bands' counters; each worker holds one warm
+//! [`Session`](crate::engine::Session) whose plane pool is reused across
+//! bands *and* frames, so steady-state pipelining performs zero per-block
+//! allocations, exactly like the serial path. In-flight failures surface
+//! as [`EngineError::Frame`] carrying the frame's submission index, the
+//! worker (shard) and the failing block.
+
+use crate::engine::{Engine, EngineError, ImageRunStats};
+use crate::sharded::partition_rows;
+use crossbeam::channel::{self, Receiver, Sender};
+use ecnn_tensor::Tensor;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Claim check for one submitted frame; redeem it with
+/// [`AsyncSession::poll`]. Tickets are cheap copies — the frame index
+/// they carry doubles as the submission order — and are bound to the
+/// session that issued them: redeeming one elsewhere is a structured
+/// [`EngineError::Ticket`], never another session's frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FrameTicket {
+    session: u64,
+    frame: usize,
+}
+
+impl FrameTicket {
+    /// Submission index of the frame within its session (0-based).
+    pub fn frame(&self) -> usize {
+        self.frame
+    }
+}
+
+/// Result of a non-blocking [`AsyncSession::poll`].
+#[derive(Debug)]
+pub enum FramePoll {
+    /// The frame finished: its stitched output and per-frame stats.
+    Ready(Tensor<f32>, ImageRunStats),
+    /// The frame is still in flight; poll again later.
+    Pending,
+}
+
+/// One band of one in-flight frame, as queued to the worker pool.
+struct BandTask {
+    frame: usize,
+    rows: std::ops::Range<usize>,
+    /// Block columns of the frame's grid (for naming the failing block
+    /// when a worker dies before starting one).
+    cols: usize,
+    image: Arc<Tensor<f32>>,
+}
+
+/// The failure a frame's earliest failing band recorded.
+struct Failure {
+    band_start: usize,
+    shard: usize,
+    block: usize,
+    source: EngineError,
+}
+
+/// Accumulation state of one submitted, not-yet-finished frame.
+struct InFlight {
+    /// The output frame under assembly, behind its own lock so workers
+    /// stitching different frames (or callers polling the session) never
+    /// serialize on a band paste — only bands of the *same* frame, whose
+    /// pastes target disjoint rows, take turns here.
+    out: Arc<Mutex<Tensor<f32>>>,
+    stats: ImageRunStats,
+    bands_left: usize,
+    failure: Option<Failure>,
+}
+
+type FrameResult = Result<(Tensor<f32>, ImageRunStats), EngineError>;
+
+#[derive(Default)]
+struct State {
+    inflight: HashMap<usize, InFlight>,
+    done: HashMap<usize, FrameResult>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled whenever a frame completes (its result moved to `done`).
+    frame_done: Condvar,
+}
+
+/// A pipelined, poll-based inference session over one [`Engine`].
+///
+/// Construct via [`Engine::async_session`] (or
+/// [`AsyncSession::with_capacity`] to tune the back-pressure window).
+/// Dropping the session closes the task channel and joins the workers;
+/// queued work is finished first, unclaimed results are discarded.
+///
+/// See the [module docs](crate::pipe) for the full contract.
+pub struct AsyncSession {
+    engine: Arc<Engine>,
+    shared: Arc<Shared>,
+    /// `Some` while the session accepts work; taken on drop to close the
+    /// channel and let the workers run out.
+    tasks: Option<Sender<BandTask>>,
+    workers: Vec<JoinHandle<()>>,
+    n_workers: usize,
+    capacity: usize,
+    /// Distinguishes this session's tickets from every other session's.
+    session_id: u64,
+    next_frame: usize,
+    /// Submitted-but-unclaimed frames, in submission order (for `drain`).
+    order: VecDeque<usize>,
+}
+
+impl AsyncSession {
+    /// Pipelined session on `workers` threads with the default in-flight
+    /// window of `2 * workers` frames.
+    ///
+    /// The engine is cloned once into the session (the worker threads
+    /// outlive the borrow a scoped approach could offer) — open one
+    /// session per stream and keep it, rather than one per frame.
+    pub fn new(engine: &Engine, workers: usize) -> Self {
+        let workers = workers.max(1);
+        Self::with_capacity(engine, workers, 2 * workers)
+    }
+
+    /// Pipelined session with an explicit back-pressure window:
+    /// [`AsyncSession::submit`] blocks while `capacity` frames are in
+    /// flight (submitted and not yet fully stitched). `capacity == 1`
+    /// degenerates to lock-step serial behaviour with band parallelism.
+    pub fn with_capacity(engine: &Engine, workers: usize, capacity: usize) -> Self {
+        let workers = workers.max(1);
+        let engine = Arc::new(engine.clone());
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State::default()),
+            frame_done: Condvar::new(),
+        });
+        let (tx, rx) = channel::unbounded::<BandTask>();
+        let handles = (0..workers)
+            .map(|worker| {
+                let engine = engine.clone();
+                let shared = shared.clone();
+                let rx = rx.clone();
+                std::thread::spawn(move || worker_loop(&engine, &shared, &rx, worker))
+            })
+            .collect();
+        static NEXT_SESSION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        Self {
+            engine,
+            shared,
+            tasks: Some(tx),
+            workers: handles,
+            n_workers: workers,
+            capacity: capacity.max(1),
+            session_id: NEXT_SESSION.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            next_frame: 0,
+            order: VecDeque::new(),
+        }
+    }
+
+    /// The engine this session pipelines on.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Back-pressure window: the maximum number of frames in flight.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Frames currently in flight (submitted, not yet finished).
+    pub fn in_flight(&self) -> usize {
+        self.lock_state().inflight.len()
+    }
+
+    /// Submitted frames whose results have not been claimed yet (in
+    /// flight or finished-but-unpolled).
+    pub fn pending(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Submits one decoded frame for pipelined inference, taking
+    /// ownership of it, and returns the ticket to claim the result with.
+    /// Geometry is validated here, so a bad frame fails synchronously and
+    /// never occupies the pipeline. Blocks while [`AsyncSession::capacity`]
+    /// frames are in flight (back-pressure); completion by the workers —
+    /// not polling — frees the window, so a submit-only caller cannot
+    /// deadlock itself. The flip side: finished results are held until
+    /// claimed, so a long stream must interleave [`AsyncSession::poll`] /
+    /// [`AsyncSession::wait`] (or periodic [`AsyncSession::drain`]s) with
+    /// its submits to bound memory — one stitched output frame per
+    /// unclaimed result.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Image`] / [`EngineError::Rows`] for frames the
+    /// engine cannot grid.
+    pub fn submit(&mut self, frame: Tensor<f32>) -> Result<FrameTicket, EngineError> {
+        let (out_h, out_w) = self.engine.out_dims(&frame)?;
+        let (rows, cols) = self.engine.grid_dims(&frame)?;
+        let p = &self.engine.compiled().program;
+        let bands = partition_rows(rows, self.n_workers);
+        let id = self.next_frame;
+        self.next_frame += 1;
+
+        let mut state = self.lock_state();
+        while state.inflight.len() >= self.capacity {
+            state = self
+                .shared
+                .frame_done
+                .wait(state)
+                .expect("session lock poisoned");
+        }
+        state.inflight.insert(
+            id,
+            InFlight {
+                out: Arc::new(Mutex::new(Tensor::zeros(p.do_channels, out_h, out_w))),
+                stats: ImageRunStats::default(),
+                bands_left: bands.len(),
+                failure: None,
+            },
+        );
+        drop(state);
+
+        let image = Arc::new(frame);
+        let tasks = self
+            .tasks
+            .as_ref()
+            .expect("channel open while session lives");
+        for rows in bands {
+            tasks
+                .send(BandTask {
+                    frame: id,
+                    rows,
+                    cols,
+                    image: image.clone(),
+                })
+                .expect("workers outlive the session");
+        }
+        self.order.push_back(id);
+        Ok(FrameTicket {
+            session: self.session_id,
+            frame: id,
+        })
+    }
+
+    /// Non-blocking claim: [`FramePoll::Ready`] hands the finished frame
+    /// over (the ticket is spent), [`FramePoll::Pending`] means it is
+    /// still in flight.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Frame`] if the frame failed in flight (the ticket
+    /// is spent); [`EngineError::Ticket`] for a ticket this session never
+    /// issued or whose result was already claimed.
+    pub fn poll(&mut self, ticket: FrameTicket) -> Result<FramePoll, EngineError> {
+        if ticket.session != self.session_id {
+            return Err(EngineError::Ticket {
+                frame: ticket.frame,
+            });
+        }
+        let mut state = self.lock_state();
+        if let Some(result) = state.done.remove(&ticket.frame) {
+            drop(state);
+            self.order.retain(|&id| id != ticket.frame);
+            return result.map(|(out, stats)| FramePoll::Ready(out, stats));
+        }
+        if state.inflight.contains_key(&ticket.frame) {
+            return Ok(FramePoll::Pending);
+        }
+        Err(EngineError::Ticket {
+            frame: ticket.frame,
+        })
+    }
+
+    /// Blocking claim: waits until the frame finishes.
+    ///
+    /// # Errors
+    ///
+    /// As [`AsyncSession::poll`].
+    pub fn wait(
+        &mut self,
+        ticket: FrameTicket,
+    ) -> Result<(Tensor<f32>, ImageRunStats), EngineError> {
+        if ticket.session != self.session_id {
+            return Err(EngineError::Ticket {
+                frame: ticket.frame,
+            });
+        }
+        let mut state = self.lock_state();
+        loop {
+            if let Some(result) = state.done.remove(&ticket.frame) {
+                drop(state);
+                self.order.retain(|&id| id != ticket.frame);
+                return result;
+            }
+            if !state.inflight.contains_key(&ticket.frame) {
+                return Err(EngineError::Ticket {
+                    frame: ticket.frame,
+                });
+            }
+            state = self
+                .shared
+                .frame_done
+                .wait(state)
+                .expect("session lock poisoned");
+        }
+    }
+
+    /// Waits for every in-flight frame and returns all unclaimed results
+    /// in submission order — the pipelined counterpart of
+    /// [`Session::run_frames`](crate::engine::Session::run_frames).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing frame's [`EngineError::Frame`] (by
+    /// submission order). Results of earlier frames are dropped, matching
+    /// `run_frames`; later frames stay claimable through
+    /// [`AsyncSession::poll`].
+    pub fn drain(&mut self) -> Result<Vec<(Tensor<f32>, ImageRunStats)>, EngineError> {
+        // Lock through a clone of the shared handle so the guard does not
+        // pin `self` while `order` is drained.
+        let shared = self.shared.clone();
+        let mut state = shared.state.lock().expect("session lock poisoned");
+        while !state.inflight.is_empty() {
+            state = shared
+                .frame_done
+                .wait(state)
+                .expect("session lock poisoned");
+        }
+        let mut results = Vec::with_capacity(self.order.len());
+        while let Some(id) = self.order.pop_front() {
+            match state.done.remove(&id) {
+                Some(Ok(pair)) => results.push(pair),
+                Some(Err(e)) => return Err(e),
+                None => return Err(EngineError::Ticket { frame: id }),
+            }
+        }
+        Ok(results)
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, State> {
+        self.shared.state.lock().expect("session lock poisoned")
+    }
+
+    /// Test support: records `source` as an in-flight band failure on the
+    /// ticket's frame, as if its first band had failed on a worker —
+    /// exercising the skip/attribution/completion machinery that real
+    /// inputs cannot reach (geometry is validated at submit and compiled
+    /// plans at engine build). Returns whether the frame was still in
+    /// flight.
+    #[doc(hidden)]
+    pub fn inject_band_failure(&mut self, ticket: FrameTicket, source: EngineError) -> bool {
+        if ticket.session != self.session_id {
+            return false;
+        }
+        let mut state = self.lock_state();
+        let Some(fl) = state.inflight.get_mut(&ticket.frame) else {
+            return false;
+        };
+        if fl.failure.is_none() {
+            fl.failure = Some(Failure {
+                band_start: 0,
+                shard: 0,
+                block: 0,
+                source,
+            });
+        }
+        true
+    }
+}
+
+impl Drop for AsyncSession {
+    fn drop(&mut self) {
+        // Closing the channel lets every worker drain the queue and exit.
+        self.tasks.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// What one band's execution produced, as handed to [`finish_band`].
+enum BandOutcome {
+    /// The band executed and was already pasted into the frame under its
+    /// per-frame lock; only the stats remain to merge.
+    Done(ImageRunStats),
+    Failed(Failure),
+    /// The frame had already failed; the band was not executed.
+    Skipped,
+}
+
+fn worker_loop(engine: &Engine, shared: &Shared, tasks: &Receiver<BandTask>, worker: usize) {
+    let xo = engine.compiled().program.do_side;
+    let mut session = engine.session();
+    while let Ok(task) = tasks.recv() {
+        // Grab the frame's output handle up front; a band of an
+        // already-failed (or vanished) frame only needs its accounting.
+        let out = {
+            let state = shared.state.lock().expect("session lock poisoned");
+            state
+                .inflight
+                .get(&task.frame)
+                .filter(|f| f.failure.is_none())
+                .map(|f| f.out.clone())
+        };
+        let Some(out) = out else {
+            finish_band(shared, task.frame, BandOutcome::Skipped);
+            continue;
+        };
+        // The executor and stitch only panic on internal invariant
+        // violations; the catch spans the whole execute-and-paste step so
+        // any such bug (including a lock poisoned by a sibling band's
+        // panic) becomes a structured per-frame error that still books
+        // its band — never a hung pipeline.
+        let ran = catch_unwind(AssertUnwindSafe(|| {
+            session
+                .process_rows(&task.image, task.rows.clone())
+                .map(|_| ())?;
+            // Stitch under the frame's own lock: bands of other frames
+            // (and session polls) proceed concurrently.
+            let band = session.last_frame().expect("band stitched by process_rows");
+            out.lock()
+                .expect("frame lock poisoned")
+                .paste(band, task.rows.start * xo, 0);
+            Ok(session.last_frame_stats())
+        }));
+        let outcome = match ran {
+            Ok(Ok(stats)) => BandOutcome::Done(stats),
+            Ok(Err(source)) => BandOutcome::Failed(Failure {
+                band_start: task.rows.start,
+                shard: worker,
+                block: session
+                    .last_block_started()
+                    .unwrap_or(task.rows.start * task.cols),
+                source,
+            }),
+            Err(_panic) => {
+                // The session (pool, scratch) may be mid-block; rebuild it.
+                session = engine.session();
+                BandOutcome::Failed(Failure {
+                    band_start: task.rows.start,
+                    shard: worker,
+                    block: task.rows.start * task.cols,
+                    source: EngineError::Worker { shard: worker },
+                })
+            }
+        };
+        // The frame handle must be released before the accounting: the
+        // last band's completion unwraps the sole remaining `Arc`.
+        drop(out);
+        finish_band(shared, task.frame, outcome);
+    }
+}
+
+/// Books one band into its frame: stats merge on success (the paste
+/// already happened under the frame's own lock), the earliest failure
+/// wins otherwise; the last band moves the frame to `done` and wakes
+/// pollers.
+fn finish_band(shared: &Shared, frame: usize, outcome: BandOutcome) {
+    let mut state = shared.state.lock().expect("session lock poisoned");
+    let Some(fl) = state.inflight.get_mut(&frame) else {
+        return;
+    };
+    match outcome {
+        BandOutcome::Done(stats) => {
+            if fl.failure.is_none() {
+                fl.stats.merge(&stats);
+            }
+        }
+        BandOutcome::Failed(failure) => {
+            // Deterministic-ish attribution: keep the failure of the
+            // earliest band in the grid, whichever worker reports first.
+            if fl
+                .failure
+                .as_ref()
+                .is_none_or(|cur| failure.band_start < cur.band_start)
+            {
+                fl.failure = Some(failure);
+            }
+        }
+        BandOutcome::Skipped => {}
+    }
+    fl.bands_left -= 1;
+    if fl.bands_left == 0 {
+        let fl = state.inflight.remove(&frame).expect("present just above");
+        let result = match fl.failure {
+            None => {
+                let out = Arc::try_unwrap(fl.out)
+                    .expect("every band released its frame handle")
+                    .into_inner()
+                    .expect("frame lock poisoned");
+                Ok((out, fl.stats))
+            }
+            Some(f) => Err(EngineError::Frame {
+                frame,
+                shard: f.shard,
+                block: f.block,
+                source: Box::new(f.source),
+            }),
+        };
+        state.done.insert(frame, result);
+        drop(state);
+        shared.frame_done.notify_all();
+    }
+}

@@ -3,7 +3,7 @@
 //! The block-based dataflow makes a frame's block grid embarrassingly
 //! parallel: no block reads another block's output. [`ShardedBackend`]
 //! exploits that by partitioning the grid's block rows across `N` worker
-//! threads (crossbeam scoped threads, one [`Session`] — and therefore one
+//! threads (crossbeam scoped threads, one [`Session`](crate::engine::Session) — and therefore one
 //! plane pool — per shard), executing the shards concurrently, stitching
 //! the bands back together in deterministic block order, and merging the
 //! per-shard reports:
@@ -63,17 +63,18 @@ impl Engine {
         image: &Tensor<f32>,
         shards: usize,
     ) -> Result<(Tensor<f32>, ImageRunStats), EngineError> {
-        let rows = self.grid_rows(image)?;
+        // Output geometry comes from the one integer-exact derivation
+        // every band stitches against ([`Engine::out_dims`]); a zero-block
+        // frame is a structured `Rows` error here, before any worker
+        // spawns, so `partition_rows` below only ever sees `rows >= 1`.
+        let (out_h, out_w) = self.out_dims(image)?;
+        let (rows, cols) = self.grid_dims(image)?;
+        let p = &self.compiled().program;
+        let xo = p.do_side;
         let n = shards.clamp(1, rows);
         if n == 1 {
             return self.run_image(image);
         }
-        let p = &self.compiled().program;
-        let scale = self.workload().qm.model.output_scale();
-        let out_w = (image.width() as f64 * scale) as usize;
-        let out_h = (image.height() as f64 * scale) as usize;
-        let xo = p.do_side;
-        let cols = out_w.div_ceil(xo).max(1);
         let ranges = partition_rows(rows, n);
 
         let joined = crossbeam::scope(|scope| {
@@ -83,8 +84,15 @@ impl Engine {
                 .map(|range| {
                     scope.spawn(move |_| {
                         let mut session = self.session();
-                        match session.process_rows(image, range.clone()) {
-                            Ok(band) => Ok((band.clone(), session.last_frame_stats())),
+                        // `map(|_| ())` ends the borrow of the session so
+                        // the success path can take the stitched band out
+                        // of it instead of cloning a second copy.
+                        match session.process_rows(image, range.clone()).map(|_| ()) {
+                            Ok(()) => {
+                                let stats = session.last_frame_stats();
+                                let band = session.into_frame().expect("band stitched just above");
+                                Ok((band, stats))
+                            }
                             Err(e) => Err((
                                 // Block index in the row-major frame grid;
                                 // if the worker failed before its first
@@ -122,10 +130,17 @@ impl Engine {
     }
 }
 
-/// Splits `rows` block rows into `n` contiguous, non-empty, near-equal
-/// ranges (earlier ranges take the remainder).
-fn partition_rows(rows: usize, n: usize) -> Vec<std::ops::Range<usize>> {
-    let n = n.clamp(1, rows.max(1));
+/// Splits `rows` block rows into `min(n, rows)` contiguous, non-empty,
+/// near-equal ranges covering `0..rows` (earlier ranges take the
+/// remainder). Total over every input: zero rows yield zero ranges —
+/// never a single empty one — so a worker can never be handed a band
+/// with no blocks; callers that require work reject empty grids up
+/// front ([`Engine::out_dims`] returns [`EngineError::Rows`]).
+pub fn partition_rows(rows: usize, n: usize) -> Vec<std::ops::Range<usize>> {
+    if rows == 0 {
+        return Vec::new();
+    }
+    let n = n.clamp(1, rows);
     let base = rows / n;
     let rem = rows % n;
     let mut start = 0;

@@ -16,7 +16,7 @@
 //! * [`params`] — quantized model parameters ([`params::QuantizedModel`])
 //!   and the 21-bitstream packed parameter format with byte-aligned
 //!   decoding-restart segments.
-//! * [`compile`] — the compiler from `ecnn-model` IR to an FBISA program
+//! * [`mod@compile`] — the compiler from `ecnn-model` IR to an FBISA program
 //!   with block-buffer allocation, wide-channel splitting, upsampler /
 //!   downsampler fusion and partial-sum chaining via `srcS`.
 //!

@@ -124,14 +124,25 @@ impl Op {
         }
     }
 
+    /// Multiplicative effect on spatial resolution as an exact rational
+    /// `(numerator, denominator)` — the single source of scale truth;
+    /// [`Op::scale_factor`] and the model-level walks derive from it.
+    /// Exhaustive over every variant so a future scale-changing op
+    /// cannot silently diverge between the float and integer geometry
+    /// paths.
+    pub fn scale_rational(&self) -> (usize, usize) {
+        match *self {
+            Op::Conv3x3 { .. } | Op::Conv1x1 { .. } | Op::ErModule { .. } => (1, 1),
+            Op::PixelShuffle { factor } => (factor, 1),
+            Op::PixelUnshuffle { factor } | Op::Downsample { factor, .. } => (1, factor),
+        }
+    }
+
     /// Multiplicative effect on spatial resolution (2.0 for ×2 upsampling,
     /// 0.5 for ×2 downsampling, 1.0 otherwise).
     pub fn scale_factor(&self) -> f64 {
-        match *self {
-            Op::PixelShuffle { factor } => factor as f64,
-            Op::PixelUnshuffle { factor } | Op::Downsample { factor, .. } => 1.0 / factor as f64,
-            _ => 1.0,
-        }
+        let (num, den) = self.scale_rational();
+        num as f64 / den as f64
     }
 
     /// Number of CONV3×3 stages inside this op (drives the receptive-field

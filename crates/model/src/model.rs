@@ -204,6 +204,24 @@ impl Model {
         *self.scale_walk().last().expect("walk is nonempty")
     }
 
+    /// [`Model::output_scale`] as an exact reduced ratio
+    /// `(numerator, denominator)`. Every scale-changing op multiplies by
+    /// an integer factor or its reciprocal, so the output scale is always
+    /// rational; geometry derivations (output frame dimensions, block-grid
+    /// counts) must use this rather than truncating `dim * output_scale()`
+    /// — for non-power-of-two denominators the float product can land just
+    /// below the exact integer and truncate one pixel short.
+    pub fn output_scale_rational(&self) -> (usize, usize) {
+        let (mut num, mut den) = (1usize, 1usize);
+        for layer in &self.layers {
+            let (n, d) = layer.op.scale_rational();
+            num *= n;
+            den *= d;
+        }
+        let g = gcd(num, den);
+        (num / g, den / g)
+    }
+
     /// Total CONV3×3 stage count `D` — the truncated pyramid's depth driver.
     pub fn depth_conv3x3(&self) -> usize {
         self.layers.iter().map(|l| l.op.conv3x3_count()).sum()
@@ -276,6 +294,14 @@ impl Model {
             })
             .sum()
     }
+}
+
+/// Greatest common divisor (Euclid); `gcd(n, 0) == n`.
+fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
 }
 
 impl fmt::Display for Model {
@@ -413,6 +439,39 @@ mod tests {
         let m = Model::new("m", 3, 32, layers).unwrap();
         assert_eq!(m.scale_walk(), vec![1.0, 1.0, 2.0, 1.0]);
         assert_eq!(m.output_scale(), 1.0);
+        assert_eq!(m.output_scale_rational(), (1, 1));
+    }
+
+    #[test]
+    fn rational_scale_is_integer_exact() {
+        // A 1/3 downscaler: the rational form maps 9 input rows to
+        // exactly 3 output rows by integer division, where the float
+        // product `9.0 * output_scale()` depends on how 1/3's rounding
+        // error happens to land relative to the truncation boundary.
+        let layers = vec![
+            conv(3, 3),
+            Layer::new(Op::Downsample {
+                kind: PoolKind::Stride,
+                factor: 3,
+            }),
+        ];
+        let m = Model::new("m", 3, 3, layers).unwrap();
+        let (num, den) = m.output_scale_rational();
+        assert_eq!((num, den), (1, 3));
+        for h in 1..1000usize {
+            assert_eq!(h * num / den, h / 3, "height {h}");
+        }
+        // Compound scales reduce: x2 shuffle then /2 pool is unity.
+        let layers = vec![
+            conv(3, 12),
+            Layer::new(Op::PixelShuffle { factor: 2 }),
+            Layer::new(Op::Downsample {
+                kind: PoolKind::Max,
+                factor: 2,
+            }),
+        ];
+        let m = Model::new("m", 3, 3, layers).unwrap();
+        assert_eq!(m.output_scale_rational(), (1, 1));
     }
 
     #[test]

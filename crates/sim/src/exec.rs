@@ -111,6 +111,29 @@ impl ExecStats {
         }
     }
 
+    /// Evenly attributes a multi-frame accumulation across `frames`
+    /// frames (integer division: each counter's per-frame share, with
+    /// sub-frame remainders dropped). Pipelined runs interleave bands of
+    /// several frames on one pool, so throughput reporting divides the
+    /// merged totals back down; `frames == 0` returns the counters
+    /// unchanged.
+    pub fn per_frame(&self, frames: u64) -> ExecStats {
+        if frames == 0 {
+            return *self;
+        }
+        ExecStats {
+            mac3: self.mac3 / frames,
+            mac1: self.mac1 / frames,
+            bb_read_bytes: self.bb_read_bytes / frames,
+            bb_write_bytes: self.bb_write_bytes / frames,
+            di_bytes: self.di_bytes / frames,
+            do_bytes: self.do_bytes / frames,
+            instructions: self.instructions / frames,
+            planes_allocated: self.planes_allocated / frames,
+            planes_reused: self.planes_reused / frames,
+        }
+    }
+
     /// Counters accumulated since `mark`, an earlier snapshot of the same
     /// monotonically growing stream.
     pub fn delta_since(&self, mark: &ExecStats) -> ExecStats {
@@ -1469,6 +1492,11 @@ mod tests {
         let steady = pool.stats().delta_since(&warm);
         assert_eq!(steady.planes_allocated, 0, "warm blocks must not allocate");
         assert!(steady.planes_reused > 0);
+        // Three identical warm blocks attribute back to exactly one
+        // block's worth of deterministic work.
+        let per_block = steady.per_frame(3);
+        assert_eq!(per_block.work(), warm.work());
+        assert_eq!(steady.per_frame(0), steady, "0 frames: unchanged");
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod prelude {
     pub use ecnn_core::engine::{
         Backend, EcnnBackend, Engine, EngineBuilder, EngineError, FrameReport, Session, Workload,
     };
+    pub use ecnn_core::pipe::{AsyncSession, FramePoll, FrameTicket};
     pub use ecnn_core::sharded::ShardedBackend;
     pub use ecnn_core::SystemReport;
     pub use ecnn_isa::params::QuantizedModel;

@@ -1,5 +1,6 @@
 //! Cross-crate property tests on the core invariants.
 
+use ecnn_core::partition_rows;
 use ecnn_isa::coding::{decode_segment, encode_segment};
 use ecnn_isa::compile::compile;
 use ecnn_isa::params::QuantizedModel;
@@ -137,6 +138,35 @@ proptest! {
         prop_assert_eq!(stats.planes_allocated + stats.planes_reused, checkouts);
         // The second pass found every key resident.
         prop_assert!(stats.planes_reused >= seeds.len() as u64);
+    }
+
+    /// The band partition the sharded and pipelined paths are built on:
+    /// for any `rows >= 1` the ranges cover `0..rows` contiguously, none
+    /// is empty, and earlier ranges take the remainder (lengths are
+    /// non-increasing and spread by at most one).
+    #[test]
+    fn partition_rows_invariants(rows in 1usize..400, n in 1usize..40) {
+        let ranges = partition_rows(rows, n);
+        prop_assert_eq!(ranges.len(), n.min(rows));
+        prop_assert_eq!(ranges[0].start, 0);
+        prop_assert_eq!(ranges.last().unwrap().end, rows);
+        for w in ranges.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+        }
+        let lens: Vec<usize> = ranges.iter().map(std::ops::Range::len).collect();
+        prop_assert!(lens.iter().all(|&l| l >= 1), "non-empty");
+        prop_assert_eq!(lens.iter().sum::<usize>(), rows);
+        for w in lens.windows(2) {
+            prop_assert!(w[0] >= w[1], "earlier ranges take the remainder");
+            prop_assert!(w[0] - w[1] <= 1, "near-equal split");
+        }
+    }
+
+    /// Zero rows yield zero ranges — never a single empty one whose
+    /// `start * cols` would misname block 0 of a blockless frame.
+    #[test]
+    fn partition_rows_of_empty_grid_is_empty(n in 0usize..40) {
+        prop_assert!(partition_rows(0, n).is_empty());
     }
 
     /// Every feasible ERNet compiles, respects the 4-leaf cap, and its

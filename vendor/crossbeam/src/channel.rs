@@ -1,0 +1,267 @@
+//! Offline stand-in for `crossbeam-channel`: multi-producer
+//! multi-consumer FIFO channels over a mutex-guarded deque. The surface
+//! kept API-compatible with the real crate: [`bounded`] / [`unbounded`],
+//! [`Sender::send`] (blocking when a bounded channel is full) and
+//! [`Receiver::recv`] (blocking while the channel is empty, erroring once
+//! every sender is gone and the queue has drained). The pipelined
+//! session feeds its worker pool through an [`unbounded`] channel and
+//! applies back-pressure at *frame* granularity itself (its bounded
+//! in-flight window), so the task queue never holds more than
+//! `capacity × workers` band entries.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Sending on a channel whose receivers have all been dropped; carries
+/// the rejected message back to the caller.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// Receiving on a channel that is empty with every sender dropped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty, disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    /// `None` = unbounded.
+    cap: Option<usize>,
+    /// Signals receivers: a message arrived or the last sender left.
+    not_empty: Condvar,
+    /// Signals senders: a slot freed up or the last receiver left.
+    not_full: Condvar,
+}
+
+/// The sending half; clone freely for multiple producers.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// The receiving half; clone freely for multiple consumers (each message
+/// is delivered to exactly one receiver).
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Creates a channel that holds at most `cap` queued messages; `send`
+/// blocks while the channel is full.
+///
+/// # Panics
+///
+/// Panics on `cap == 0`: real `crossbeam-channel` turns that into a
+/// rendezvous channel (send completes when a receiver is ready), which
+/// this queue-based stub cannot express — better a loud divergence than
+/// a silent permanent deadlock.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "rendezvous channels (cap 0) are not stubbed");
+    channel(Some(cap))
+}
+
+/// Creates a channel with an unbounded queue; `send` never blocks.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        cap,
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender { chan: chan.clone() }, Receiver { chan })
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `msg`, blocking while a bounded channel is full.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError`] (returning the message) once every receiver is gone.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut state = self.chan.state.lock().expect("channel lock poisoned");
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            match self.chan.cap {
+                Some(cap) if state.queue.len() >= cap => {
+                    state = self
+                        .chan
+                        .not_full
+                        .wait(state)
+                        .expect("channel lock poisoned");
+                }
+                _ => break,
+            }
+        }
+        state.queue.push_back(msg);
+        drop(state);
+        self.chan.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan
+            .state
+            .lock()
+            .expect("channel lock poisoned")
+            .senders += 1;
+        Sender {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.chan.state.lock().expect("channel lock poisoned");
+        state.senders -= 1;
+        if state.senders == 0 {
+            drop(state);
+            // Wake receivers parked on an empty queue so they observe the
+            // disconnect.
+            self.chan.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the next message, blocking while the channel is empty.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError`] once the queue is empty and every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.chan.state.lock().expect("channel lock poisoned");
+        loop {
+            if let Some(msg) = state.queue.pop_front() {
+                drop(state);
+                self.chan.not_full.notify_one();
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self
+                .chan
+                .not_empty
+                .wait(state)
+                .expect("channel lock poisoned");
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan
+            .state
+            .lock()
+            .expect("channel lock poisoned")
+            .receivers += 1;
+        Receiver {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.chan.state.lock().expect("channel lock poisoned");
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            drop(state);
+            // Wake senders parked on a full queue so they observe the
+            // disconnect.
+            self.chan.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_across_threads_mpmc() {
+        let (tx, rx) = unbounded::<usize>();
+        let consumed = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let rx = rx.clone();
+                let consumed = consumed.clone();
+                s.spawn(move || {
+                    while let Ok(v) = rx.recv() {
+                        consumed.fetch_add(v, Ordering::SeqCst);
+                    }
+                });
+            }
+            for v in 1..=100usize {
+                tx.send(v).unwrap();
+            }
+            drop(tx);
+        });
+        assert_eq!(consumed.load(Ordering::SeqCst), 5050);
+    }
+
+    #[test]
+    fn bounded_send_applies_backpressure() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2).unwrap());
+        // The second send must park until the receiver frees a slot.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        t.join().unwrap();
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn disconnects_are_observable() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(3).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(3));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+}

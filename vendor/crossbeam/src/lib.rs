@@ -1,8 +1,10 @@
-//! Offline stand-in for `crossbeam::scope`, layered over
-//! `std::thread::scope`. Only the surface this workspace uses: `scope`,
-//! `Scope::spawn` (the closure's scope argument is a placeholder `()` —
-//! respawning from inside workers is not supported) and
-//! `ScopedJoinHandle::join`.
+//! Offline stand-in for the `crossbeam` surface this workspace uses:
+//! `scope` / `Scope::spawn` / `ScopedJoinHandle::join` layered over
+//! `std::thread::scope` (the closure's scope argument is a placeholder
+//! `()` — respawning from inside workers is not supported), plus the
+//! [`channel`] module's MPMC channels for long-lived worker pools.
+
+pub mod channel;
 
 /// Scoped-thread context handed to the `scope` closure.
 pub struct Scope<'scope, 'env: 'scope> {
