@@ -1,0 +1,104 @@
+//! Kernel perf trajectory: times the eSR-4K single-frame path on the
+//! packed flat-slice micro-kernels against the kept scalar reference path
+//! (same plan, same codes, same run) and writes `BENCH_kernels.json` with
+//! median ns/frame and MAC/s, so later PRs can compare against a recorded
+//! baseline.
+//!
+//! A "frame" here is one full eSR-4K block execution: the engine's
+//! UHD30 pick (ERNet SR4, B=17, R=3, N=1) at its 128-pixel input block —
+//! the exact workload `Session::process` runs per block on a 4K stream.
+//! Reps are configurable with `ECNN_BENCH_REPS` (default 7 packed / 3
+//! reference; the reference path is an order of magnitude slower).
+
+use ecnn_isa::compile::compile;
+use ecnn_isa::params::QuantizedModel;
+use ecnn_model::ernet::{ErNetSpec, ErNetTask};
+use ecnn_sim::exec::{execute_with, quantize_input, BlockPlan, Kernels, PlanePool};
+use ecnn_tensor::{ImageKind, SyntheticImage};
+use std::time::Instant;
+
+fn median(mut ns: Vec<u128>) -> u128 {
+    ns.sort_unstable();
+    ns[ns.len() / 2]
+}
+
+fn env_reps(default: usize) -> usize {
+    std::env::var("ECNN_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+fn main() {
+    let spec = ErNetSpec::new(ErNetTask::Sr4, 17, 3, 1);
+    let xi = 128usize;
+    let m = spec.build().expect("paper model builds");
+    let qm = QuantizedModel::uniform(&m);
+    let compiled = compile(&qm, xi).expect("paper model compiles");
+    let plan = BlockPlan::new(&compiled.program, &compiled.leafs).expect("plan");
+    let img = SyntheticImage::new(ImageKind::Mixed, 9).rgb(xi, xi);
+    let codes = quantize_input(&img, &compiled.program);
+
+    ecnn_bench::section(&format!("kernel bench: {spec} block {xi}"));
+    println!("packed parameter cache: {} KiB", plan.packed_bytes() / 1024);
+
+    let mut results = Vec::new();
+    let mut macs_per_frame = 0u64;
+    let mut steady_allocs = u64::MAX;
+    let mut params_reused = 0u64;
+    for (name, kind, reps) in [
+        ("packed", Kernels::Packed, env_reps(7)),
+        ("reference", Kernels::Reference, env_reps(3)),
+    ] {
+        let mut pool = PlanePool::new();
+        // Warm-up: grows the arena to its peak so timed frames are
+        // steady-state.
+        execute_with(&plan, &mut pool, &codes, kind).expect("warm-up");
+        let warm = pool.stats();
+        let mut ns = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let out = execute_with(&plan, &mut pool, &codes, kind).expect("frame");
+            ns.push(t0.elapsed().as_nanos());
+            std::hint::black_box(out);
+        }
+        let delta = pool.stats().delta_since(&warm).per_frame(reps as u64);
+        macs_per_frame = delta.mac3 + delta.mac1;
+        if kind == Kernels::Packed {
+            steady_allocs = delta.planes_allocated;
+            params_reused = delta.params_reused;
+        }
+        let med = median(ns);
+        let mac_per_s = macs_per_frame as f64 / (med as f64 / 1e9);
+        println!(
+            "{name:>9}: median {:.3} ms/frame  {:.2} GMAC/s  ({reps} reps)",
+            med as f64 / 1e6,
+            mac_per_s / 1e9
+        );
+        results.push((name, med, mac_per_s, reps));
+    }
+
+    let speedup = results[1].1 as f64 / results[0].1 as f64;
+    println!(
+        "speedup: {speedup:.2}x  steady-state allocs/frame: {steady_allocs}  \
+         packed instructions served/frame: {params_reused}"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"esr4k_block_execution\",\n  \"model\": \"{spec}\",\n  \
+         \"block\": {xi},\n  \"mac_per_frame\": {macs_per_frame},\n{}  \
+         \"speedup_packed_vs_reference\": {speedup:.3},\n  \
+         \"steady_state_allocs_per_frame\": {steady_allocs},\n  \
+         \"packed_params_reused_per_frame\": {params_reused}\n}}\n",
+        results
+            .iter()
+            .map(|(name, med, mac_per_s, reps)| format!(
+                "  \"{name}\": {{ \"median_ns_per_frame\": {med}, \"mac_per_s\": {mac_per_s:.0}, \
+                 \"reps\": {reps} }},\n"
+            ))
+            .collect::<String>()
+    );
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("wrote BENCH_kernels.json");
+}

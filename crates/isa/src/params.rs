@@ -10,9 +10,10 @@
 //! paper's byte-aligned restart attribute).
 
 use crate::coding::{decode_segment, encode_segment, entropy_stats, CodingError, EntropyStats};
-use crate::instr::LEAF_CH;
+use crate::instr::{Instruction, Opcode, LEAF_CH};
 use ecnn_model::layer::Op;
 use ecnn_model::model::Model;
+use ecnn_tensor::conv::align_code;
 use ecnn_tensor::QFormat;
 use serde::{Deserialize, Serialize};
 
@@ -227,6 +228,255 @@ impl LeafParams {
             w1: vec![0; LEAF_CH * LEAF_CH],
             b1: vec![0; LEAF_CH],
         }
+    }
+}
+
+/// Plan-time packed kernel parameters of one instruction: everything the
+/// flat-slice execution micro-kernels need, prepared once when a program
+/// is planned and reused across every frame.
+///
+/// * weights are widened to `i32` once, in tap-major order (all channel
+///   pairs of one 3×3 tap row are addressable as a contiguous 3-slice);
+/// * biases are pre-aligned to the accumulator's fractional position
+///   (`prod_frac`), already summed across leaf-modules where the datapath
+///   sums them;
+/// * all-zero tap rows and channel pairs carry a zero mask bit so the
+///   kernels skip them without inspecting the weights again.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PackedKernelParams {
+    /// 3×3 stages: one entry for `CONV`/`UPX2`/`DNX2`, one per leaf for
+    /// `ER` (each leaf convolves its own expansion plane), empty for
+    /// `CONV1`.
+    pub conv3: Vec<PackedConv3>,
+    /// 1×1 stage (`ER` reduction / `CONV1`), when the opcode has one.
+    pub conv1: Option<PackedConv1>,
+}
+
+impl PackedKernelParams {
+    /// Packs one instruction's leaf parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ins` fails [`Instruction::check`]-level invariants (a
+    /// 1×1/ER opcode without its formats) — callers pack instructions that
+    /// already passed compilation.
+    pub fn pack(ins: &Instruction, leafs: &[LeafParams]) -> Self {
+        let prod3 = ins.q.w3.frac() as i32 + ins.q.src.frac() as i32;
+        let b3_frac = ins.q.b3.frac() as i32;
+        match ins.opcode {
+            Opcode::Conv | Opcode::Dnx2 | Opcode::Upx2 => Self {
+                conv3: vec![PackedConv3::pack(ins, leafs)],
+                conv1: None,
+            },
+            Opcode::Er => {
+                let w1q = ins.q.w1.expect("ER carries 1x1 formats");
+                let b1q = ins.q.b1.expect("ER carries 1x1 formats");
+                let midq = ins.q.mid.expect("ER carries a mid format");
+                let prod1 = w1q.frac() as i32 + midq.frac() as i32;
+                Self {
+                    conv3: leafs
+                        .iter()
+                        .map(|l| PackedConv3::pack_leaf(l, b3_frac, prod3))
+                        .collect(),
+                    conv1: Some(PackedConv1::pack(leafs, b1q.frac() as i32, prod1)),
+                }
+            }
+            Opcode::Conv1 => {
+                let w1q = ins.q.w1.expect("CONV1 carries 1x1 formats");
+                let b1q = ins.q.b1.expect("CONV1 carries 1x1 formats");
+                let prod1 = w1q.frac() as i32 + ins.q.src.frac() as i32;
+                Self {
+                    conv3: Vec::new(),
+                    conv1: Some(PackedConv1::pack(leafs, b1q.frac() as i32, prod1)),
+                }
+            }
+        }
+    }
+
+    /// Approximate heap footprint of the packed parameters, in bytes.
+    pub fn bytes(&self) -> usize {
+        self.conv3
+            .iter()
+            .map(|c| c.bias.len() * 8 + c.taps.len() * 4 + c.mask.len())
+            .sum::<usize>()
+            + self.conv1.as_ref().map_or(0, |c| {
+                c.bias.len() * 8 + c.nz.len() * 8 + c.nz_idx.len() * 4
+            })
+    }
+}
+
+/// One packed 3×3 sweep: `out_planes × in_groups` leaf filters with
+/// widened taps, pre-aligned biases, and per-pair tap-row masks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PackedConv3 {
+    /// Output planes the sweep produces (`out_groups` for `UPX2`, else 1).
+    pub out_planes: usize,
+    /// 32-channel input groups the sweep reads.
+    pub in_groups: usize,
+    /// `out_planes × LEAF_CH` biases aligned to the 3×3 product format
+    /// (summed across leaf-modules except for `UPX2`, whose leaves write
+    /// distinct pre-shuffle planes).
+    pub bias: Vec<i64>,
+    /// Widened taps, tap-major: index
+    /// `(((plane * 3 + ky) * LEAF_CH² + oc * LEAF_CH + ic) * 3) + kx`
+    /// with `plane = op · in_groups + ig`.
+    pub taps: Vec<i32>,
+    /// Per `(plane, oc, ic)` channel pair: low 3 bits flag tap rows `ky`
+    /// with any nonzero tap. A zero byte skips the pair entirely.
+    pub mask: Vec<u8>,
+}
+
+impl PackedConv3 {
+    /// Packs the 3×3 stage of a `CONV`/`UPX2`/`DNX2` instruction.
+    pub fn pack(ins: &Instruction, leafs: &[LeafParams]) -> Self {
+        let out_planes = if ins.opcode == Opcode::Upx2 {
+            ins.out_groups
+        } else {
+            1
+        };
+        let in_groups = ins.in_groups;
+        let prod3 = ins.q.w3.frac() as i32 + ins.q.src.frac() as i32;
+        let b3_frac = ins.q.b3.frac() as i32;
+        let mut packed = Self::empty(out_planes, in_groups);
+        for op_ in 0..out_planes {
+            for oc in 0..LEAF_CH {
+                packed.bias[op_ * LEAF_CH + oc] = if ins.opcode == Opcode::Upx2 {
+                    align_code(leafs[op_].b3[oc] as i64, b3_frac, prod3)
+                } else {
+                    leafs
+                        .iter()
+                        .map(|l| align_code(l.b3[oc] as i64, b3_frac, prod3))
+                        .sum()
+                };
+            }
+            for ig in 0..in_groups {
+                let w = if ins.opcode == Opcode::Upx2 {
+                    &leafs[op_].w3
+                } else {
+                    &leafs[ig].w3
+                };
+                packed.fill_plane(op_ * in_groups + ig, w);
+            }
+        }
+        packed
+    }
+
+    /// Packs one ER leaf's expansion filter (a single 32→32 plane) with
+    /// its own bias vector.
+    pub fn pack_leaf(leaf: &LeafParams, b3_frac: i32, prod3: i32) -> Self {
+        let mut packed = Self::empty(1, 1);
+        for oc in 0..LEAF_CH {
+            packed.bias[oc] = align_code(leaf.b3[oc] as i64, b3_frac, prod3);
+        }
+        packed.fill_plane(0, &leaf.w3);
+        packed
+    }
+
+    fn empty(out_planes: usize, in_groups: usize) -> Self {
+        let pairs = LEAF_CH * LEAF_CH;
+        let planes = out_planes * in_groups;
+        Self {
+            out_planes,
+            in_groups,
+            bias: vec![0; out_planes * LEAF_CH],
+            taps: vec![0; planes * 3 * pairs * 3],
+            mask: vec![0; planes * pairs],
+        }
+    }
+
+    /// Widens one leaf filter (layout `[oc][ic][9]`) into plane `plane`'s
+    /// tap-major slots, flagging nonzero tap rows.
+    fn fill_plane(&mut self, plane: usize, w3: &[i16]) {
+        let pairs = LEAF_CH * LEAF_CH;
+        for pair in 0..pairs {
+            let wbase = pair * 9;
+            let mut m = 0u8;
+            for ky in 0..3 {
+                let dst = ((plane * 3 + ky) * pairs + pair) * 3;
+                for kx in 0..3 {
+                    let v = w3[wbase + ky * 3 + kx] as i32;
+                    self.taps[dst + kx] = v;
+                    if v != 0 {
+                        m |= 1 << ky;
+                    }
+                }
+            }
+            self.mask[plane * pairs + pair] = m;
+        }
+    }
+
+    /// The 3 horizontal taps of row `ky` for channel pair `(oc, ic)` of
+    /// `plane`.
+    #[inline]
+    pub fn taps(&self, plane: usize, ky: usize, oc: usize, ic: usize) -> [i32; 3] {
+        let pairs = LEAF_CH * LEAF_CH;
+        let base = ((plane * 3 + ky) * pairs + oc * LEAF_CH + ic) * 3;
+        [self.taps[base], self.taps[base + 1], self.taps[base + 2]]
+    }
+
+    /// Nonzero-tap-row mask of channel pair `(oc, ic)` of `plane`.
+    #[inline]
+    pub fn row_mask(&self, plane: usize, oc: usize, ic: usize) -> u8 {
+        self.mask[plane * LEAF_CH * LEAF_CH + oc * LEAF_CH + ic]
+    }
+}
+
+/// One packed 1×1 stage: pre-aligned summed biases plus, per
+/// `(leaf, out_channel)`, the compacted list of nonzero input columns —
+/// the plan-time form of the executor's old per-MAC zero test.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PackedConv1 {
+    /// Leaf-modules packed.
+    pub leaves: usize,
+    /// `LEAF_CH` biases aligned to the 1×1 product format, summed across
+    /// leaves (the ADDE accumulates every leaf into one output group).
+    pub bias: Vec<i64>,
+    /// Row starts into [`PackedConv1::nz`], indexed `leaf · LEAF_CH + oc`,
+    /// with a trailing sentinel.
+    pub nz_idx: Vec<u32>,
+    /// Compacted `(in_channel, widened weight)` pairs.
+    pub nz: Vec<(u16, i32)>,
+}
+
+impl PackedConv1 {
+    /// Packs the 1×1 weights/biases of `leafs`, aligning biases from
+    /// `b1_frac` to `prod_frac`.
+    pub fn pack(leafs: &[LeafParams], b1_frac: i32, prod_frac: i32) -> Self {
+        let mut bias = vec![0i64; LEAF_CH];
+        for (oc, b) in bias.iter_mut().enumerate() {
+            *b = leafs
+                .iter()
+                .map(|l| align_code(l.b1[oc] as i64, b1_frac, prod_frac))
+                .sum();
+        }
+        let mut nz_idx = Vec::with_capacity(leafs.len() * LEAF_CH + 1);
+        nz_idx.push(0u32);
+        let mut nz = Vec::new();
+        for leaf in leafs {
+            for oc in 0..LEAF_CH {
+                for ic in 0..LEAF_CH {
+                    let v = leaf.w1[oc * LEAF_CH + ic];
+                    if v != 0 {
+                        nz.push((ic as u16, v as i32));
+                    }
+                }
+                nz_idx.push(nz.len() as u32);
+            }
+        }
+        Self {
+            leaves: leafs.len(),
+            bias,
+            nz_idx,
+            nz,
+        }
+    }
+
+    /// The nonzero `(in_channel, weight)` columns of output channel `oc`
+    /// of leaf `leaf`.
+    #[inline]
+    pub fn row(&self, leaf: usize, oc: usize) -> &[(u16, i32)] {
+        let i = leaf * LEAF_CH + oc;
+        &self.nz[self.nz_idx[i] as usize..self.nz_idx[i + 1] as usize]
     }
 }
 
@@ -509,5 +759,150 @@ mod tests {
         let packed = PackedParams::pack(&instrs, &[(true, true)]);
         assert!(packed.stats.compression_ratio > 1.0);
         assert!(packed.total_bytes() > 0);
+    }
+
+    use crate::instr::{FeatLoc, QSpec};
+    use ecnn_model::model::InferenceKind;
+
+    fn conv_instr(opcode: Opcode, in_groups: usize, out_groups: usize) -> Instruction {
+        Instruction {
+            opcode,
+            inference: InferenceKind::TruncatedPyramid,
+            src: FeatLoc::di(),
+            dst: FeatLoc::bb(0),
+            src_s: None,
+            in_groups,
+            out_groups,
+            expansion: 1,
+            in_size: (16, 16),
+            out_size: (14, 14),
+            relu: false,
+            pool: None,
+            pool_factor: 1,
+            q: QSpec {
+                src: QFormat::signed(4),
+                dst: QFormat::signed(4),
+                src_s: None,
+                mid: None,
+                w3: QFormat::signed(7),
+                b3: QFormat::signed(5),
+                w1: None,
+                b1: None,
+            },
+            param_restart: 0,
+            layer: 0,
+        }
+    }
+
+    #[test]
+    fn packed_conv3_widens_taps_and_sums_biases() {
+        let ins = conv_instr(Opcode::Conv, 2, 1);
+        let leafs = vec![leaf_with_pattern(3), leaf_with_pattern(8)];
+        let p = PackedConv3::pack(&ins, &leafs);
+        assert_eq!((p.out_planes, p.in_groups), (1, 2));
+        // prod_frac = w3.frac + src.frac = 11; biases upshift from 5 by 6.
+        for oc in 0..LEAF_CH {
+            let want: i64 = leafs.iter().map(|l| (l.b3[oc] as i64) << 6).sum();
+            assert_eq!(p.bias[oc], want, "bias {oc}");
+        }
+        for (ig, leaf) in leafs.iter().enumerate() {
+            for oc in 0..LEAF_CH {
+                for ic in 0..LEAF_CH {
+                    for ky in 0..3 {
+                        let taps = p.taps(ig, ky, oc, ic);
+                        let row_nonzero = (0..3).any(|kx| {
+                            let w = leaf.w3[(oc * LEAF_CH + ic) * 9 + ky * 3 + kx];
+                            assert_eq!(taps[kx], w as i32);
+                            w != 0
+                        });
+                        assert_eq!(
+                            p.row_mask(ig, oc, ic) & (1 << ky) != 0,
+                            row_nonzero,
+                            "mask bit ({ig},{oc},{ic},{ky})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_conv3_masks_all_zero_pairs() {
+        let ins = conv_instr(Opcode::Conv, 1, 1);
+        let mut leaf = leaf_with_pattern(2);
+        // Zero out pair (oc=1, ic=2) and row ky=1 of pair (0, 0).
+        for k in 0..9 {
+            leaf.w3[(LEAF_CH + 2) * 9 + k] = 0;
+        }
+        for kx in 0..3 {
+            leaf.w3[3 + kx] = 0;
+        }
+        leaf.w3[0] = 1; // keep rows 0 and 2 of pair (0,0) live
+        leaf.w3[6] = 1;
+        let p = PackedConv3::pack(&ins, &[leaf]);
+        assert_eq!(p.row_mask(0, 1, 2), 0, "all-zero pair is masked out");
+        assert_eq!(p.row_mask(0, 0, 0), 0b101, "zero tap row is masked out");
+    }
+
+    #[test]
+    fn packed_conv3_upx2_uses_per_plane_leaves() {
+        let mut ins = conv_instr(Opcode::Upx2, 1, 4);
+        ins.out_size = (28, 28);
+        let leafs: Vec<LeafParams> = (0..4).map(|i| leaf_with_pattern(i as i16)).collect();
+        let p = PackedConv3::pack(&ins, &leafs);
+        assert_eq!((p.out_planes, p.in_groups), (4, 1));
+        for (op_, leaf) in leafs.iter().enumerate() {
+            assert_eq!(p.bias[op_ * LEAF_CH], (leaf.b3[0] as i64) << 6);
+            assert_eq!(p.taps(op_, 0, 0, 0)[0], leaf.w3[0] as i32);
+        }
+    }
+
+    #[test]
+    fn packed_conv1_compacts_nonzero_columns() {
+        let leafs = vec![leaf_with_pattern(1), leaf_with_pattern(4)];
+        let p = PackedConv1::pack(&leafs, 5, 9);
+        assert_eq!(p.leaves, 2);
+        for oc in 0..LEAF_CH {
+            let want: i64 = leafs.iter().map(|l| (l.b1[oc] as i64) << 4).sum();
+            assert_eq!(p.bias[oc], want);
+        }
+        for (li, leaf) in leafs.iter().enumerate() {
+            for oc in 0..LEAF_CH {
+                let row = p.row(li, oc);
+                let want: Vec<(u16, i32)> = (0..LEAF_CH)
+                    .filter_map(|ic| {
+                        let w = leaf.w1[oc * LEAF_CH + ic];
+                        (w != 0).then_some((ic as u16, w as i32))
+                    })
+                    .collect();
+                assert_eq!(row, want.as_slice(), "leaf {li} oc {oc}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_kernel_params_shape_follows_opcode() {
+        let ins = conv_instr(Opcode::Conv, 2, 1);
+        let leafs = vec![leaf_with_pattern(1), leaf_with_pattern(2)];
+        let p = PackedKernelParams::pack(&ins, &leafs);
+        assert_eq!(p.conv3.len(), 1);
+        assert!(p.conv1.is_none());
+        assert!(p.bytes() > 0);
+
+        let mut er = conv_instr(Opcode::Er, 1, 1);
+        er.expansion = 2;
+        er.q.mid = Some(QFormat::unsigned(4));
+        er.q.w1 = Some(QFormat::signed(7));
+        er.q.b1 = Some(QFormat::signed(5));
+        let p = PackedKernelParams::pack(&er, &leafs);
+        assert_eq!(p.conv3.len(), 2, "one 3x3 stage per ER leaf");
+        assert!(p.conv1.is_some());
+
+        let mut c1 = conv_instr(Opcode::Conv1, 1, 1);
+        c1.q.w1 = Some(QFormat::signed(7));
+        c1.q.b1 = Some(QFormat::signed(5));
+        let p = PackedKernelParams::pack(&c1, &leafs[..1]);
+        assert!(p.conv3.is_empty());
+        assert_eq!(p.conv1.as_ref().unwrap().leaves, 1);
     }
 }

@@ -8,9 +8,13 @@
 //!   pixel-shuffle and pooling write reorders. Validated against the
 //!   `ecnn-tensor` golden kernels and the `ecnn-nn` fixed-point reference.
 //!   Split into a plan phase ([`exec::BlockPlan`]: one up-front walk
-//!   computing every plane's shape and lifetime) and an execute phase
-//!   ([`exec::execute`]) running in place against a reusable
-//!   [`exec::PlanePool`] arena.
+//!   computing every plane's shape and lifetime, plus the packed
+//!   kernel-parameter cache) and an execute phase ([`exec::execute`])
+//!   running in place against a reusable [`exec::PlanePool`] arena.
+//! * [`kernels`] — the flat-slice convolution micro-kernels the executor
+//!   dispatches to (interior/border split over raw row slices), together
+//!   with the kept scalar reference kernels used as perf baseline and
+//!   parity oracle.
 //! * [`timing`] — the **cycle** model: the two-stage instruction pipeline
 //!   (IDU parameter decoding for instruction *i+1* overlaps CIU compute of
 //!   instruction *i*), one leaf-module per 4×2 tile per cycle in the CIU,
@@ -27,11 +31,13 @@ pub mod banking;
 pub mod config;
 pub mod cost;
 pub mod exec;
+pub mod kernels;
 pub mod timing;
 
 pub use config::EcnnConfig;
 pub use cost::{AreaReport, PowerReport};
 pub use exec::{
-    execute, BlockExecutor, BlockPlan, ExecError, ExecStats, PlaneInfo, PlaneKey, PlanePool,
+    execute, execute_with, BlockExecutor, BlockPlan, ExecError, ExecStats, Kernels, PlaneInfo,
+    PlaneKey, PlanePool,
 };
 pub use timing::{simulate_frame, FrameReport};

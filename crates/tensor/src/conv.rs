@@ -27,9 +27,20 @@ pub enum Padding {
 
 impl Padding {
     /// Output spatial size for a 3×3 convolution on `(h, w)` input.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Padding::Valid`] on inputs smaller than 3×3 (the valid
+    /// output would be empty; previously this underflowed `h - 2`).
     pub fn output_size(self, h: usize, w: usize) -> (usize, usize) {
         match self {
-            Padding::Valid => (h - 2, w - 2),
+            Padding::Valid => {
+                assert!(
+                    h >= 3 && w >= 3,
+                    "input {h}x{w} too small for valid 3x3 conv"
+                );
+                (h - 2, w - 2)
+            }
             Padding::Zero => (h, w),
         }
     }
@@ -162,7 +173,8 @@ pub struct FixedConvParams<'a> {
 ///
 /// # Panics
 ///
-/// Panics on shape mismatch.
+/// Panics on shape mismatch, or if the input is smaller than 3×3 with
+/// [`Padding::Valid`].
 pub fn conv3x3_fixed(
     input: &Tensor<i16>,
     in_frac: i32,
@@ -173,6 +185,9 @@ pub fn conv3x3_fixed(
     let (in_c, h, w) = input.shape();
     assert_eq!(params.weights.len(), out_c * in_c * 9);
     assert_eq!(params.bias.len(), out_c);
+    if padding == Padding::Valid {
+        assert!(h >= 3 && w >= 3, "input {h}x{w} too small for valid conv");
+    }
     let (oh, ow) = padding.output_size(h, w);
     let org = padding.origin();
     let prod_frac = params.w_format.frac() as i32 + in_frac;
@@ -420,6 +435,34 @@ mod tests {
         };
         let out = conv3x3_fixed(&input, 0, &params, 1, Padding::Valid);
         assert_eq!(out.at(0, 0, 0), 127); // saturated
+    }
+
+    #[test]
+    #[should_panic(expected = "too small for valid conv")]
+    fn fixed_conv_rejects_tiny_valid_input() {
+        // Regression: 2x2 valid input used to underflow `h - 2` instead of
+        // reporting the geometry error.
+        let input = Tensor::from_fn(1, 2, 2, |_, _, _| 1i16);
+        let q0 = QFormat::signed(0);
+        let params = FixedConvParams {
+            weights: &[1; 9],
+            w_format: q0,
+            bias: &[0],
+            b_format: q0,
+            out_format: q0,
+        };
+        let _ = conv3x3_fixed(&input, 0, &params, 1, Padding::Valid);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small for valid 3x3 conv")]
+    fn output_size_rejects_tiny_valid_input() {
+        let _ = Padding::Valid.output_size(2, 5);
+    }
+
+    #[test]
+    fn output_size_zero_padding_accepts_tiny_input() {
+        assert_eq!(Padding::Zero.output_size(1, 2), (1, 2));
     }
 
     #[test]

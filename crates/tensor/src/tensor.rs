@@ -380,6 +380,64 @@ impl<T: Copy> Tensor<T> {
         &self.data[base..base + self.width]
     }
 
+    /// Mutable contiguous row `y` of channel `c`.
+    #[inline]
+    pub fn row_mut(&mut self, c: usize, y: usize) -> &mut [T] {
+        let base = (c * self.height + y) * self.width;
+        &mut self.data[base..base + self.width]
+    }
+
+    /// The contiguous `height × width` slab of channel `c`.
+    #[inline]
+    pub fn channel(&self, c: usize) -> &[T] {
+        let px = self.height * self.width;
+        &self.data[c * px..(c + 1) * px]
+    }
+
+    /// Mutable contiguous slab of channel `c`.
+    #[inline]
+    pub fn channel_mut(&mut self, c: usize) -> &mut [T] {
+        let px = self.height * self.width;
+        &mut self.data[c * px..(c + 1) * px]
+    }
+
+    /// Iterator over the contiguous rows of channel `c`, top to bottom.
+    #[inline]
+    pub fn rows(&self, c: usize) -> std::slice::ChunksExact<'_, T> {
+        self.channel(c).chunks_exact(self.width)
+    }
+
+    /// Mutable iterator over the rows of channel `c`.
+    #[inline]
+    pub fn rows_mut(&mut self, c: usize) -> std::slice::ChunksExactMut<'_, T> {
+        let width = self.width;
+        self.channel_mut(c).chunks_exact_mut(width)
+    }
+
+    /// Applies `f` to corresponding rows of `self`'s channel `c` and
+    /// `other`'s channel `oc` — the row-sliced form of an elementwise
+    /// channel combination (both tensors must share spatial dimensions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spatial dimensions differ.
+    pub fn zip_rows<U: Copy>(
+        &mut self,
+        c: usize,
+        other: &Tensor<U>,
+        oc: usize,
+        mut f: impl FnMut(&mut [T], &[U]),
+    ) {
+        assert_eq!(
+            (self.height, self.width),
+            (other.height, other.width),
+            "spatial mismatch in zip_rows"
+        );
+        for (dst, src) in self.rows_mut(c).zip(other.rows(oc)) {
+            f(dst, src);
+        }
+    }
+
     /// Consumes the tensor, returning the flat CHW data.
     pub fn into_vec(self) -> Vec<T> {
         self.data
@@ -611,5 +669,46 @@ mod tests {
     fn row_is_contiguous() {
         let t = Tensor::from_fn(2, 3, 4, |c, y, x| (c * 100 + y * 10 + x) as f32);
         assert_eq!(t.row(1, 2), &[120.0, 121.0, 122.0, 123.0]);
+    }
+
+    #[test]
+    fn row_mut_and_channel_views() {
+        let mut t = Tensor::from_fn(2, 3, 4, |c, y, x| (c * 100 + y * 10 + x) as f32);
+        t.row_mut(1, 2).fill(-1.0);
+        assert_eq!(t.at(1, 2, 3), -1.0);
+        assert_eq!(t.at(1, 1, 3), 113.0, "other rows untouched");
+        assert_eq!(t.channel(0).len(), 12);
+        assert_eq!(t.channel(1)[2 * 4 + 1], -1.0);
+        t.channel_mut(0).fill(7.0);
+        assert_eq!(t.at(0, 2, 3), 7.0);
+        assert_eq!(t.at(1, 0, 0), 100.0);
+    }
+
+    #[test]
+    fn rows_iterate_top_to_bottom() {
+        let t = Tensor::from_fn(2, 3, 2, |c, y, x| (c * 100 + y * 10 + x) as f32);
+        let rows: Vec<&[f32]> = t.rows(1).collect();
+        assert_eq!(
+            rows,
+            vec![&[100.0, 101.0][..], &[110.0, 111.0], &[120.0, 121.0]]
+        );
+        let mut u = t.clone();
+        for (i, row) in u.rows_mut(0).enumerate() {
+            row.fill(i as f32);
+        }
+        assert_eq!(u.at(0, 2, 1), 2.0);
+    }
+
+    #[test]
+    fn zip_rows_combines_channel_pairs() {
+        let mut a = Tensor::from_fn(2, 2, 3, |c, y, x| (c * 100 + y * 10 + x) as f32);
+        let b = Tensor::from_fn(1, 2, 3, |_, y, x| (y * 10 + x) as f32 * 2.0);
+        a.zip_rows(1, &b, 0, |dst, src| {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        });
+        assert_eq!(a.at(1, 1, 2), 112.0 + 24.0);
+        assert_eq!(a.at(0, 1, 2), 12.0, "other channels untouched");
     }
 }

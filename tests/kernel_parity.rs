@@ -1,0 +1,183 @@
+//! Parity proptests for the flat-slice packed micro-kernels.
+//!
+//! Three oracles pin the kernel rewrite down:
+//!
+//! * the *tensor-crate goldens*: random single-conv programs must match a
+//!   composition of the untouched `conv3x3_fixed` / `conv1x1_fixed`
+//!   reference kernels bit-for-bit;
+//! * the *kept reference path*: random ERNet programs with randomized
+//!   (and sparsified) parameters must execute bit-identically under
+//!   `Kernels::Packed` and `Kernels::Reference`;
+//! * the *work counters*: `ExecStats::work()` (mac3/mac1/traffic) must be
+//!   unchanged by the kernel selection, and warm packed execution must do
+//!   zero kernel-prep allocations.
+
+use ecnn_isa::compile::compile;
+use ecnn_isa::params::QuantizedModel;
+use ecnn_model::ernet::{ErNetSpec, ErNetTask};
+use ecnn_model::layer::{Activation, Layer, Op};
+use ecnn_model::model::{InferenceKind, Model};
+use ecnn_sim::exec::{execute_with, quantize_input, BlockPlan, Kernels, PlanePool};
+use ecnn_tensor::conv::{conv1x1_fixed, conv3x3_fixed, FixedConvParams, Padding};
+use ecnn_tensor::{ImageKind, SyntheticImage};
+use proptest::prelude::*;
+
+/// Overwrites every parameter of `qm` with seeded pseudo-random codes in
+/// `[-8, 8]`, zeroing roughly `sparsity_pct`% of them so the packed
+/// zero-tap/zero-column masks are exercised.
+fn scramble(qm: &mut QuantizedModel, seed: u64, sparsity_pct: u64) {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as i64
+    };
+    for p in qm.layers.iter_mut().flatten() {
+        for w in
+            p.w3.iter_mut()
+                .chain(p.w1.iter_mut())
+                .chain(p.b3.iter_mut())
+                .chain(p.b1.iter_mut())
+        {
+            let r = next();
+            *w = if r.unsigned_abs() % 100 < sparsity_pct {
+                0
+            } else {
+                (r.rem_euclid(17) - 8) as i16
+            };
+        }
+    }
+}
+
+fn image_kind(sel: u64) -> ImageKind {
+    match sel % 4 {
+        0 => ImageKind::Smooth,
+        1 => ImageKind::Edges,
+        2 => ImageKind::Texture,
+        _ => ImageKind::Mixed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A random head-conv + 1×1 program equals the golden reference
+    /// composition, for both inference kinds.
+    #[test]
+    fn random_conv_programs_match_golden_composition(
+        seed in 0u64..1_000_000,
+        side in 12usize..28,
+        sparsity in 0u64..70,
+        padded_sel in 0u64..2,
+    ) {
+        let padded = padded_sel == 1;
+        let inference = if padded {
+            InferenceKind::ZeroPadded
+        } else {
+            InferenceKind::TruncatedPyramid
+        };
+        let m = Model::new(
+            "conv-then-1x1",
+            3,
+            32,
+            vec![
+                Layer::new(Op::Conv3x3 { in_c: 3, out_c: 32, act: Activation::None }),
+                Layer::new(Op::Conv1x1 { in_c: 32, out_c: 32, act: Activation::None }),
+            ],
+        )
+        .unwrap()
+        .with_inference(inference);
+        let mut qm = QuantizedModel::uniform(&m);
+        scramble(&mut qm, seed, sparsity);
+        let c = compile(&qm, side).unwrap();
+        let img = SyntheticImage::new(image_kind(seed), seed % 97).rgb(side, side);
+        let input = img.map(|v| qm.input_q.quantize(v));
+
+        let plan = BlockPlan::new(&c.program, &c.leafs).unwrap();
+        let mut pool = PlanePool::new();
+        let out = execute_with(&plan, &mut pool, &input, Kernels::Packed).unwrap();
+
+        // Golden: hardware-padded 32ch input through the untouched
+        // fixed-point reference kernels, layer by layer.
+        let padding = if padded { Padding::Zero } else { Padding::Valid };
+        let p0 = qm.layers[0].as_ref().unwrap();
+        let mid = conv3x3_fixed(
+            &input.with_channels(32),
+            qm.input_q.frac() as i32,
+            &FixedConvParams {
+                weights: &p0.w3,
+                w_format: p0.w3_q,
+                bias: &p0.b3,
+                b_format: p0.b3_q,
+                out_format: p0.out_q,
+            },
+            32,
+            padding,
+        );
+        let p1 = qm.layers[1].as_ref().unwrap();
+        let golden = conv1x1_fixed(
+            &mid,
+            p0.out_q.frac() as i32,
+            &FixedConvParams {
+                weights: &p1.w1,
+                w_format: p1.w1_q,
+                bias: &p1.b1,
+                b_format: p1.b1_q,
+                out_format: p1.out_q,
+            },
+            32,
+        );
+        prop_assert_eq!(out, &golden);
+    }
+
+    /// Random ERNet programs execute bit-identically on the packed and
+    /// reference kernel paths, with identical deterministic work counters,
+    /// and warm packed execution performs zero kernel-prep allocations.
+    #[test]
+    fn packed_and_reference_paths_agree(
+        seed in 0u64..1_000_000,
+        b in 1usize..4,
+        r in 1usize..3,
+        sel in 0usize..4,
+        sparsity in 0u64..70,
+    ) {
+        let task = match sel {
+            0 => ErNetTask::Dn,
+            1 => ErNetTask::Sr2,
+            2 => ErNetTask::Sr4,
+            _ => ErNetTask::Dn12,
+        };
+        let n = if b > 1 { 1 } else { 0 };
+        let m = ErNetSpec::new(task, b, r, n).build().unwrap();
+        let mut qm = QuantizedModel::uniform(&m);
+        scramble(&mut qm, seed, sparsity);
+        let side = if task == ErNetTask::Dn12 { 48 } else { 32 };
+        let c = compile(&qm, side).unwrap();
+        let img = SyntheticImage::new(image_kind(seed), seed % 89).rgb(side, side);
+        let input = quantize_input(&img, &c.program);
+
+        let plan = BlockPlan::new(&c.program, &c.leafs).unwrap();
+        let mut fast_pool = PlanePool::new();
+        let fast = execute_with(&plan, &mut fast_pool, &input, Kernels::Packed)
+            .unwrap()
+            .clone();
+        let warm_mark = fast_pool.stats();
+        let warm = execute_with(&plan, &mut fast_pool, &input, Kernels::Packed)
+            .unwrap()
+            .clone();
+        let mut ref_pool = PlanePool::new();
+        let reference = execute_with(&plan, &mut ref_pool, &input, Kernels::Reference).unwrap();
+
+        prop_assert_eq!(&fast, reference);
+        prop_assert_eq!(&warm, reference);
+        // mac/traffic counters are invariant under the kernel selection.
+        prop_assert_eq!(fast_pool.stats().delta_since(&warm_mark).work(), ref_pool.stats().work());
+        // Steady state: the packed cache serves every instruction and the
+        // arena recycles every buffer — zero kernel-prep allocations.
+        let steady = fast_pool.stats().delta_since(&warm_mark);
+        prop_assert_eq!(steady.planes_allocated, 0);
+        prop_assert_eq!(steady.params_reused, c.program.instructions.len() as u64);
+        prop_assert_eq!(ref_pool.stats().params_reused, 0);
+    }
+}
