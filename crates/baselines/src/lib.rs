@@ -12,6 +12,8 @@
 //!   applied to the frame-based flow, plus the published IDEAL/Diffy
 //!   operating points used in Table 7.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 pub mod diffy;
 pub mod framebased;
 pub mod fusion;

@@ -1,0 +1,110 @@
+//! `ecnn-lint` — static verification of the shipped paper models.
+//!
+//! Runs the [`mod@ecnn_isa::verify`] pass (plane re-derivation, fixed-point
+//! interval analysis, liveness/aliasing checks) plus the plan cross-check
+//! over every compiled paper model: the Table 4 / Appendix A ERNet matrix
+//! and the Section 7.3 style-transfer pair.
+//!
+//! Exit codes (CI-friendly):
+//!
+//! * `0` — every program verifies clean (no errors, no lints),
+//! * `1` — lints only (warnings printed, hard guarantees hold),
+//! * `2` — at least one hard error (overflow, aliasing, shape, …).
+
+use ecnn_isa::compile::compile;
+use ecnn_isa::params::QuantizedModel;
+use ecnn_isa::verify::{verify_compiled, DiagCode, Diagnostic, Severity, VerifyReport};
+use ecnn_model::zoo;
+use ecnn_sim::exec::{crosscheck_plan, BlockPlan};
+
+/// A program-level finding raised by the harness itself (compile or plan
+/// failure on a model the verifier should have been able to check).
+fn harness_error(detail: String) -> Diagnostic {
+    Diagnostic {
+        code: DiagCode::PlanDivergence,
+        severity: Severity::Error,
+        instr: None,
+        detail,
+    }
+}
+
+/// Verifies one compiled model and prints its findings; returns the report.
+fn lint_one(name: &str, qm: &QuantizedModel, block: usize) -> VerifyReport {
+    let compiled = match compile(qm, block) {
+        Ok(c) => c,
+        Err(e) => {
+            println!("{name}: COMPILE ERROR: {e}");
+            let mut rpt = VerifyReport::default();
+            rpt.diagnostics
+                .push(harness_error(format!("compilation failed: {e}")));
+            return rpt;
+        }
+    };
+    let mut report = verify_compiled(&compiled);
+    match BlockPlan::new(&compiled.program, &compiled.leafs) {
+        Ok(plan) => {
+            let divergences = crosscheck_plan(&plan, &report);
+            report.diagnostics.extend(divergences);
+        }
+        Err(e) => report.diagnostics.push(harness_error(format!(
+            "BlockPlan rejected a verifier-admitted program: {e}"
+        ))),
+    }
+    report.rank();
+    let (ne, nl) = (report.errors().count(), report.lints().count());
+    let verdict = match (ne, nl) {
+        (0, 0) => "clean".to_string(),
+        (0, l) => format!("{l} lint(s)"),
+        (e, l) => format!("{e} error(s), {l} lint(s)"),
+    };
+    println!(
+        "{name}: {} instr, {verdict}",
+        compiled.program.instructions.len()
+    );
+    for d in &report.diagnostics {
+        println!("  {d}");
+    }
+    report
+}
+
+fn main() {
+    let mut models: Vec<(String, QuantizedModel, usize)> = Vec::new();
+    for (rt, spec, xi) in ecnn_bench::model_matrix()
+        .into_iter()
+        .chain(ecnn_bench::dn12_matrix())
+    {
+        let model = spec.build().expect("paper matrix specs are valid");
+        models.push((
+            format!("{spec} @ {}", rt.name),
+            QuantizedModel::uniform(&model),
+            xi,
+        ));
+    }
+    let (enc, dec) = zoo::style_transfer();
+    let qenc = QuantizedModel::uniform(&enc);
+    let enc_do_side = compile(&qenc, 256)
+        .expect("style encoder compiles")
+        .program
+        .do_side;
+    models.push(("style-encoder".into(), qenc, 256));
+    models.push((
+        "style-decoder".into(),
+        QuantizedModel::uniform(&dec),
+        enc_do_side,
+    ));
+
+    let mut worst: Option<Severity> = None;
+    for (name, qm, xi) in &models {
+        let report = lint_one(name, qm, *xi);
+        for d in &report.diagnostics {
+            worst = Some(worst.map_or(d.severity, |w| w.max(d.severity)));
+        }
+    }
+    let code = match worst {
+        None => 0,
+        Some(Severity::Warning) => 1,
+        Some(Severity::Error) => 2,
+    };
+    println!("ecnn-lint: {} model(s) checked, exit {code}", models.len());
+    std::process::exit(code);
+}

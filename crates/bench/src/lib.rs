@@ -8,6 +8,8 @@
 //! comparison binaries additionally run the baseline flows through the
 //! shared [`Backend`](ecnn_core::engine::Backend) registry.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 use ecnn_core::engine::{Engine, Workload};
 use ecnn_core::SystemReport;
 use ecnn_model::ernet::{ErNetSpec, ErNetTask};

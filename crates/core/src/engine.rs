@@ -17,6 +17,7 @@ use crate::report::SystemReport;
 use ecnn_dram::{DramConfig, DramPowerModel};
 use ecnn_isa::compile::{compile, CompileError, CompiledProgram};
 use ecnn_isa::params::QuantizedModel;
+use ecnn_isa::verify::{verify_compiled, VerifyMode, VerifyReport};
 use ecnn_model::ernet::ErNetSpec;
 use ecnn_model::{Model, ModelError, RealTimeSpec};
 use ecnn_sim::cost::PowerModel;
@@ -109,6 +110,9 @@ pub enum EngineError {
     Compile(CompileError),
     /// Block execution failed (simulator invariant violation).
     Exec(ExecError),
+    /// Static verification rejected the program (see
+    /// [`mod@ecnn_isa::verify`]); the report carries the ranked diagnostics.
+    Verify(Box<VerifyReport>),
     /// The image cannot be processed by this deployment.
     Image(ImageMismatch),
     /// The backend does not implement the requested capability.
@@ -171,6 +175,20 @@ impl fmt::Display for EngineError {
             EngineError::Model(e) => write!(f, "model: {e}"),
             EngineError::Compile(e) => write!(f, "compile: {e}"),
             EngineError::Exec(e) => write!(f, "execute: {e}"),
+            EngineError::Verify(report) => {
+                let first = report
+                    .errors()
+                    .next()
+                    .or_else(|| report.diagnostics.first());
+                match first {
+                    Some(d) => write!(
+                        f,
+                        "verify: {} finding(s), first: {d}",
+                        report.diagnostics.len()
+                    ),
+                    None => write!(f, "verify: rejected"),
+                }
+            }
             EngineError::Image(m) => write!(f, "image: {m}"),
             EngineError::Unsupported {
                 backend,
@@ -400,6 +418,7 @@ pub struct EngineBuilder {
     config: Option<EcnnConfig>,
     power: Option<PowerModel>,
     dram_power: Option<DramPowerModel>,
+    verify: Option<VerifyMode>,
 }
 
 impl EngineBuilder {
@@ -458,13 +477,25 @@ impl EngineBuilder {
         self
     }
 
+    /// Static-verification mode run at build time; defaults to
+    /// [`VerifyMode::Lints`] (hard errors fatal, lints tolerated and
+    /// recorded on [`Engine::verify_report`]). [`VerifyMode::Strict`]
+    /// also fails the build on lints; [`VerifyMode::Off`] skips the
+    /// verifier and the plan cross-check entirely.
+    pub fn verify(mut self, mode: VerifyMode) -> Self {
+        self.verify = Some(mode);
+        self
+    }
+
     /// Compiles the workload and returns a runnable [`Engine`].
     ///
     /// # Errors
     ///
     /// [`EngineError::Missing`] without a model or block size;
     /// [`EngineError::Model`] / [`EngineError::Compile`] for invalid specs
-    /// or infeasible geometry.
+    /// or infeasible geometry; [`EngineError::Verify`] when the static
+    /// verifier rejects the compiled program under the selected
+    /// [`VerifyMode`].
     pub fn build(self) -> Result<Engine, EngineError> {
         let qm = match (self.qm, self.model, self.ernet) {
             (Some(qm), _, _) => qm,
@@ -478,15 +509,36 @@ impl EngineBuilder {
             workload = workload.with_feature_bits(bits);
         }
         let compiled = compile(&workload.qm, workload.block)?;
-        // Plan once up front so structurally invalid programs surface here
-        // as a structured error rather than on the first frame.
-        BlockPlan::new(&compiled.program, &compiled.leafs)?;
+        let mode = self.verify.unwrap_or_default();
+        // Static verification before planning: a rejected program never
+        // reaches the executor.
+        let mut report = (mode != VerifyMode::Off).then(|| verify_compiled(&compiled));
+        if let Some(rpt) = &report {
+            if rpt.has_errors() {
+                return Err(EngineError::Verify(Box::new(rpt.clone())));
+            }
+        }
+        {
+            // Plan once up front so structurally invalid programs surface
+            // here as a structured error rather than on the first frame —
+            // and cross-check the plan's plane table against the
+            // verifier's independent derivation (differential oracle).
+            let plan = BlockPlan::new(&compiled.program, &compiled.leafs)?;
+            if let Some(rpt) = report.as_mut() {
+                let divergences = ecnn_sim::exec::crosscheck_plan(&plan, rpt);
+                rpt.diagnostics.extend(divergences);
+                if !rpt.passes(mode) {
+                    return Err(EngineError::Verify(Box::new(rpt.clone())));
+                }
+            }
+        }
         Ok(Engine {
             config: self.config.unwrap_or_else(EcnnConfig::paper),
             power: self.power.unwrap_or_else(PowerModel::paper_40nm),
             dram_power: self.dram_power.unwrap_or(DramPowerModel::DDR4_3200),
             workload,
             compiled,
+            verify_report: report,
         })
     }
 }
@@ -500,6 +552,7 @@ pub struct Engine {
     dram_power: DramPowerModel,
     workload: Workload,
     compiled: CompiledProgram,
+    verify_report: Option<VerifyReport>,
 }
 
 impl Engine {
@@ -521,6 +574,13 @@ impl Engine {
     /// The compiled program.
     pub fn compiled(&self) -> &CompiledProgram {
         &self.compiled
+    }
+
+    /// The build-time static-verification report (plane table, proven
+    /// value ranges, surviving lints). `None` when the engine was built
+    /// with [`VerifyMode::Off`].
+    pub fn verify_report(&self) -> Option<&VerifyReport> {
+        self.verify_report.as_ref()
     }
 
     /// The source model.

@@ -48,12 +48,15 @@
 //! assert_eq!(session.frames(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 pub mod engine;
 pub mod pipe;
 pub mod pipeline;
 pub mod report;
 pub mod sharded;
 
+pub use ecnn_isa::verify::{VerifyMode, VerifyReport};
 pub use engine::{
     Backend, EcnnBackend, Engine, EngineBuilder, EngineError, FrameReport, ImageMismatch,
     ImageRunStats, Session, Workload,

@@ -13,6 +13,8 @@
 //!   (≲120 mW dynamic at ≤1.66 GB/s, 267 mW leakage on DDR4-3200); see
 //!   DESIGN.md §4.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 use serde::{Deserialize, Serialize};
 use std::fmt;
 

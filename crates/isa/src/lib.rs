@@ -19,6 +19,10 @@
 //! * [`mod@compile`] — the compiler from `ecnn-model` IR to an FBISA program
 //!   with block-buffer allocation, wide-channel splitting, upsampler /
 //!   downsampler fusion and partial-sum chaining via `srcS`.
+//! * [`mod@verify`] — a static program verifier: independent plane
+//!   shape/lifetime/placement re-derivation, fixed-point interval analysis
+//!   proving the accumulators cannot overflow, and ranked diagnostics
+//!   ([`verify::Diagnostic`]) covering hard errors and lints.
 //!
 //! # Example: the six-line DnERNet program of Fig. 18
 //!
@@ -33,13 +37,21 @@
 //! assert_eq!(compiled.program.instructions.len(), 6);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 pub mod coding;
 pub mod compile;
 pub mod instr;
 pub mod params;
 pub mod program;
+// The module proving accumulator bounds must not itself contain
+// unchecked arithmetic; its interval math is all i128 + explicit
+// checked/guarded shifts. Test fixtures are exempt.
+#[cfg_attr(not(test), deny(clippy::arithmetic_side_effects))]
+pub mod verify;
 
 pub use compile::{compile, CompileError};
 pub use instr::{FeatLoc, Instruction, Opcode, QSpec};
 pub use params::{LayerParams, PackedParams, QuantizedModel};
 pub use program::Program;
+pub use verify::{verify, DiagCode, Diagnostic, Severity, VerifyMode, VerifyReport};

@@ -21,6 +21,8 @@
 //!   `(B, RE)` candidates under a compute budget.
 //! * [`spec`] — real-time throughput specifications (UHD30 / HD60 / HD30).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 pub mod blockflow;
 pub mod complexity;
 pub mod ernet;

@@ -16,6 +16,8 @@
 //! (magnitude pruning, Fig. 2a) and the depthwise ERNet variants built by
 //! [`float_model::FloatModel::edsr_depthwise`] (Fig. 2b).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 pub mod data;
 pub mod float_model;
 pub mod pipeline;

@@ -37,6 +37,7 @@ use crate::kernels;
 use ecnn_isa::instr::{FeatLoc, Instruction, Opcode, LEAF_CH};
 use ecnn_isa::params::{LeafParams, PackedKernelParams};
 use ecnn_isa::program::Program;
+use ecnn_isa::verify::{DiagCode, Diagnostic, VerifyReport};
 use ecnn_model::layer::PoolKind;
 use ecnn_tensor::conv::align_code;
 use ecnn_tensor::qformat::rescale_code;
@@ -167,6 +168,88 @@ impl ExecStats {
             planes_reused: self.planes_reused - mark.planes_reused,
             params_reused: self.params_reused - mark.params_reused,
         }
+    }
+}
+
+/// Observed value extrema of one instruction from a range-instrumented
+/// execution (see [`execute_traced`]). Each field mirrors one bound of
+/// the verifier's `InstrRange` prediction; `None` when the instruction
+/// produced no values at that stage.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InstrTrace {
+    /// Final accumulator extrema: after srcS accumulation and ReLU,
+    /// before requantization.
+    pub acc: Option<(i64, i64)>,
+    /// `ER` only: raw 3×3 expansion accumulator extrema across all
+    /// leaves, before the internal ReLU/quantizer.
+    pub er_acc3: Option<(i64, i64)>,
+    /// Stored destination code extrema after requantization (for `DNX2`,
+    /// scanned on the pre-pool grid, a superset of the pooled plane).
+    pub dst: Option<(i64, i64)>,
+}
+
+/// Per-instruction observed extrema of one traced block execution.
+#[derive(Clone, Debug, Default)]
+pub struct ExecTrace {
+    /// One record per instruction, in program order.
+    pub instrs: Vec<InstrTrace>,
+}
+
+/// One observed-vs-predicted range violation found by
+/// [`ExecTrace::check_against`]: `(instruction, stage, observed,
+/// predicted)`.
+pub type RangeViolation = (usize, &'static str, (i64, i64), (i64, i64));
+
+impl ExecTrace {
+    /// Checks every observed extremum against the verifier's predicted
+    /// ranges, returning the first violation.
+    pub fn check_against(&self, report: &VerifyReport) -> Option<RangeViolation> {
+        for (i, t) in self.instrs.iter().enumerate() {
+            let Some(Some(pred)) = report.ranges.get(i) else {
+                continue;
+            };
+            let stages = [
+                ("acc", t.acc, Some(pred.acc)),
+                ("er_acc3", t.er_acc3, pred.er_acc3),
+                ("dst", t.dst, Some(pred.dst)),
+            ];
+            for (name, observed, predicted) in stages {
+                if let (Some(o), Some(p)) = (observed, predicted) {
+                    if o.0 < p.0 || o.1 > p.1 {
+                        return Some((i, name, o, p));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+fn scan_i64(t: &Tensor<i64>) -> Option<(i64, i64)> {
+    let s = t.as_slice();
+    let (first, rest) = s.split_first()?;
+    Some(
+        rest.iter()
+            .fold((*first, *first), |(lo, hi), &v| (lo.min(v), hi.max(v))),
+    )
+}
+
+fn scan_i16(t: &Tensor<i16>) -> Option<(i64, i64)> {
+    let s = t.as_slice();
+    let (first, rest) = s.split_first()?;
+    let f = *first as i64;
+    Some(
+        rest.iter()
+            .fold((f, f), |(lo, hi), &v| (lo.min(v as i64), hi.max(v as i64))),
+    )
+}
+
+fn merge_extrema(slot: &mut Option<(i64, i64)>, obs: Option<(i64, i64)>) {
+    if let Some((lo, hi)) = obs {
+        *slot = Some(match *slot {
+            Some((a, b)) => (a.min(lo), b.max(hi)),
+            None => (lo, hi),
+        });
     }
 }
 
@@ -321,6 +404,26 @@ impl<'a> BlockPlan<'a> {
         };
 
         for (i, (ins, leafset)) in program.instructions.iter().zip(leafs).enumerate() {
+            // Structural invariants first, so the executor's `expect`
+            // sites on Q-format presence are genuinely unreachable.
+            if let Err(e) = ins.check() {
+                return Err(ExecError::Leafs(format!("instr {i}: {e}")));
+            }
+            if ins.src_s.is_some() && ins.q.src_s.is_none() {
+                return Err(ExecError::Leafs(format!(
+                    "instr {i}: srcS operand without a srcS format"
+                )));
+            }
+            if ins.opcode == Opcode::Er && ins.q.mid.is_none() {
+                return Err(ExecError::Leafs(format!(
+                    "instr {i}: ER without a mid format"
+                )));
+            }
+            if ins.opcode.has_conv1x1() && ins.q.b1.is_none() {
+                return Err(ExecError::Leafs(format!(
+                    "instr {i}: 1x1 opcode without a 1x1 bias format"
+                )));
+            }
             if leafset.len() != ins.leaf_modules() {
                 return Err(ExecError::Leafs(format!(
                     "{} leafs but instruction declares {}",
@@ -672,6 +775,45 @@ pub fn execute_with<'p>(
     input: &Tensor<i16>,
     kernels: Kernels,
 ) -> Result<&'p Tensor<i16>, ExecError> {
+    execute_inner(plan, pool, input, kernels, None)
+}
+
+/// [`execute`] on the reference kernels with per-instruction range
+/// instrumentation: every accumulator is scanned for its extrema right
+/// before requantization (and every `ER` expansion accumulator before its
+/// internal ReLU), so the observed ranges can be checked against the
+/// static verifier's predicted `InstrRange`s via
+/// [`ExecTrace::check_against`].
+///
+/// # Errors
+///
+/// See [`execute`].
+pub fn execute_traced(
+    plan: &BlockPlan<'_>,
+    pool: &mut PlanePool,
+    input: &Tensor<i16>,
+) -> Result<(Tensor<i16>, ExecTrace), ExecError> {
+    let mut trace = ExecTrace {
+        instrs: vec![InstrTrace::default(); plan.program.instructions.len()],
+    };
+    let out = execute_inner(
+        plan,
+        pool,
+        input,
+        Kernels::Reference,
+        Some(&mut trace.instrs),
+    )?
+    .clone();
+    Ok((out, trace))
+}
+
+fn execute_inner<'p>(
+    plan: &BlockPlan<'_>,
+    pool: &'p mut PlanePool,
+    input: &Tensor<i16>,
+    kernels: Kernels,
+    mut traces: Option<&mut [InstrTrace]>,
+) -> Result<&'p Tensor<i16>, ExecError> {
     let p = plan.program;
     if input.height() != p.di_side || input.width() != p.di_side {
         return Err(ExecError::Shape(format!(
@@ -690,10 +832,13 @@ pub fn execute_with<'p>(
     }
     stream_input(plan, pool, input);
     for (i, ins) in p.instructions.iter().enumerate() {
+        let trace = traces.as_deref_mut().map(|t| &mut t[i]);
         match ins.opcode {
-            Opcode::Conv | Opcode::Dnx2 | Opcode::Upx2 => exec_conv3(plan, i, pool, kernels)?,
-            Opcode::Conv1 => exec_conv1(plan, i, pool, kernels)?,
-            Opcode::Er => exec_er(plan, i, pool, kernels)?,
+            Opcode::Conv | Opcode::Dnx2 | Opcode::Upx2 => {
+                exec_conv3(plan, i, pool, kernels, trace)?
+            }
+            Opcode::Conv1 => exec_conv1(plan, i, pool, kernels, trace)?,
+            Opcode::Er => exec_er(plan, i, pool, kernels, trace)?,
         }
         if kernels == Kernels::Packed {
             pool.stats.params_reused += 1;
@@ -701,6 +846,69 @@ pub fn execute_with<'p>(
         pool.stats.instructions += 1;
     }
     assemble_output(p, plan.out_groups, pool)
+}
+
+/// Cross-checks the simulator's plan against the static verifier's
+/// independently derived plane table — the two halves of the
+/// differential oracle. Returns one `plan-divergence` diagnostic per
+/// disagreement (shape, placement, or lifetime); an empty vector means
+/// the two derivations agree exactly.
+pub fn crosscheck_plan(plan: &BlockPlan<'_>, report: &VerifyReport) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut diverge = |instr: Option<usize>, detail: String| {
+        out.push(Diagnostic {
+            code: DiagCode::PlanDivergence,
+            severity: DiagCode::PlanDivergence.severity(),
+            instr,
+            detail,
+        });
+    };
+    let planned = plan.planes();
+    if planned.len() != report.planes.len() {
+        diverge(
+            None,
+            format!(
+                "plan tracks {} planes, verifier derived {}",
+                planned.len(),
+                report.planes.len()
+            ),
+        );
+        return out;
+    }
+    for (info, rec) in planned.iter().zip(&report.planes) {
+        if info.key != PlaneKey::from(rec.loc) {
+            diverge(
+                rec.born,
+                format!("plane key {:?} vs verifier {}", info.key, rec.loc),
+            );
+            continue;
+        }
+        if (info.channels, info.height, info.width) != (rec.channels, rec.height, rec.width) {
+            diverge(
+                rec.born,
+                format!(
+                    "{}: plan shape {}x{}x{} vs verifier {}x{}x{}",
+                    rec.loc,
+                    info.channels,
+                    info.height,
+                    info.width,
+                    rec.channels,
+                    rec.height,
+                    rec.width
+                ),
+            );
+        }
+        if info.born != rec.born || info.last_use != rec.last_use {
+            diverge(
+                rec.born,
+                format!(
+                    "{}: plan lifetime {:?}..{:?} vs verifier {:?}..{:?}",
+                    rec.loc, info.born, info.last_use, rec.born, rec.last_use
+                ),
+            );
+        }
+    }
+    out
 }
 
 /// Unpacks the DI stream into pooled 32-channel planes, applying the
@@ -794,6 +1002,7 @@ fn exec_conv3(
     idx: usize,
     pool: &mut PlanePool,
     kind: Kernels,
+    mut trace: Option<&mut InstrTrace>,
 ) -> Result<(), ExecError> {
     let program = plan.program;
     let ins = &program.instructions[idx];
@@ -865,8 +1074,10 @@ fn exec_conv3(
     };
     // srcS accumulation (ADDE) in the destination domain.
     if let Some(srcs) = ins.src_s {
-        let sq = ins.q.src_s.expect("checked by Instruction::check");
+        // INVARIANT: format presence validated by `BlockPlan::new`.
+        let sq = ins.q.src_s.expect("plan validated srcS format");
         let plane = read_plane(&pool.planes, &mut pool.stats, srcs)?;
+        check_srcs_domain(acc, plane)?;
         add_aligned(acc, plane, sq.frac() as i32, prod_frac);
     }
     if ins.relu {
@@ -876,12 +1087,18 @@ fn exec_conv3(
             }
         }
     }
+    if let Some(t) = trace.as_deref_mut() {
+        merge_extrema(&mut t.acc, scan_i64(acc));
+    }
     // Requantize to the destination format, then Dst Reorder (pooling).
     let dst_key = PlaneKey::from(ins.dst);
     if ins.opcode == Opcode::Dnx2 {
         let (qc, qh, qw) = acc.shape();
         let quantized = ensure_overwrite(&mut pool.quant, &mut pool.stats, qc, qh, qw);
         requantize_into(acc, prod_frac, ins.q.dst, quantized);
+        if let Some(t) = trace.as_deref_mut() {
+            merge_extrema(&mut t.dst, scan_i16(quantized));
+        }
         let factor = ins.pool_factor;
         if qh / factor != ins.out_size.1 || qw / factor != ins.out_size.0 {
             return Err(ExecError::Shape(format!(
@@ -928,6 +1145,9 @@ fn exec_conv3(
             false,
         );
         requantize_into(acc, prod_frac, ins.q.dst, dst);
+        if let Some(t) = trace {
+            merge_extrema(&mut t.dst, scan_i16(dst));
+        }
         let (len, px) = (dst.len(), dst.height() * dst.width());
         count_write(&mut pool.stats, program, dst_key, len, px);
     }
@@ -939,6 +1159,7 @@ fn exec_conv1(
     idx: usize,
     pool: &mut PlanePool,
     kind: Kernels,
+    mut trace: Option<&mut InstrTrace>,
 ) -> Result<(), ExecError> {
     let program = plan.program;
     let ins = &program.instructions[idx];
@@ -951,8 +1172,10 @@ fn exec_conv1(
         ins.in_groups,
         ins.in_size.0,
     )?;
-    let w1q = ins.q.w1.expect("checked");
-    let b1q = ins.q.b1.expect("checked");
+    // INVARIANT: format presence validated by `Instruction::check` in
+    // `BlockPlan::new` (CONV1 requires the 1x1 formats).
+    let w1q = ins.q.w1.expect("plan validated the 1x1 weight format");
+    let b1q = ins.q.b1.expect("plan validated the 1x1 bias format");
     let prod_frac = w1q.frac() as i32 + ins.q.src.frac() as i32;
     let side = input.height();
     let acc = ensure_overwrite(&mut pool.acc_a, &mut pool.stats, LEAF_CH, side, side);
@@ -985,8 +1208,10 @@ fn exec_conv1(
     }
     pool.stats.mac1 += (leafs.len() * LEAF_CH * LEAF_CH * side * side) as u64;
     if let Some(srcs) = ins.src_s {
-        let sq = ins.q.src_s.expect("checked");
+        // INVARIANT: format presence validated by `BlockPlan::new`.
+        let sq = ins.q.src_s.expect("plan validated srcS format");
         let plane = read_plane(&pool.planes, &mut pool.stats, srcs)?;
+        check_srcs_domain(acc, plane)?;
         add_aligned(acc, plane, sq.frac() as i32, prod_frac);
     }
     if ins.relu {
@@ -995,6 +1220,9 @@ fn exec_conv1(
                 *v = 0;
             }
         }
+    }
+    if let Some(t) = trace.as_deref_mut() {
+        merge_extrema(&mut t.acc, scan_i64(acc));
     }
     let dst_key = PlaneKey::from(ins.dst);
     let dst = checkout(
@@ -1007,6 +1235,9 @@ fn exec_conv1(
         false,
     );
     requantize_into(acc, prod_frac, ins.q.dst, dst);
+    if let Some(t) = trace {
+        merge_extrema(&mut t.dst, scan_i16(dst));
+    }
     let (len, px) = (dst.len(), dst.height() * dst.width());
     count_write(&mut pool.stats, program, dst_key, len, px);
     Ok(())
@@ -1017,13 +1248,15 @@ fn exec_er(
     idx: usize,
     pool: &mut PlanePool,
     kind: Kernels,
+    mut trace: Option<&mut InstrTrace>,
 ) -> Result<(), ExecError> {
     let program = plan.program;
     let ins = &program.instructions[idx];
     let leafs = plan.leafs[idx].as_slice();
-    let midq = ins.q.mid.expect("ER carries a mid format");
-    let w1q = ins.q.w1.expect("checked");
-    let b1q = ins.q.b1.expect("checked");
+    // INVARIANT: format presence validated by `BlockPlan::new`.
+    let midq = ins.q.mid.expect("plan validated the mid format");
+    let w1q = ins.q.w1.expect("plan validated the 1x1 weight format");
+    let b1q = ins.q.b1.expect("plan validated the 1x1 bias format");
     let prod3 = ins.q.w3.frac() as i32 + ins.q.src.frac() as i32;
     let prod1 = w1q.frac() as i32 + midq.frac() as i32;
     let (cw, chh) = ins.conv_out_size();
@@ -1082,6 +1315,9 @@ fn exec_er(
             }
         }
         pool.stats.mac3 += (LEAF_CH * LEAF_CH * 9 * cw * chh) as u64;
+        if let Some(t) = trace.as_deref_mut() {
+            merge_extrema(&mut t.er_acc3, scan_i64(acc3));
+        }
         let mid = ensure_overwrite(&mut pool.mid, &mut pool.stats, LEAF_CH, chh, cw);
         for (m, &a) in mid.as_mut_slice().iter_mut().zip(acc3.as_slice()) {
             let v = if a < 0 { 0 } else { a }; // ER's internal ReLU
@@ -1099,9 +1335,14 @@ fn exec_er(
     pool.stats.mac1 += (leafs.len() * LEAF_CH * LEAF_CH * cw * chh) as u64;
     // Module residual via srcS.
     if let Some(srcs) = ins.src_s {
-        let sq = ins.q.src_s.expect("checked");
+        // INVARIANT: format presence validated by `BlockPlan::new`.
+        let sq = ins.q.src_s.expect("plan validated srcS format");
         let plane = read_plane(&pool.planes, &mut pool.stats, srcs)?;
+        check_srcs_domain(acc1, plane)?;
         add_aligned(acc1, plane, sq.frac() as i32, prod1);
+    }
+    if let Some(t) = trace.as_deref_mut() {
+        merge_extrema(&mut t.acc, scan_i64(acc1));
     }
     let dst_key = PlaneKey::from(ins.dst);
     let dst = checkout(
@@ -1114,6 +1355,9 @@ fn exec_er(
         false,
     );
     requantize_into(acc1, prod1, ins.q.dst, dst);
+    if let Some(t) = trace {
+        merge_extrema(&mut t.dst, scan_i16(dst));
+    }
     let (len, px) = (dst.len(), dst.height() * dst.width());
     count_write(&mut pool.stats, program, dst_key, len, px);
     Ok(())
@@ -1215,10 +1459,35 @@ impl<'a> BlockExecutor<'a> {
     }
 }
 
+/// Guards the srcS accumulation domain: the plane must cover the
+/// accumulator spatially (it is center-cropped, never extended) and carry
+/// at least the accumulated channel count. Checked before every
+/// [`add_aligned`] call so the executor returns a structured error where
+/// it used to assert; `ecnn_isa::verify` proves the same property
+/// statically (`shape-mismatch`).
+fn check_srcs_domain(acc: &Tensor<i64>, plane: &Tensor<i16>) -> Result<(), ExecError> {
+    let (ac, ah, aw) = acc.shape();
+    let (pc, ph, pw) = plane.shape();
+    if ph < ah || pw < aw {
+        return Err(ExecError::Shape(format!(
+            "srcS plane {pw}x{ph} smaller than the {aw}x{ah} accumulator"
+        )));
+    }
+    if pc < ac.min(LEAF_CH) {
+        return Err(ExecError::Shape(format!(
+            "srcS carries {pc} channel(s) for a {ac}-channel accumulator"
+        )));
+    }
+    Ok(())
+}
+
 /// Adds a quantized plane into an accumulator tensor, center-cropping the
 /// plane when it is larger than the accumulator (truncated-pyramid skips).
 /// Row-sliced; the common upshift alignment is hoisted to one shift per
 /// element with no per-element branch.
+///
+/// INVARIANT: callers run [`check_srcs_domain`] first, so the domain
+/// asserts below are unreachable from public entry points.
 fn add_aligned(acc: &mut Tensor<i64>, plane: &Tensor<i16>, plane_frac: i32, acc_frac: i32) {
     let (ac, ah, aw) = acc.shape();
     let (pc, ph, pw) = plane.shape();

@@ -27,6 +27,8 @@
 //!
 //! [`config`] holds the Table 2 machine constants shared by all views.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 pub mod banking;
 pub mod config;
 pub mod cost;
@@ -37,7 +39,7 @@ pub mod timing;
 pub use config::EcnnConfig;
 pub use cost::{AreaReport, PowerReport};
 pub use exec::{
-    execute, execute_with, BlockExecutor, BlockPlan, ExecError, ExecStats, Kernels, PlaneInfo,
-    PlaneKey, PlanePool,
+    crosscheck_plan, execute, execute_traced, execute_with, BlockExecutor, BlockPlan, ExecError,
+    ExecStats, ExecTrace, InstrTrace, Kernels, PlaneInfo, PlaneKey, PlanePool, RangeViolation,
 };
 pub use timing::{simulate_frame, FrameReport};

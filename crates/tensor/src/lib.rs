@@ -26,6 +26,8 @@
 //! assert!((back.at(1, 2, 3) - t.at(1, 2, 3)).abs() <= q.step());
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 pub mod conv;
 pub mod image;
 pub mod qformat;

@@ -5,6 +5,8 @@
 //! with the handful of types most programs need. See [`ecnn_core`] for
 //! the high-level entry points.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 pub use ecnn_baselines as baselines;
 pub use ecnn_core as core;
 pub use ecnn_dram as dram;
@@ -25,6 +27,7 @@ pub mod prelude {
     pub use ecnn_core::sharded::ShardedBackend;
     pub use ecnn_core::SystemReport;
     pub use ecnn_isa::params::QuantizedModel;
+    pub use ecnn_isa::verify::{VerifyMode, VerifyReport};
     pub use ecnn_model::ernet::{ErNetSpec, ErNetTask};
     pub use ecnn_model::RealTimeSpec;
 }

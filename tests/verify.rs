@@ -1,0 +1,463 @@
+//! The static verifier's contract, pinned from both sides:
+//!
+//! * **soundness** — programs the verifier admits execute cleanly, and the
+//!   range-instrumented reference executor's observed per-instruction
+//!   extrema stay inside the verifier's predicted intervals
+//!   (`ExecTrace::check_against`);
+//! * **completeness of rejection** — programs the verifier rejects with a
+//!   hard error really are unrunnable: the plan or the executor rejects
+//!   them too (or the executor would panic);
+//! * **diagnostic stability** — every diagnostic code is pinned by a
+//!   minimal hand-built program that triggers exactly it.
+
+use ecnn_isa::compile::compile;
+use ecnn_isa::instr::{FeatLoc, Instruction, Opcode, QSpec, LEAF_CH};
+use ecnn_isa::params::{LeafParams, QuantizedModel};
+use ecnn_isa::program::Program;
+use ecnn_isa::verify::{verify, verify_compiled, DiagCode, VerifyMode};
+use ecnn_model::ernet::{ErNetSpec, ErNetTask};
+use ecnn_model::model::InferenceKind;
+use ecnn_repro::prelude::*;
+use ecnn_sim::exec::{crosscheck_plan, execute_traced, quantize_input, BlockPlan, PlanePool};
+use ecnn_tensor::{ImageKind, QFormat, SyntheticImage, Tensor};
+use proptest::prelude::*;
+
+// --- Hand-built single-conv fixture -----------------------------------
+
+/// One leaf whose only tap is `w` at the 3×3 center of channel 0.
+fn identity_leaf(w: i16) -> LeafParams {
+    let mut leaf = LeafParams::zero();
+    leaf.w3[4] = w; // [oc=0][ic=0][k=4]
+    leaf
+}
+
+/// A minimal DI → DO single-CONV program (truncated pyramid, 16 → 14)
+/// that verifies completely clean.
+fn single_conv() -> (Program, Vec<Vec<LeafParams>>) {
+    let dst_q = QFormat::signed(5);
+    let ins = Instruction {
+        opcode: Opcode::Conv,
+        inference: InferenceKind::TruncatedPyramid,
+        src: FeatLoc::di(),
+        dst: FeatLoc::dout(),
+        src_s: None,
+        in_groups: 1,
+        out_groups: 1,
+        expansion: 1,
+        in_size: (16, 16),
+        out_size: (14, 14),
+        relu: false,
+        pool: None,
+        pool_factor: 1,
+        q: QSpec {
+            src: QFormat::unsigned(8),
+            dst: dst_q,
+            src_s: None,
+            mid: None,
+            w3: QFormat::signed(7),
+            b3: QFormat::signed(7),
+            w1: None,
+            b1: None,
+        },
+        param_restart: 0,
+        layer: 0,
+    };
+    let program = Program {
+        name: "single-conv".into(),
+        instructions: vec![ins],
+        inference: InferenceKind::TruncatedPyramid,
+        di_side: 16,
+        di_channels: 1,
+        di_q: QFormat::unsigned(8),
+        do_side: 14,
+        do_channels: 1,
+        do_q: dst_q,
+        input_unshuffle: None,
+        bb_overflow: false,
+    };
+    (program, vec![vec![identity_leaf(1)]])
+}
+
+fn codes(program: &Program, leafs: &[Vec<LeafParams>]) -> Vec<DiagCode> {
+    verify(program, leafs)
+        .diagnostics
+        .iter()
+        .map(|d| d.code)
+        .collect()
+}
+
+/// True when the rejected program is also unrunnable in practice: the
+/// plan constructor or the executor rejects it, or the executor panics.
+fn unrunnable(program: &Program, leafs: &[Vec<LeafParams>]) -> bool {
+    let Ok(plan) = BlockPlan::new(program, leafs) else {
+        return true;
+    };
+    let input = Tensor::<i16>::zeros(program.di_channels, program.di_side, program.di_side);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut pool = PlanePool::new();
+        execute_traced(&plan, &mut pool, &input).map(|_| ())
+    }));
+    !matches!(outcome, Ok(Ok(())))
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let (p, l) = single_conv();
+    let report = verify(&p, &l);
+    assert!(
+        report.is_clean(),
+        "unexpected findings: {:?}",
+        report.diagnostics
+    );
+    assert!(report.passes(VerifyMode::Strict));
+    // Its predicted range is available for every instruction.
+    assert!(report.ranges.iter().all(Option::is_some));
+}
+
+// --- One pinned regression per diagnostic code ------------------------
+
+#[test]
+fn code_leaf_mismatch() {
+    // CONV writes one output group per instruction; declaring two is a
+    // layout the leaf-module sweep cannot map.
+    let (mut p, mut l) = single_conv();
+    p.instructions[0].out_groups = 2;
+    l[0].push(identity_leaf(1));
+    let c = codes(&p, &l);
+    assert!(c.contains(&DiagCode::LeafMismatch), "{c:?}");
+    assert!(verify(&p, &l).has_errors());
+}
+
+#[test]
+fn code_undef_operand() {
+    let (mut p, l) = single_conv();
+    p.instructions[0].src = FeatLoc::bb(3);
+    let c = codes(&p, &l);
+    assert!(c.contains(&DiagCode::UndefOperand), "{c:?}");
+}
+
+#[test]
+fn code_shape_mismatch() {
+    // Truncated-pyramid CONV shrinks 16 -> 14; declaring 16 claims pixels
+    // the input block cannot produce.
+    let (mut p, l) = single_conv();
+    p.instructions[0].out_size = (16, 16);
+    p.do_side = 16;
+    let c = codes(&p, &l);
+    assert!(c.contains(&DiagCode::ShapeMismatch), "{c:?}");
+}
+
+#[test]
+fn code_alias_hazard() {
+    // Second instruction convolves BB0 into BB0 in place: border reads of
+    // later tiles see already-overwritten rows.
+    let (mut p, mut l) = single_conv();
+    let q5 = QFormat::signed(5);
+    let mut head = p.instructions[0].clone();
+    head.dst = FeatLoc::bb(0);
+    let mut mid = head.clone();
+    mid.src = FeatLoc::bb(0);
+    mid.dst = FeatLoc::bb(0);
+    mid.in_size = (14, 14);
+    mid.out_size = (12, 12);
+    mid.q.src = q5;
+    let mut tail = mid.clone();
+    tail.src = FeatLoc::bb(0);
+    tail.dst = FeatLoc::dout();
+    tail.in_size = (12, 12);
+    tail.out_size = (10, 10);
+    p.instructions = vec![head, mid, tail];
+    p.do_side = 10;
+    l = vec![l[0].clone(), vec![identity_leaf(1)], vec![identity_leaf(1)]];
+    let c = codes(&p, &l);
+    assert!(c.contains(&DiagCode::AliasHazard), "{c:?}");
+    assert!(verify(&p, &l).has_errors());
+}
+
+#[test]
+fn code_acc_overflow() {
+    // Requantizing a Q15 accumulator up to Q120 needs a 105-bit left
+    // shift — no i64 datapath holds that.
+    let (mut p, l) = single_conv();
+    let huge = QFormat::with_bits(true, 120, 8);
+    p.instructions[0].q.dst = huge;
+    p.do_q = huge;
+    let c = codes(&p, &l);
+    assert!(c.contains(&DiagCode::AccOverflow), "{c:?}");
+    assert!(verify(&p, &l).has_errors());
+}
+
+#[test]
+fn code_qformat_mismatch() {
+    // srcS operand wired without declaring its format: the executor's
+    // residual path would have no alignment to work with.
+    let (mut p, l) = single_conv();
+    p.instructions[0].src_s = Some(FeatLoc::di());
+    let c = codes(&p, &l);
+    assert!(c.contains(&DiagCode::QFormatMismatch), "{c:?}");
+    assert!(verify(&p, &l).has_errors());
+    assert!(unrunnable(&p, &l));
+}
+
+#[test]
+fn code_zero_taps() {
+    let (p, mut l) = single_conv();
+    l[0][0] = LeafParams::zero();
+    let report = verify(&p, &l);
+    let c: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+    assert!(c.contains(&DiagCode::ZeroTaps), "{c:?}");
+    // A lint, not an error: passes default mode, fails Strict.
+    assert!(!report.has_errors());
+    assert!(report.passes(VerifyMode::Lints));
+    assert!(!report.passes(VerifyMode::Strict));
+}
+
+#[test]
+fn code_dead_plane() {
+    // First instruction computes a BB0 plane nobody ever reads.
+    let (mut p, mut l) = single_conv();
+    let mut dead = p.instructions[0].clone();
+    dead.dst = FeatLoc::bb(0);
+    let live = p.instructions[0].clone();
+    p.instructions = vec![dead, live];
+    l.push(l[0].clone());
+    let c = codes(&p, &l);
+    assert!(c.contains(&DiagCode::DeadPlane), "{c:?}");
+    assert!(!verify(&p, &l).has_errors());
+}
+
+#[test]
+fn code_redundant_requant() {
+    // Accumulator already sits at the destination's fractional position
+    // and its proven range never clamps: the requantization is a no-op.
+    let (mut p, l) = single_conv();
+    let wide = QFormat::with_bits(true, 15, 15);
+    p.instructions[0].q.dst = wide;
+    p.do_q = wide;
+    let report = verify(&p, &l);
+    let c: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+    assert!(c.contains(&DiagCode::RedundantRequant), "{c:?}");
+    assert!(!report.has_errors());
+}
+
+#[test]
+fn code_narrow_band() {
+    // A zero-padded 2×2 block is narrower than the 3×3 footprint: every
+    // output pixel is mostly padding.
+    let (mut p, l) = single_conv();
+    p.inference = InferenceKind::ZeroPadded;
+    p.di_side = 2;
+    p.do_side = 2;
+    let ins = &mut p.instructions[0];
+    ins.inference = InferenceKind::ZeroPadded;
+    ins.in_size = (2, 2);
+    ins.out_size = (2, 2);
+    let c = codes(&p, &l);
+    assert!(c.contains(&DiagCode::NarrowBand), "{c:?}");
+    assert!(!verify(&p, &l).has_errors());
+}
+
+#[test]
+fn code_plan_divergence() {
+    // Tampering with the verifier's plane table makes the differential
+    // cross-check against BlockPlan fire; untampered, the two agree.
+    let m = ErNetSpec::new(ErNetTask::Dn, 3, 1, 0).build().unwrap();
+    let qm = QuantizedModel::uniform(&m);
+    let c = compile(&qm, 64).unwrap();
+    let report = verify_compiled(&c);
+    let plan = BlockPlan::new(&c.program, &c.leafs).unwrap();
+    assert!(crosscheck_plan(&plan, &report).is_empty());
+    let mut tampered = report.clone();
+    tampered.planes[0].channels += 1;
+    let diags = crosscheck_plan(&plan, &tampered);
+    assert!(!diags.is_empty());
+    assert!(diags.iter().all(|d| d.code == DiagCode::PlanDivergence));
+}
+
+// --- Rejected programs really are unrunnable --------------------------
+
+#[test]
+fn rejected_programs_misbehave() {
+    // Leaf-set shorter than the instruction declares.
+    let (p, mut l) = single_conv();
+    l[0].clear();
+    assert!(verify(&p, &l).has_errors());
+    assert!(unrunnable(&p, &l));
+
+    // Reading an operand nobody wrote.
+    let (mut p, l) = single_conv();
+    p.instructions[0].src = FeatLoc::bb(3);
+    assert!(verify(&p, &l).has_errors());
+    assert!(unrunnable(&p, &l));
+
+    // Declared input block larger than the 16×16 DI plane that exists.
+    let (mut p, l) = single_conv();
+    p.instructions[0].in_size = (18, 18);
+    p.instructions[0].out_size = (16, 16);
+    p.do_side = 16;
+    assert!(verify(&p, &l).has_errors());
+    assert!(unrunnable(&p, &l));
+}
+
+// --- Engine-layer wiring ----------------------------------------------
+
+#[test]
+fn engine_strict_mode_accepts_paper_models_and_exposes_the_report() {
+    let engine = Engine::builder()
+        .ernet(ErNetSpec::new(ErNetTask::Dn, 3, 1, 0))
+        .block(64)
+        .verify(VerifyMode::Strict)
+        .build()
+        .unwrap();
+    let report = engine
+        .verify_report()
+        .expect("strict mode keeps the report");
+    assert!(report.is_clean());
+    assert_eq!(
+        report.ranges.len(),
+        engine.compiled().program.instructions.len()
+    );
+}
+
+#[test]
+fn engine_off_mode_skips_verification() {
+    let engine = Engine::builder()
+        .ernet(ErNetSpec::new(ErNetTask::Dn, 3, 1, 0))
+        .block(64)
+        .verify(VerifyMode::Off)
+        .build()
+        .unwrap();
+    assert!(engine.verify_report().is_none());
+}
+
+#[test]
+fn engine_strict_mode_rejects_linted_programs() {
+    // An all-zero model is legal but every leaf trips the zero-taps lint:
+    // Lints mode builds, Strict mode refuses.
+    let m = ErNetSpec::new(ErNetTask::Dn, 1, 1, 0).build().unwrap();
+    let mut qm = QuantizedModel::uniform(&m);
+    for p in qm.layers.iter_mut().flatten() {
+        p.w3.iter_mut().for_each(|w| *w = 0);
+        p.w1.iter_mut().for_each(|w| *w = 0);
+    }
+    let c = compile(&qm, 64).unwrap();
+    let report = verify_compiled(&c);
+    assert!(!report.has_errors());
+    assert!(!report.passes(VerifyMode::Strict));
+    assert!(report.passes(VerifyMode::Lints));
+}
+
+// --- Soundness: observed extrema within predicted intervals -----------
+
+/// Overwrites every parameter with seeded pseudo-random codes in
+/// `[-8, 8]`, zeroing roughly `sparsity_pct`% (as in kernel_parity.rs).
+fn scramble(qm: &mut QuantizedModel, seed: u64, sparsity_pct: u64) {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as i64
+    };
+    for p in qm.layers.iter_mut().flatten() {
+        for w in
+            p.w3.iter_mut()
+                .chain(p.w1.iter_mut())
+                .chain(p.b3.iter_mut())
+                .chain(p.b1.iter_mut())
+        {
+            let r = next();
+            *w = if r.unsigned_abs() % 100 < sparsity_pct {
+                0
+            } else {
+                (r.rem_euclid(17) - 8) as i16
+            };
+        }
+    }
+}
+
+fn image_kind(sel: u64) -> ImageKind {
+    match sel % 4 {
+        0 => ImageKind::Smooth,
+        1 => ImageKind::Edges,
+        2 => ImageKind::Texture,
+        _ => ImageKind::Mixed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Verifier-admitted random ERNets execute cleanly and the traced
+    /// reference executor's per-instruction accumulator/store extrema
+    /// stay inside the statically predicted intervals.
+    #[test]
+    fn traced_extrema_within_predicted_ranges(
+        seed in 0u64..1_000_000,
+        b in 1usize..4,
+        r in 1usize..3,
+        sel in 0usize..4,
+        sparsity in 0u64..70,
+    ) {
+        let task = match sel {
+            0 => ErNetTask::Dn,
+            1 => ErNetTask::Sr2,
+            2 => ErNetTask::Sr4,
+            _ => ErNetTask::Dn12,
+        };
+        let n = if b > 1 { 1 } else { 0 };
+        let m = ErNetSpec::new(task, b, r, n).build().unwrap();
+        let mut qm = QuantizedModel::uniform(&m);
+        scramble(&mut qm, seed, sparsity);
+        let side = if task == ErNetTask::Dn12 { 48 } else { 32 };
+        let c = compile(&qm, side).unwrap();
+
+        let report = verify_compiled(&c);
+        prop_assert!(!report.has_errors(),
+            "verifier rejected a compiled program: {:?}", report.diagnostics);
+        prop_assert!(report.ranges.iter().all(Option::is_some));
+
+        let img = SyntheticImage::new(image_kind(seed), seed % 89).rgb(side, side);
+        let input = quantize_input(&img, &c.program);
+        let plan = BlockPlan::new(&c.program, &c.leafs).unwrap();
+        let mut pool = PlanePool::new();
+        let (_, trace) = execute_traced(&plan, &mut pool, &input).unwrap();
+        if let Some((i, stage, observed, predicted)) = trace.check_against(&report) {
+            prop_assert!(false,
+                "instr {i} {stage}: observed {observed:?} outside predicted {predicted:?}");
+        }
+        // The plan cross-check agrees with the verifier's plane table.
+        prop_assert!(crosscheck_plan(&plan, &report).is_empty());
+    }
+
+    /// The DI-plane channel pinning is sound: images with extreme values
+    /// (all-max input) stay within range too.
+    #[test]
+    fn extreme_inputs_stay_within_predicted_ranges(sel in 0usize..3, b in 1usize..3) {
+        let task = [ErNetTask::Dn, ErNetTask::Sr2, ErNetTask::Dn12][sel];
+        let m = ErNetSpec::new(task, b, 1, 0).build().unwrap();
+        let qm = QuantizedModel::uniform(&m);
+        let side = if task == ErNetTask::Dn12 { 48 } else { 32 };
+        let c = compile(&qm, side).unwrap();
+        let report = verify_compiled(&c);
+        prop_assert!(!report.has_errors());
+        let max = c.program.di_q.max_code() as i16;
+        let input = Tensor::<i16>::from_fn(
+            c.program.di_channels, side, side, |_, _, _| max);
+        let plan = BlockPlan::new(&c.program, &c.leafs).unwrap();
+        let mut pool = PlanePool::new();
+        let (_, trace) = execute_traced(&plan, &mut pool, &input).unwrap();
+        prop_assert!(trace.check_against(&report).is_none());
+    }
+}
+
+// --- Sanity: constants referenced above exist as expected -------------
+
+#[test]
+fn leaf_channel_constant_matches_plane_width() {
+    let (p, l) = single_conv();
+    let report = verify(&p, &l);
+    // DI group plane plus the written DO plane, both LEAF_CH wide.
+    assert_eq!(report.planes.len(), 2);
+    assert!(report.planes.iter().all(|pl| pl.channels == LEAF_CH));
+}
