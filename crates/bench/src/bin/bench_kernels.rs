@@ -1,14 +1,21 @@
-//! Kernel perf trajectory: times the eSR-4K single-frame path on the
-//! packed flat-slice micro-kernels against the kept scalar reference path
-//! (same plan, same codes, same run) and writes `BENCH_kernels.json` with
-//! median ns/frame and MAC/s, so later PRs can compare against a recorded
-//! baseline.
+//! Kernel perf trajectory: times the eSR-4K single-frame path on every
+//! kernel variant — the runtime-dispatched SIMD path (narrow-licensed and
+//! forced-wide), the packed flat-slice path and the kept scalar reference
+//! — over the same plan, codes and run, and writes `BENCH_kernels.json`
+//! with median ns/frame and MAC/s per variant, so later PRs can compare
+//! against a recorded baseline.
 //!
 //! A "frame" here is one full eSR-4K block execution: the engine's
 //! UHD30 pick (ERNet SR4, B=17, R=3, N=1) at its 128-pixel input block —
 //! the exact workload `Session::process` runs per block on a 4K stream.
-//! Reps are configurable with `ECNN_BENCH_REPS` (default 7 packed / 3
-//! reference; the reference path is an order of magnitude slower).
+//!
+//! Flags:
+//!
+//! * `--reps N` — timed repetitions per variant (default 7 fast / 3
+//!   reference; `ECNN_BENCH_REPS` kept as a fallback).
+//! * `--variant simd|simd-wide|packed|reference` — run only the named
+//!   variant (repeatable; default all).
+//! * `--json PATH` — output path (default `BENCH_kernels.json`).
 
 use ecnn_isa::compile::compile;
 use ecnn_isa::params::QuantizedModel;
@@ -30,36 +37,120 @@ fn env_reps(default: usize) -> usize {
         .max(1)
 }
 
+/// CPU features relevant to the dispatch ladder, as detected at runtime.
+fn cpu_features() -> Vec<&'static str> {
+    let mut f = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") {
+            f.push("avx2");
+        }
+        if is_x86_feature_detected!("sse2") {
+            f.push("sse2");
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    if std::arch::is_aarch64_feature_detected!("neon") {
+        f.push("neon");
+    }
+    f
+}
+
+struct Measured {
+    name: &'static str,
+    median_ns: u128,
+    mac_per_s: f64,
+    reps: usize,
+    narrow_instrs: u64,
+    variant_tag: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_kernels [--reps N] [--variant simd|simd-wide|packed|reference]... \
+         [--json PATH]"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
+    let mut reps_override: Option<usize> = None;
+    let mut only: Vec<String> = Vec::new();
+    let mut json_path = String::from("BENCH_kernels.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--reps" => {
+                reps_override = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&r| r >= 1)
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--variant" => only.push(
+                args.next()
+                    .map(|v| v.to_ascii_lowercase())
+                    .unwrap_or_else(|| usage()),
+            ),
+            "--json" => json_path = args.next().unwrap_or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+    for v in &only {
+        if !matches!(v.as_str(), "simd" | "simd-wide" | "packed" | "reference") {
+            eprintln!("unknown variant: {v}");
+            usage();
+        }
+    }
+
     let spec = ErNetSpec::new(ErNetTask::Sr4, 17, 3, 1);
     let xi = 128usize;
     let m = spec.build().expect("paper model builds");
     let qm = QuantizedModel::uniform(&m);
     let compiled = compile(&qm, xi).expect("paper model compiles");
     let plan = BlockPlan::new(&compiled.program, &compiled.leafs).expect("plan");
+    let mut wide_plan = plan.clone();
+    wide_plan.force_wide();
     let img = SyntheticImage::new(ImageKind::Mixed, 9).rgb(xi, xi);
     let codes = quantize_input(&img, &compiled.program);
 
     ecnn_bench::section(&format!("kernel bench: {spec} block {xi}"));
-    println!("packed parameter cache: {} KiB", plan.packed_bytes() / 1024);
+    let features = cpu_features();
+    println!(
+        "packed parameter cache: {} KiB  simd level: {}  cpu features: [{}]  \
+         narrow-licensed instrs: {}/{}",
+        plan.packed_bytes() / 1024,
+        plan.simd_level(),
+        features.join(", "),
+        plan.narrow_licensed(),
+        compiled.program.instructions.len(),
+    );
 
-    let mut results = Vec::new();
+    let variants: [(&'static str, &BlockPlan<'_>, Kernels, usize); 4] = [
+        ("simd", &plan, Kernels::Simd, env_reps(7)),
+        ("simd-wide", &wide_plan, Kernels::Simd, env_reps(7)),
+        ("packed", &plan, Kernels::Packed, env_reps(7)),
+        ("reference", &plan, Kernels::Reference, env_reps(3)),
+    ];
+    let mut results: Vec<Measured> = Vec::new();
     let mut macs_per_frame = 0u64;
     let mut steady_allocs = u64::MAX;
     let mut params_reused = 0u64;
-    for (name, kind, reps) in [
-        ("packed", Kernels::Packed, env_reps(7)),
-        ("reference", Kernels::Reference, env_reps(3)),
-    ] {
+    for (name, vplan, kind, default_reps) in variants {
+        if !only.is_empty() && !only.iter().any(|v| v == name) {
+            continue;
+        }
+        let reps = reps_override.unwrap_or(default_reps);
         let mut pool = PlanePool::new();
         // Warm-up: grows the arena to its peak so timed frames are
         // steady-state.
-        execute_with(&plan, &mut pool, &codes, kind).expect("warm-up");
+        execute_with(vplan, &mut pool, &codes, kind).expect("warm-up");
         let warm = pool.stats();
         let mut ns = Vec::with_capacity(reps);
         for _ in 0..reps {
             let t0 = Instant::now();
-            let out = execute_with(&plan, &mut pool, &codes, kind).expect("frame");
+            let out = execute_with(vplan, &mut pool, &codes, kind).expect("frame");
             ns.push(t0.elapsed().as_nanos());
             std::hint::black_box(out);
         }
@@ -72,33 +163,74 @@ fn main() {
         let med = median(ns);
         let mac_per_s = macs_per_frame as f64 / (med as f64 / 1e9);
         println!(
-            "{name:>9}: median {:.3} ms/frame  {:.2} GMAC/s  ({reps} reps)",
+            "{name:>9}: median {:.3} ms/frame  {:.2} GMAC/s  ({reps} reps, variant {}, \
+             narrow instrs/frame {})",
             med as f64 / 1e6,
-            mac_per_s / 1e9
+            mac_per_s / 1e9,
+            delta.kernel_variant,
+            delta.narrow_instrs,
         );
-        results.push((name, med, mac_per_s, reps));
+        results.push(Measured {
+            name,
+            median_ns: med,
+            mac_per_s,
+            reps,
+            narrow_instrs: delta.narrow_instrs,
+            variant_tag: delta.kernel_variant.name().to_string(),
+        });
     }
 
-    let speedup = results[1].1 as f64 / results[0].1 as f64;
-    println!(
-        "speedup: {speedup:.2}x  steady-state allocs/frame: {steady_allocs}  \
-         packed instructions served/frame: {params_reused}"
-    );
+    let find = |n: &str| results.iter().find(|r| r.name == n);
+    let ratio = |a: Option<&Measured>, b: Option<&Measured>| -> Option<f64> {
+        Some(a?.median_ns as f64 / b?.median_ns as f64)
+    };
+    let speedup_ref = ratio(find("reference"), find("packed"));
+    let speedup_simd = ratio(find("packed"), find("simd"));
+    if let Some(s) = speedup_ref {
+        println!("packed vs reference: {s:.2}x");
+    }
+    if let Some(s) = speedup_simd {
+        println!(
+            "simd vs packed: {s:.2}x  steady-state allocs/frame: {steady_allocs}  \
+             packed instructions served/frame: {params_reused}"
+        );
+    }
 
-    let json = format!(
+    // Hand-rolled JSON (no serializer in the offline vendor set): the old
+    // top-level fields are kept verbatim for trajectory comparison, the
+    // per-variant objects grow `narrow_instrs_per_frame` + `variant`, and
+    // new top-level fields record the dispatch decision.
+    let mut json = format!(
         "{{\n  \"bench\": \"esr4k_block_execution\",\n  \"model\": \"{spec}\",\n  \
-         \"block\": {xi},\n  \"mac_per_frame\": {macs_per_frame},\n{}  \
-         \"speedup_packed_vs_reference\": {speedup:.3},\n  \
-         \"steady_state_allocs_per_frame\": {steady_allocs},\n  \
-         \"packed_params_reused_per_frame\": {params_reused}\n}}\n",
-        results
+         \"block\": {xi},\n  \"mac_per_frame\": {macs_per_frame},\n  \
+         \"simd_level\": \"{}\",\n  \"cpu_features\": [{}],\n  \
+         \"narrow_licensed_instrs\": {},\n  \"program_instrs\": {},\n",
+        plan.simd_level(),
+        features
             .iter()
-            .map(|(name, med, mac_per_s, reps)| format!(
-                "  \"{name}\": {{ \"median_ns_per_frame\": {med}, \"mac_per_s\": {mac_per_s:.0}, \
-                 \"reps\": {reps} }},\n"
-            ))
-            .collect::<String>()
+            .map(|f| format!("\"{f}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+        plan.narrow_licensed(),
+        compiled.program.instructions.len(),
     );
-    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
-    println!("wrote BENCH_kernels.json");
+    for r in &results {
+        json.push_str(&format!(
+            "  \"{}\": {{ \"median_ns_per_frame\": {}, \"mac_per_s\": {:.0}, \"reps\": {}, \
+             \"variant\": \"{}\", \"narrow_instrs_per_frame\": {} }},\n",
+            r.name, r.median_ns, r.mac_per_s, r.reps, r.variant_tag, r.narrow_instrs
+        ));
+    }
+    if let Some(s) = speedup_ref {
+        json.push_str(&format!("  \"speedup_packed_vs_reference\": {s:.3},\n"));
+    }
+    if let Some(s) = speedup_simd {
+        json.push_str(&format!("  \"speedup_simd_vs_packed\": {s:.3},\n"));
+    }
+    json.push_str(&format!(
+        "  \"steady_state_allocs_per_frame\": {steady_allocs},\n  \
+         \"packed_params_reused_per_frame\": {params_reused}\n}}\n"
+    ));
+    std::fs::write(&json_path, &json).expect("write bench json");
+    println!("wrote {json_path}");
 }

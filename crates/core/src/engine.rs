@@ -21,7 +21,7 @@ use ecnn_isa::verify::{verify_compiled, VerifyMode, VerifyReport};
 use ecnn_model::ernet::ErNetSpec;
 use ecnn_model::{Model, ModelError, RealTimeSpec};
 use ecnn_sim::cost::PowerModel;
-use ecnn_sim::exec::{execute, BlockPlan, ExecError, ExecStats, PlanePool};
+use ecnn_sim::exec::{execute_with, BlockPlan, ExecError, ExecStats, Kernels, PlanePool};
 use ecnn_sim::timing::simulate_frame;
 use ecnn_sim::EcnnConfig;
 use ecnn_tensor::Tensor;
@@ -419,6 +419,7 @@ pub struct EngineBuilder {
     power: Option<PowerModel>,
     dram_power: Option<DramPowerModel>,
     verify: Option<VerifyMode>,
+    kernels: Option<Kernels>,
 }
 
 impl EngineBuilder {
@@ -487,6 +488,19 @@ impl EngineBuilder {
         self
     }
 
+    /// Accumulation kernels every execution path of this engine runs
+    /// ([`Session`], [`crate::pipe::AsyncSession`] workers,
+    /// [`crate::sharded::ShardedBackend`] shards). Defaults to
+    /// [`Kernels::Simd`] — runtime-dispatched explicit SIMD with the
+    /// verifier-licensed narrow path, bit-identical to the other
+    /// variants. The `ECNN_KERNELS` environment variable
+    /// (`packed|simd|reference`, case-insensitive) overrides whatever is
+    /// set here, for ops debugging without a rebuild.
+    pub fn kernels(mut self, kernels: Kernels) -> Self {
+        self.kernels = Some(kernels);
+        self
+    }
+
     /// Compiles the workload and returns a runnable [`Engine`].
     ///
     /// # Errors
@@ -532,6 +546,14 @@ impl EngineBuilder {
                 }
             }
         }
+        // Env override beats the builder so a deployed binary can be
+        // steered onto a known-good path without a rebuild; unknown
+        // values are ignored rather than fatal.
+        let kernels = std::env::var("ECNN_KERNELS")
+            .ok()
+            .and_then(|v| Kernels::parse(&v))
+            .or(self.kernels)
+            .unwrap_or(Kernels::Simd);
         Ok(Engine {
             config: self.config.unwrap_or_else(EcnnConfig::paper),
             power: self.power.unwrap_or_else(PowerModel::paper_40nm),
@@ -539,6 +561,7 @@ impl EngineBuilder {
             workload,
             compiled,
             verify_report: report,
+            kernels,
         })
     }
 }
@@ -553,6 +576,7 @@ pub struct Engine {
     workload: Workload,
     compiled: CompiledProgram,
     verify_report: Option<VerifyReport>,
+    kernels: Kernels,
 }
 
 impl Engine {
@@ -581,6 +605,12 @@ impl Engine {
     /// with [`VerifyMode::Off`].
     pub fn verify_report(&self) -> Option<&VerifyReport> {
         self.verify_report.as_ref()
+    }
+
+    /// The kernel selection every session/worker/shard of this engine
+    /// executes with (see [`EngineBuilder::kernels`]).
+    pub fn kernels(&self) -> Kernels {
+        self.kernels
     }
 
     /// The source model.
@@ -750,12 +780,15 @@ impl Engine {
             tops: Some(sr.frame.achieved_tops),
             utilization: Some(sr.frame.lconv3_busy),
             note: format!(
-                "block {}x{}, NBR {:.2}, NCR {:.2}, DRAM {}",
+                "block {}x{}, NBR {:.2}, NCR {:.2}, DRAM {}, kernels {}",
                 self.workload.block,
                 self.workload.block,
                 sr.frame.nbr,
                 sr.frame.ncr,
                 sr.dram_config.map_or("(none fits)", |c| c.name),
+                self.kernels
+                    .variant(ecnn_sim::kernels::simd::detect())
+                    .name(),
             ),
         }
     }
@@ -791,6 +824,8 @@ pub struct Session<'e> {
     last_block: Option<usize>,
     last_stats: ImageRunStats,
     totals: ImageRunStats,
+    /// Kernel selection inherited from the engine at session open.
+    kernels: Kernels,
 }
 
 impl<'e> Session<'e> {
@@ -810,12 +845,19 @@ impl<'e> Session<'e> {
             last_block: None,
             last_stats: ImageRunStats::default(),
             totals: ImageRunStats::default(),
+            kernels: engine.kernels,
         }
     }
 
     /// The engine this session streams on.
     pub fn engine(&self) -> &Engine {
         self.engine
+    }
+
+    /// The kernel selection this session executes with (inherited from
+    /// [`Engine::kernels`] at open).
+    pub fn kernels(&self) -> Kernels {
+        self.kernels
     }
 
     /// Processes one frame; the returned reference points at the
@@ -921,7 +963,8 @@ impl<'e> Session<'e> {
                 image.crop_padded_into(iy, ix, &mut self.block_f);
                 self.block_f
                     .map_into(&mut self.codes, |v| p.di_q.quantize(v));
-                let out_codes = execute(&self.plan, &mut self.pool, &self.codes)?;
+                let out_codes =
+                    execute_with(&self.plan, &mut self.pool, &self.codes, self.kernels)?;
                 blocks += 1;
                 out_codes.map_into(&mut self.block_out, |c| {
                     p.do_q.dequantize(c).clamp(0.0, 1.0)
@@ -1008,6 +1051,7 @@ pub struct EcnnBackend {
     config: EcnnConfig,
     power: PowerModel,
     dram_power: DramPowerModel,
+    kernels: Option<Kernels>,
 }
 
 impl EcnnBackend {
@@ -1017,7 +1061,19 @@ impl EcnnBackend {
             config: EcnnConfig::paper(),
             power: PowerModel::paper_40nm(),
             dram_power: DramPowerModel::DDR4_3200,
+            kernels: None,
         }
+    }
+
+    /// Pins the kernel family for every engine this backend builds, so
+    /// sharded and pipelined paths that construct sessions internally
+    /// (e.g. [`ShardedBackend`](crate::sharded::ShardedBackend)) honor
+    /// the choice. Unset, engines follow the usual resolution
+    /// (`ECNN_KERNELS` env override, else SIMD dispatch).
+    #[must_use]
+    pub fn with_kernels(mut self, kernels: Kernels) -> Self {
+        self.kernels = Some(kernels);
+        self
     }
 
     /// Builds the engine for `workload` on this machine.
@@ -1026,15 +1082,18 @@ impl EcnnBackend {
     ///
     /// Propagates compilation errors.
     pub fn engine(&self, workload: &Workload) -> Result<Engine, EngineError> {
-        Engine::builder()
+        let mut b = Engine::builder()
             .quantized(workload.qm.clone())
             .block(workload.block)
             .realtime(workload.spec)
             .feature_bits(workload.feature_bits)
             .config(self.config)
             .power(self.power)
-            .dram_power(self.dram_power)
-            .build()
+            .dram_power(self.dram_power);
+        if let Some(k) = self.kernels {
+            b = b.kernels(k);
+        }
+        b.build()
     }
 }
 

@@ -57,6 +57,7 @@ pub mod report;
 pub mod sharded;
 
 pub use ecnn_isa::verify::{VerifyMode, VerifyReport};
+pub use ecnn_sim::{KernelVariant, Kernels, SimdLevel};
 pub use engine::{
     Backend, EcnnBackend, Engine, EngineBuilder, EngineError, FrameReport, ImageMismatch,
     ImageRunStats, Session, Workload,

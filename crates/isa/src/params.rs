@@ -250,6 +250,14 @@ pub struct PackedKernelParams {
     pub conv3: Vec<PackedConv3>,
     /// 1×1 stage (`ER` reduction / `CONV1`), when the opcode has one.
     pub conv1: Option<PackedConv1>,
+    /// Verifier-licensed narrow accumulation: `true` only when the static
+    /// interval analysis (`crate::verify`) proved every conv-stage
+    /// accumulator value of this instruction fits an `i32`
+    /// (`InstrRange::narrow_acc`), so SIMD kernels may run 8-wide `i32`
+    /// lanes instead of 4-wide `i64`. [`PackedKernelParams::pack`] always
+    /// leaves this `false`; the planner stamps it from a verify report —
+    /// no proof, no narrow path.
+    pub narrow_acc: bool,
 }
 
 impl PackedKernelParams {
@@ -267,6 +275,7 @@ impl PackedKernelParams {
             Opcode::Conv | Opcode::Dnx2 | Opcode::Upx2 => Self {
                 conv3: vec![PackedConv3::pack(ins, leafs)],
                 conv1: None,
+                narrow_acc: false,
             },
             Opcode::Er => {
                 let w1q = ins.q.w1.expect("ER carries 1x1 formats");
@@ -279,6 +288,7 @@ impl PackedKernelParams {
                         .map(|l| PackedConv3::pack_leaf(l, b3_frac, prod3))
                         .collect(),
                     conv1: Some(PackedConv1::pack(leafs, b1q.frac() as i32, prod1)),
+                    narrow_acc: false,
                 }
             }
             Opcode::Conv1 => {
@@ -288,6 +298,7 @@ impl PackedKernelParams {
                 Self {
                     conv3: Vec::new(),
                     conv1: Some(PackedConv1::pack(leafs, b1q.frac() as i32, prod1)),
+                    narrow_acc: false,
                 }
             }
         }

@@ -209,6 +209,19 @@ pub struct InstrRange {
     /// Stored destination codes after requantization and clamping,
     /// hulled across channels.
     pub dst: (i64, i64),
+    /// Whether the analysis proves every *convolution-stage* accumulator
+    /// value (bias plus tap contributions, before srcS accumulation and
+    /// before any activation — for `ER`, both the per-leaf 3×3 expansion
+    /// stage and the 1×1 reduction stage) fits an `i32`.
+    ///
+    /// This is the license for narrow SIMD accumulation: two's-complement
+    /// wrapping arithmetic is exact modulo 2³², so a kernel that
+    /// accumulates in `i32` lanes produces the exact value whenever the
+    /// *final* per-element sum fits `i32` — intermediate wraps are
+    /// harmless. The interval proven here bounds every per-element final
+    /// sum, so `narrow_acc` ⇒ the `i32` kernel is bit-identical to the
+    /// `i64` one.
+    pub narrow_acc: bool,
 }
 
 /// The verifier's full output: ranked diagnostics, the re-derived plane
@@ -1074,6 +1087,9 @@ fn analyze(
                     acc.push(sum);
                 }
             }
+            // Narrow license: every conv-stage sum (pre-srcS, pre-ReLU,
+            // pre-shuffle) provably fits i32.
+            let narrow = acc.iter().all(|&a| fits_i32(a));
             // UPX2 shuffles 4 consecutive pre-shuffle channels into one.
             if ins.opcode == Opcode::Upx2 {
                 acc = acc
@@ -1091,6 +1107,7 @@ fn analyze(
                 states,
                 dst_channels,
                 None,
+                narrow,
             )
         }
         Opcode::Conv1 => {
@@ -1132,6 +1149,7 @@ fn analyze(
                 }
                 acc.push(sum);
             }
+            let narrow = acc.iter().all(|&a| fits_i32(a));
             finish(
                 rpt,
                 i,
@@ -1142,6 +1160,7 @@ fn analyze(
                 states,
                 dst_channels,
                 None,
+                narrow,
             )
         }
         Opcode::Er => {
@@ -1243,6 +1262,10 @@ fn analyze(
                 }
             }
             let er64 = er_raw.map(|r| (r.0 as i64, r.1 as i64));
+            // Narrow license covers both ER conv stages: the per-leaf 3×3
+            // expansion accumulators (pre-ReLU) and the 1×1 reduction
+            // accumulators after every leaf (pre-srcS).
+            let narrow = er_raw.is_some_and(fits_i32) && acc1.iter().all(|&a| fits_i32(a));
             finish(
                 rpt,
                 i,
@@ -1253,6 +1276,7 @@ fn analyze(
                 states,
                 dst_channels,
                 er64,
+                narrow,
             )
         }
     }
@@ -1272,6 +1296,7 @@ fn finish(
     states: &[Option<PlaneState>],
     dst_channels: usize,
     er_acc3: Option<(i64, i64)>,
+    narrow_acc: bool,
 ) -> Option<(InstrRange, Vec<Iv>)> {
     if let (Some(idx), Some(sq)) = (srcs_idx, ins.q.src_s) {
         let st = states[idx].as_ref()?;
@@ -1361,6 +1386,7 @@ fn finish(
             acc: (acc_hull.0 as i64, acc_hull.1 as i64),
             er_acc3,
             dst: (dst_hull.0 as i64, dst_hull.1 as i64),
+            narrow_acc,
         },
         stored,
     ))

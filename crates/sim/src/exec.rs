@@ -72,6 +72,66 @@ impl fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// Which kernel implementation actually ran — the per-execution
+/// attribution behind [`ExecStats::kernel_variant`], so a silently
+/// misdetected SIMD fallback is visible in every stats report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelVariant {
+    /// No execution recorded yet.
+    #[default]
+    None,
+    /// The kept pre-packing scalar kernels ([`Kernels::Reference`]).
+    Reference,
+    /// The flat-slice packed kernels ([`Kernels::Packed`]).
+    Packed,
+    /// [`Kernels::Simd`] resolved to the portable scalar fallback.
+    SimdScalar,
+    /// [`Kernels::Simd`] running the SSE2 kernels.
+    SimdSse2,
+    /// [`Kernels::Simd`] running the AVX2 kernels.
+    SimdAvx2,
+    /// [`Kernels::Simd`] running the NEON kernels.
+    SimdNeon,
+    /// Executions with different variants were merged into one counter
+    /// stream.
+    Mixed,
+}
+
+impl KernelVariant {
+    /// Folds another execution's variant into this tag: `None` yields to
+    /// anything, equal tags keep, differing tags degrade to [`Mixed`].
+    ///
+    /// [`Mixed`]: KernelVariant::Mixed
+    #[must_use]
+    pub fn merge(self, other: KernelVariant) -> KernelVariant {
+        match (self, other) {
+            (KernelVariant::None, x) | (x, KernelVariant::None) => x,
+            (a, b) if a == b => a,
+            _ => KernelVariant::Mixed,
+        }
+    }
+
+    /// Stable lower-case name (e.g. `"packed"`, `"simd-avx2"`, `"mixed"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelVariant::None => "none",
+            KernelVariant::Reference => "reference",
+            KernelVariant::Packed => "packed",
+            KernelVariant::SimdScalar => "simd-scalar",
+            KernelVariant::SimdSse2 => "simd-sse2",
+            KernelVariant::SimdAvx2 => "simd-avx2",
+            KernelVariant::SimdNeon => "simd-neon",
+            KernelVariant::Mixed => "mixed",
+        }
+    }
+}
+
+impl fmt::Display for KernelVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Activity counters accumulated over block executions.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ExecStats {
@@ -97,6 +157,13 @@ pub struct ExecStats {
     /// plan's packed cache (built once at plan time) — the observable that
     /// steady-state frames perform zero kernel-parameter preparation.
     pub params_reused: u64,
+    /// Instruction executions that ran the verifier-licensed narrow
+    /// (`i32`-lane) accumulation path. Zero unless [`Kernels::Simd`] ran
+    /// *and* the plan carried `narrow_acc` range proofs.
+    pub narrow_instrs: u64,
+    /// Which kernel implementation produced these counters (merged across
+    /// executions; [`KernelVariant::Mixed`] when they disagreed).
+    pub kernel_variant: KernelVariant,
 }
 
 impl ExecStats {
@@ -112,6 +179,8 @@ impl ExecStats {
         self.planes_allocated += other.planes_allocated;
         self.planes_reused += other.planes_reused;
         self.params_reused += other.params_reused;
+        self.narrow_instrs += other.narrow_instrs;
+        self.kernel_variant = self.kernel_variant.merge(other.kernel_variant);
     }
 
     /// The deterministic work counters alone: the pool-recycling and
@@ -125,6 +194,8 @@ impl ExecStats {
             planes_allocated: 0,
             planes_reused: 0,
             params_reused: 0,
+            narrow_instrs: 0,
+            kernel_variant: KernelVariant::None,
             ..*self
         }
     }
@@ -150,11 +221,14 @@ impl ExecStats {
             planes_allocated: self.planes_allocated / frames,
             planes_reused: self.planes_reused / frames,
             params_reused: self.params_reused / frames,
+            narrow_instrs: self.narrow_instrs / frames,
+            kernel_variant: self.kernel_variant,
         }
     }
 
     /// Counters accumulated since `mark`, an earlier snapshot of the same
-    /// monotonically growing stream.
+    /// monotonically growing stream. The variant tag (not a counter) is
+    /// carried over from `self`.
     pub fn delta_since(&self, mark: &ExecStats) -> ExecStats {
         ExecStats {
             mac3: self.mac3 - mark.mac3,
@@ -167,6 +241,8 @@ impl ExecStats {
             planes_allocated: self.planes_allocated - mark.planes_allocated,
             planes_reused: self.planes_reused - mark.planes_reused,
             params_reused: self.params_reused - mark.params_reused,
+            narrow_instrs: self.narrow_instrs - mark.narrow_instrs,
+            kernel_variant: self.kernel_variant,
         }
     }
 }
@@ -330,8 +406,13 @@ pub struct BlockPlan<'a> {
     /// `i32` in tap-major order, biases pre-aligned to the accumulator's
     /// fractional position, zero taps/leaves masked. Built on the plan's
     /// single walk and reused by every frame, so steady-state execution
-    /// performs zero kernel-parameter preparation.
+    /// performs zero kernel-parameter preparation. Each entry also carries
+    /// its `narrow_acc` license, stamped from the verifier's interval
+    /// analysis at plan time.
     packed: Vec<PackedKernelParams>,
+    /// The SIMD tier [`Kernels::Simd`] dispatches to, resolved once at
+    /// plan time by runtime feature detection.
+    simd: kernels::simd::SimdLevel,
 }
 
 impl<'a> BlockPlan<'a> {
@@ -482,12 +563,24 @@ impl<'a> BlockPlan<'a> {
             planes[idx].last_use = Some(end);
         }
 
-        let packed = program
+        let mut packed: Vec<PackedKernelParams> = program
             .instructions
             .iter()
             .zip(leafs)
             .map(|(ins, l)| PackedKernelParams::pack(ins, l))
             .collect();
+        // Stamp each instruction's narrow-accumulation license from the
+        // verifier's interval analysis: `narrow_acc` proves every
+        // convolution-stage accumulator fits `i32`, which licenses the
+        // SIMD kernels' 8-wide `i32` path. A report with errors (or an
+        // unanalyzable instruction, `ranges[i] == None`) leaves the flag
+        // false — no proof, no narrow path.
+        let report = ecnn_isa::verify::verify(program, leafs);
+        if !report.has_errors() {
+            for (p, r) in packed.iter_mut().zip(&report.ranges) {
+                p.narrow_acc = r.as_ref().is_some_and(|r| r.narrow_acc);
+            }
+        }
         Ok(Self {
             program,
             leafs,
@@ -496,6 +589,7 @@ impl<'a> BlockPlan<'a> {
             planes,
             out_groups,
             packed,
+            simd: kernels::simd::detect(),
         })
     }
 
@@ -526,6 +620,27 @@ impl<'a> BlockPlan<'a> {
     /// Heap bytes the packed kernel-parameter cache occupies.
     pub fn packed_bytes(&self) -> usize {
         self.packed.iter().map(PackedKernelParams::bytes).sum()
+    }
+
+    /// The SIMD tier [`Kernels::Simd`] executions of this plan dispatch
+    /// to (resolved once at plan time by runtime feature detection).
+    pub fn simd_level(&self) -> kernels::simd::SimdLevel {
+        self.simd
+    }
+
+    /// How many instructions carry the verifier's narrow-accumulation
+    /// (`i32`-safe) range proof.
+    pub fn narrow_licensed(&self) -> usize {
+        self.packed.iter().filter(|p| p.narrow_acc).count()
+    }
+
+    /// Revokes every narrow-accumulation license, forcing
+    /// [`Kernels::Simd`] executions onto the wide (`i64`) SIMD path. For
+    /// parity tests and benchmarks that isolate the lane-width effect.
+    pub fn force_wide(&mut self) {
+        for p in &mut self.packed {
+            p.narrow_acc = false;
+        }
     }
 
     /// Peak bytes of *keyed* `(buffer, group)` plane storage one block
@@ -561,6 +676,12 @@ pub struct PlanePool {
     acc_a: Option<Tensor<i64>>,
     /// Secondary accumulator: UPX2 shuffle target / ER per-leaf 3×3 stage.
     acc_b: Option<Tensor<i64>>,
+    /// Narrow (`i32`) twin of `acc_a`, used only by verifier-licensed
+    /// [`Kernels::Simd`] executions; widened into `acc_a` before the
+    /// shared epilogue.
+    acc_a32: Option<Tensor<i32>>,
+    /// Narrow twin of `acc_b` (ER per-leaf 3×3 stage).
+    acc_b32: Option<Tensor<i32>>,
     /// ER requantized expansion plane.
     mid: Option<Tensor<i16>>,
     /// DNX2 pre-pool quantized plane.
@@ -724,23 +845,63 @@ impl PlanePool {
         self.wide = None;
         self.acc_a = None;
         self.acc_b = None;
+        self.acc_a32 = None;
+        self.acc_b32 = None;
         self.mid = None;
         self.quant = None;
         self.out = None;
     }
 }
 
-/// Which accumulation kernels [`execute_with`] runs.
+/// Which accumulation kernels [`execute_with`] runs. All three produce
+/// bit-identical output blocks on every input.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Kernels {
     /// The flat-slice micro-kernels fed by the plan's packed parameter
-    /// cache (interior/border split, zero per-frame prep) — the default.
+    /// cache (interior/border split, zero per-frame prep) — the default
+    /// for raw [`execute`] callers.
     #[default]
     Packed,
     /// The kept pre-packing scalar kernels
     /// ([`crate::kernels::reference`]): bit-identical output, used as the
     /// measured perf baseline and the parity-test oracle.
     Reference,
+    /// Explicit SIMD micro-kernels ([`crate::kernels::simd`]) over the
+    /// same packed layout, dispatched at plan time by runtime feature
+    /// detection ([`BlockPlan::simd_level`]); instructions whose plan
+    /// entry carries the verifier's `narrow_acc` proof additionally run
+    /// the 8-wide `i32` accumulation path.
+    Simd,
+}
+
+impl Kernels {
+    /// Parses a `Kernels` from a case-insensitive name as used by the
+    /// `ECNN_KERNELS` env override and `bench_kernels --variant`
+    /// (`"packed"`, `"simd"`, `"reference"`).
+    pub fn parse(name: &str) -> Option<Kernels> {
+        match name.to_ascii_lowercase().as_str() {
+            "packed" => Some(Kernels::Packed),
+            "simd" => Some(Kernels::Simd),
+            "reference" => Some(Kernels::Reference),
+            _ => None,
+        }
+    }
+
+    /// The [`KernelVariant`] tag an execution of this selection reports,
+    /// given the plan's resolved SIMD tier.
+    pub fn variant(self, level: kernels::simd::SimdLevel) -> KernelVariant {
+        use kernels::simd::SimdLevel;
+        match self {
+            Kernels::Packed => KernelVariant::Packed,
+            Kernels::Reference => KernelVariant::Reference,
+            Kernels::Simd => match level {
+                SimdLevel::Avx2 => KernelVariant::SimdAvx2,
+                SimdLevel::Sse2 => KernelVariant::SimdSse2,
+                SimdLevel::Neon => KernelVariant::SimdNeon,
+                SimdLevel::Scalar => KernelVariant::SimdScalar,
+            },
+        }
+    }
 }
 
 /// Executes one planned block on `pool`, returning the pool-owned logical
@@ -831,6 +992,7 @@ fn execute_inner<'p>(
         )));
     }
     stream_input(plan, pool, input);
+    pool.stats.kernel_variant = pool.stats.kernel_variant.merge(kernels.variant(plan.simd));
     for (i, ins) in p.instructions.iter().enumerate() {
         let trace = traces.as_deref_mut().map(|t| &mut t[i]);
         match ins.opcode {
@@ -840,7 +1002,8 @@ fn execute_inner<'p>(
             Opcode::Conv1 => exec_conv1(plan, i, pool, kernels, trace)?,
             Opcode::Er => exec_er(plan, i, pool, kernels, trace)?,
         }
-        if kernels == Kernels::Packed {
+        // Both fast paths consume the plan's packed parameter cache.
+        if kernels != Kernels::Reference {
             pool.stats.params_reused += 1;
         }
         pool.stats.instructions += 1;
@@ -1035,6 +1198,27 @@ fn exec_conv3(
         Kernels::Packed => {
             kernels::conv3_acc_packed(ins, input, &plan.packed[idx].conv3[0], conv_acc);
         }
+        Kernels::Simd => {
+            let pk = &plan.packed[idx];
+            if pk.narrow_acc {
+                // Verifier-licensed narrow path: the final per-element
+                // conv-stage sum provably fits `i32`, so the wrapping
+                // `i32`-lane accumulation recovers it exactly and the
+                // widened copy feeds the shared `i64` epilogue.
+                let acc32 = ensure_overwrite(
+                    &mut pool.acc_a32,
+                    &mut pool.stats,
+                    out_planes * LEAF_CH,
+                    chh,
+                    cw,
+                );
+                kernels::conv3_acc_packed_simd_narrow(ins, input, &pk.conv3[0], acc32, plan.simd);
+                kernels::widen_acc(conv_acc, acc32);
+                pool.stats.narrow_instrs += 1;
+            } else {
+                kernels::conv3_acc_packed_simd(ins, input, &pk.conv3[0], conv_acc, plan.simd);
+            }
+        }
         Kernels::Reference => {
             let weights = |op_: usize, ig: usize| {
                 let leaf = if ins.opcode == Opcode::Upx2 {
@@ -1189,6 +1373,40 @@ fn exec_conv1(
                 kernels::conv1_leaf_acc_packed(packed, leaf, input, leaf * LEAF_CH, acc);
             }
         }
+        Kernels::Simd => {
+            let pk = &plan.packed[idx];
+            let packed = pk.conv1.as_ref().expect("CONV1 packs a 1x1");
+            if pk.narrow_acc {
+                // Licensed narrow path (see `exec_conv3`).
+                let acc32 =
+                    ensure_overwrite(&mut pool.acc_a32, &mut pool.stats, LEAF_CH, side, side);
+                kernels::fill_bias_narrow(acc32, &packed.bias);
+                for leaf in 0..packed.leaves {
+                    kernels::conv1_leaf_acc_packed_simd_narrow(
+                        packed,
+                        leaf,
+                        input,
+                        leaf * LEAF_CH,
+                        acc32,
+                        plan.simd,
+                    );
+                }
+                kernels::widen_acc(acc, acc32);
+                pool.stats.narrow_instrs += 1;
+            } else {
+                kernels::fill_bias(acc, &packed.bias);
+                for leaf in 0..packed.leaves {
+                    kernels::conv1_leaf_acc_packed_simd(
+                        packed,
+                        leaf,
+                        input,
+                        leaf * LEAF_CH,
+                        acc,
+                        plan.simd,
+                    );
+                }
+            }
+        }
         Kernels::Reference => {
             for oc in 0..LEAF_CH {
                 let mut b = 0i64;
@@ -1269,70 +1487,108 @@ fn exec_er(
         ins.in_size.0,
     )?;
     let packed = &plan.packed[idx];
-    let acc1 = match kind {
-        Kernels::Packed => {
-            // Pre-aligned 1x1 biases, already summed across leaves.
-            let acc1 = ensure_overwrite(&mut pool.acc_a, &mut pool.stats, LEAF_CH, chh, cw);
-            let p1 = packed.conv1.as_ref().expect("ER packs a 1x1");
-            kernels::fill_bias(acc1, &p1.bias);
-            acc1
+    if kind == Kernels::Simd && packed.narrow_acc {
+        // Licensed narrow path. For ER the verifier's `narrow_acc` proves
+        // *both* stages fit `i32`: the per-leaf 3×3 expansion accumulators
+        // (which the mid requantizer consumes, so they must be exact, not
+        // merely congruent) and the pre-srcS 1×1 reduction accumulator.
+        let p1 = packed.conv1.as_ref().expect("ER packs a 1x1");
+        {
+            let acc1 = ensure_overwrite(&mut pool.acc_a32, &mut pool.stats, LEAF_CH, chh, cw);
+            kernels::fill_bias_narrow(acc1, &p1.bias);
         }
-        Kernels::Reference => {
-            let acc1 = ensure(&mut pool.acc_a, &mut pool.stats, LEAF_CH, chh, cw);
-            // 1x1 biases (first leaf only carries nonzero values).
-            for leaf in leafs {
-                for oc in 0..LEAF_CH {
-                    let b = align_code(leaf.b1[oc] as i64, b1q.frac() as i32, prod1);
-                    if b != 0 {
-                        for y in 0..chh {
-                            for x in 0..cw {
-                                *acc1.at_mut(oc, y, x) += b;
+        for li in 0..leafs.len() {
+            // Expansion plane: CONV3x3 -> ReLU -> quantize to mid format.
+            let acc3 = ensure_overwrite(&mut pool.acc_b32, &mut pool.stats, LEAF_CH, chh, cw);
+            kernels::conv3_acc_packed_simd_narrow(ins, input, &packed.conv3[li], acc3, plan.simd);
+            pool.stats.mac3 += (LEAF_CH * LEAF_CH * 9 * cw * chh) as u64;
+            let mid = ensure_overwrite(&mut pool.mid, &mut pool.stats, LEAF_CH, chh, cw);
+            for (m, &a) in mid.as_mut_slice().iter_mut().zip(acc3.as_slice()) {
+                let v = if a < 0 { 0 } else { a as i64 }; // ER's internal ReLU
+                *m = midq.clamp_code(rescale_code(v, prod3, midq.frac() as i32));
+            }
+            // LCONV1x1: plane's columns accumulate into the 32ch output.
+            let acc1 = pool.acc_a32.as_mut().expect("bias-filled above");
+            kernels::conv1_leaf_acc_packed_simd_narrow(p1, li, mid, 0, acc1, plan.simd);
+        }
+        // Widen into the shared `i64` accumulator for the epilogue.
+        let acc1 = ensure_overwrite(&mut pool.acc_a, &mut pool.stats, LEAF_CH, chh, cw);
+        kernels::widen_acc(acc1, pool.acc_a32.as_ref().expect("bias-filled above"));
+        pool.stats.narrow_instrs += 1;
+    } else {
+        let acc1 = match kind {
+            Kernels::Packed | Kernels::Simd => {
+                // Pre-aligned 1x1 biases, already summed across leaves.
+                let acc1 = ensure_overwrite(&mut pool.acc_a, &mut pool.stats, LEAF_CH, chh, cw);
+                let p1 = packed.conv1.as_ref().expect("ER packs a 1x1");
+                kernels::fill_bias(acc1, &p1.bias);
+                acc1
+            }
+            Kernels::Reference => {
+                let acc1 = ensure(&mut pool.acc_a, &mut pool.stats, LEAF_CH, chh, cw);
+                // 1x1 biases (first leaf only carries nonzero values).
+                for leaf in leafs {
+                    for oc in 0..LEAF_CH {
+                        let b = align_code(leaf.b1[oc] as i64, b1q.frac() as i32, prod1);
+                        if b != 0 {
+                            for y in 0..chh {
+                                for x in 0..cw {
+                                    *acc1.at_mut(oc, y, x) += b;
+                                }
                             }
                         }
                     }
                 }
+                acc1
             }
-            acc1
-        }
-    };
-    for (li, leaf) in leafs.iter().enumerate() {
-        // Expansion plane: CONV3x3 -> ReLU -> quantize to mid format.
-        let acc3 = ensure_overwrite(&mut pool.acc_b, &mut pool.stats, LEAF_CH, chh, cw);
-        match kind {
-            Kernels::Packed => kernels::conv3_acc_packed(ins, input, &packed.conv3[li], acc3),
-            Kernels::Reference => {
-                let weights = |_: usize, _: usize| leaf.w3.as_slice();
-                let b3_frac = ins.q.b3.frac() as i32;
-                let biases = |_: usize| -> Vec<i64> {
-                    (0..LEAF_CH)
-                        .map(|oc| align_code(leaf.b3[oc] as i64, b3_frac, prod3))
-                        .collect()
-                };
-                let mut single = Instruction::clone(ins);
-                single.in_groups = 1;
-                // The plane convolves the single 32ch input group.
-                kernels::reference::conv3_acc_into(&single, input, &weights, &biases, 1, acc3);
+        };
+        for (li, leaf) in leafs.iter().enumerate() {
+            // Expansion plane: CONV3x3 -> ReLU -> quantize to mid format.
+            let acc3 = ensure_overwrite(&mut pool.acc_b, &mut pool.stats, LEAF_CH, chh, cw);
+            match kind {
+                Kernels::Packed => kernels::conv3_acc_packed(ins, input, &packed.conv3[li], acc3),
+                Kernels::Simd => {
+                    kernels::conv3_acc_packed_simd(ins, input, &packed.conv3[li], acc3, plan.simd)
+                }
+                Kernels::Reference => {
+                    let weights = |_: usize, _: usize| leaf.w3.as_slice();
+                    let b3_frac = ins.q.b3.frac() as i32;
+                    let biases = |_: usize| -> Vec<i64> {
+                        (0..LEAF_CH)
+                            .map(|oc| align_code(leaf.b3[oc] as i64, b3_frac, prod3))
+                            .collect()
+                    };
+                    let mut single = Instruction::clone(ins);
+                    single.in_groups = 1;
+                    // The plane convolves the single 32ch input group.
+                    kernels::reference::conv3_acc_into(&single, input, &weights, &biases, 1, acc3);
+                }
             }
-        }
-        pool.stats.mac3 += (LEAF_CH * LEAF_CH * 9 * cw * chh) as u64;
-        if let Some(t) = trace.as_deref_mut() {
-            merge_extrema(&mut t.er_acc3, scan_i64(acc3));
-        }
-        let mid = ensure_overwrite(&mut pool.mid, &mut pool.stats, LEAF_CH, chh, cw);
-        for (m, &a) in mid.as_mut_slice().iter_mut().zip(acc3.as_slice()) {
-            let v = if a < 0 { 0 } else { a }; // ER's internal ReLU
-            *m = midq.clamp_code(rescale_code(v, prod3, midq.frac() as i32));
-        }
-        // LCONV1x1: plane's columns accumulate into the 32ch output.
-        match kind {
-            Kernels::Packed => {
-                let p1 = packed.conv1.as_ref().expect("ER packs a 1x1");
-                kernels::conv1_leaf_acc_packed(p1, li, mid, 0, acc1);
+            pool.stats.mac3 += (LEAF_CH * LEAF_CH * 9 * cw * chh) as u64;
+            if let Some(t) = trace.as_deref_mut() {
+                merge_extrema(&mut t.er_acc3, scan_i64(acc3));
             }
-            Kernels::Reference => kernels::reference::conv1_leaf_acc(&leaf.w1, mid, 0, acc1),
+            let mid = ensure_overwrite(&mut pool.mid, &mut pool.stats, LEAF_CH, chh, cw);
+            for (m, &a) in mid.as_mut_slice().iter_mut().zip(acc3.as_slice()) {
+                let v = if a < 0 { 0 } else { a }; // ER's internal ReLU
+                *m = midq.clamp_code(rescale_code(v, prod3, midq.frac() as i32));
+            }
+            // LCONV1x1: plane's columns accumulate into the 32ch output.
+            match kind {
+                Kernels::Packed => {
+                    let p1 = packed.conv1.as_ref().expect("ER packs a 1x1");
+                    kernels::conv1_leaf_acc_packed(p1, li, mid, 0, acc1);
+                }
+                Kernels::Simd => {
+                    let p1 = packed.conv1.as_ref().expect("ER packs a 1x1");
+                    kernels::conv1_leaf_acc_packed_simd(p1, li, mid, 0, acc1, plan.simd);
+                }
+                Kernels::Reference => kernels::reference::conv1_leaf_acc(&leaf.w1, mid, 0, acc1),
+            }
         }
     }
     pool.stats.mac1 += (leafs.len() * LEAF_CH * LEAF_CH * cw * chh) as u64;
+    let acc1 = pool.acc_a.as_mut().expect("accumulated above");
     // Module residual via srcS.
     if let Some(srcs) = ins.src_s {
         // INVARIANT: format presence validated by `BlockPlan::new`.

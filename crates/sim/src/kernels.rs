@@ -25,6 +25,10 @@ use ecnn_isa::params::{PackedConv1, PackedConv3};
 use ecnn_model::model::InferenceKind;
 use ecnn_tensor::Tensor;
 
+pub mod simd;
+
+use simd::SimdLevel;
+
 /// Adds one fused 3-tap row into a fully interior accumulator span:
 /// `acc[x] += t0·row[x] + t1·row[x+1] + t2·row[x+2]`. No bounds branches;
 /// `row` must hold at least `acc.len() + 2` samples (the truncated-pyramid
@@ -145,6 +149,175 @@ pub(crate) fn conv1_leaf_acc_packed(
             for (a, &s) in acc.channel_mut(oc).iter_mut().zip(src) {
                 *a += wv * s as i64;
             }
+        }
+    }
+}
+
+/// Overwrites each of `acc`'s channels with its pre-aligned bias,
+/// truncated to `i32`. The truncating cast is exact modulo 2³², which is
+/// all the narrow path needs: under the verifier's `narrow_acc` license
+/// the *final* per-element sum fits `i32`, so the wrapped intermediate
+/// recovers the exact value (biases whose magnitude already exceeds `i32`
+/// simply start the modular accumulation from the congruent residue).
+pub(crate) fn fill_bias_narrow(acc: &mut Tensor<i32>, bias: &[i64]) {
+    for (oc, &b) in bias.iter().enumerate() {
+        acc.channel_mut(oc).fill(b as i32);
+    }
+}
+
+/// Sign-extends a narrow `i32` accumulator tensor into the shared `i64`
+/// accumulator, so the epilogue (srcS, ReLU, requantization, tracing) is
+/// identical for both widths.
+pub(crate) fn widen_acc(dst: &mut Tensor<i64>, src: &Tensor<i32>) {
+    debug_assert_eq!(dst.shape(), src.shape());
+    for (d, &s) in dst.as_mut_slice().iter_mut().zip(src.as_slice()) {
+        *d = s as i64;
+    }
+}
+
+/// [`conv3_acc_packed`] with the row loops dispatched to the wide (`i64`)
+/// SIMD kernels in [`simd`]. Bit-identical to the scalar path on every
+/// input (exact `i64` accumulation is order-independent).
+pub(crate) fn conv3_acc_packed_simd(
+    ins: &Instruction,
+    input: &Tensor<i16>,
+    packed: &PackedConv3,
+    acc: &mut Tensor<i64>,
+    level: SimdLevel,
+) {
+    let (_, chh, _) = acc.shape();
+    let ih = input.height();
+    let origin: isize = match ins.inference {
+        InferenceKind::TruncatedPyramid => 1,
+        InferenceKind::ZeroPadded => 0,
+    };
+    fill_bias(acc, &packed.bias);
+    let interior = origin == 1;
+    for op_ in 0..packed.out_planes {
+        for ig in 0..packed.in_groups {
+            let plane = op_ * packed.in_groups + ig;
+            for oc in 0..LEAF_CH {
+                let out_ch = op_ * LEAF_CH + oc;
+                for ic in 0..LEAF_CH {
+                    let m = packed.row_mask(plane, oc, ic);
+                    if m == 0 {
+                        continue;
+                    }
+                    let chan = ig * LEAF_CH + ic;
+                    for ky in 0..3usize {
+                        if m & (1 << ky) == 0 {
+                            continue;
+                        }
+                        let taps = packed.taps(plane, ky, oc, ic);
+                        for y in 0..chh {
+                            let sy = y as isize + ky as isize - 1 + origin;
+                            if sy < 0 || sy >= ih as isize {
+                                continue;
+                            }
+                            let row = input.row(chan, sy as usize);
+                            let arow = acc.row_mut(out_ch, y);
+                            if interior {
+                                simd::row_interior_wide(level, arow, row, taps);
+                            } else {
+                                simd::row_padded_wide(level, arow, row, taps);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The verifier-licensed narrow variant of [`conv3_acc_packed_simd`]:
+/// 8-wide (AVX2) `i32` lanes with wrapping accumulation. Exact — and
+/// bit-identical to the wide path after [`widen_acc`] — if and only if
+/// the plan carries the instruction's `narrow_acc` range proof; the
+/// executor enforces that precondition.
+pub(crate) fn conv3_acc_packed_simd_narrow(
+    ins: &Instruction,
+    input: &Tensor<i16>,
+    packed: &PackedConv3,
+    acc: &mut Tensor<i32>,
+    level: SimdLevel,
+) {
+    let (_, chh, _) = acc.shape();
+    let ih = input.height();
+    let origin: isize = match ins.inference {
+        InferenceKind::TruncatedPyramid => 1,
+        InferenceKind::ZeroPadded => 0,
+    };
+    fill_bias_narrow(acc, &packed.bias);
+    let interior = origin == 1;
+    for op_ in 0..packed.out_planes {
+        for ig in 0..packed.in_groups {
+            let plane = op_ * packed.in_groups + ig;
+            for oc in 0..LEAF_CH {
+                let out_ch = op_ * LEAF_CH + oc;
+                for ic in 0..LEAF_CH {
+                    let m = packed.row_mask(plane, oc, ic);
+                    if m == 0 {
+                        continue;
+                    }
+                    let chan = ig * LEAF_CH + ic;
+                    for ky in 0..3usize {
+                        if m & (1 << ky) == 0 {
+                            continue;
+                        }
+                        let taps = packed.taps(plane, ky, oc, ic);
+                        for y in 0..chh {
+                            let sy = y as isize + ky as isize - 1 + origin;
+                            if sy < 0 || sy >= ih as isize {
+                                continue;
+                            }
+                            let row = input.row(chan, sy as usize);
+                            let arow = acc.row_mut(out_ch, y);
+                            if interior {
+                                simd::row_interior_narrow(level, arow, row, taps);
+                            } else {
+                                simd::row_padded_narrow(level, arow, row, taps);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// [`conv1_leaf_acc_packed`] with the flat channel MAC dispatched to the
+/// wide (`i64`) SIMD kernels.
+pub(crate) fn conv1_leaf_acc_packed_simd(
+    packed: &PackedConv1,
+    leaf: usize,
+    input: &Tensor<i16>,
+    chan_base: usize,
+    acc: &mut Tensor<i64>,
+    level: SimdLevel,
+) {
+    for oc in 0..LEAF_CH {
+        for &(ic, wv) in packed.row(leaf, oc) {
+            let src = input.channel(chan_base + ic as usize);
+            simd::ch_mac_wide(level, acc.channel_mut(oc), src, wv);
+        }
+    }
+}
+
+/// The verifier-licensed narrow variant of [`conv1_leaf_acc_packed_simd`]
+/// (same license and exactness argument as
+/// [`conv3_acc_packed_simd_narrow`]).
+pub(crate) fn conv1_leaf_acc_packed_simd_narrow(
+    packed: &PackedConv1,
+    leaf: usize,
+    input: &Tensor<i16>,
+    chan_base: usize,
+    acc: &mut Tensor<i32>,
+    level: SimdLevel,
+) {
+    for oc in 0..LEAF_CH {
+        for &(ic, wv) in packed.row(leaf, oc) {
+            let src = input.channel(chan_base + ic as usize);
+            simd::ch_mac_narrow(level, acc.channel_mut(oc), src, wv);
         }
     }
 }

@@ -14,7 +14,9 @@
 //! * [`kernels`] — the flat-slice convolution micro-kernels the executor
 //!   dispatches to (interior/border split over raw row slices), together
 //!   with the kept scalar reference kernels used as perf baseline and
-//!   parity oracle.
+//!   parity oracle, and the explicit-SIMD variants in [`kernels::simd`]
+//!   (AVX2/SSE2/NEON with runtime dispatch, plus the verifier-licensed
+//!   narrow `i32` accumulation path).
 //! * [`timing`] — the **cycle** model: the two-stage instruction pipeline
 //!   (IDU parameter decoding for instruction *i+1* overlaps CIU compute of
 //!   instruction *i*), one leaf-module per 4×2 tile per cycle in the CIU,
@@ -27,7 +29,11 @@
 //!
 //! [`config`] holds the Table 2 machine constants shared by all views.
 
-#![forbid(unsafe_code)]
+// `deny` rather than the workspace-wide `forbid`: the single audited
+// [`kernels::simd`] module opts back in with a scoped `allow` for its
+// `std::arch` intrinsics. Everything else in the crate stays unsafe-free
+// (CI greps that `unsafe` appears nowhere outside `kernels/simd.rs`).
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 pub mod banking;
 pub mod config;
@@ -40,6 +46,8 @@ pub use config::EcnnConfig;
 pub use cost::{AreaReport, PowerReport};
 pub use exec::{
     crosscheck_plan, execute, execute_traced, execute_with, BlockExecutor, BlockPlan, ExecError,
-    ExecStats, ExecTrace, InstrTrace, Kernels, PlaneInfo, PlaneKey, PlanePool, RangeViolation,
+    ExecStats, ExecTrace, InstrTrace, KernelVariant, Kernels, PlaneInfo, PlaneKey, PlanePool,
+    RangeViolation,
 };
+pub use kernels::simd::SimdLevel;
 pub use timing::{simulate_frame, FrameReport};

@@ -1,23 +1,35 @@
-//! Parity proptests for the flat-slice packed micro-kernels.
+//! Parity proptests for the flat-slice packed and runtime-dispatched SIMD
+//! micro-kernels.
 //!
-//! Three oracles pin the kernel rewrite down:
+//! Four oracles pin the kernel rewrites down:
 //!
 //! * the *tensor-crate goldens*: random single-conv programs must match a
 //!   composition of the untouched `conv3x3_fixed` / `conv1x1_fixed`
-//!   reference kernels bit-for-bit;
+//!   reference kernels bit-for-bit — on the packed path, the SIMD path
+//!   (narrow-licensed) and the SIMD path forced wide, over both inference
+//!   kinds (zero-padded border rows and truncated-pyramid interiors) and
+//!   sides that are never lane multiples;
 //! * the *kept reference path*: random ERNet programs with randomized
-//!   (and sparsified) parameters must execute bit-identically under
-//!   `Kernels::Packed` and `Kernels::Reference`;
+//!   (and sparsified) parameters must execute bit-identically under the
+//!   full variant matrix `{Simd, Simd-forced-wide, Packed, Reference}`;
 //! * the *work counters*: `ExecStats::work()` (mac3/mac1/traffic) must be
-//!   unchanged by the kernel selection, and warm packed execution must do
-//!   zero kernel-prep allocations.
+//!   unchanged by the kernel selection, and warm packed/SIMD execution
+//!   must do zero kernel-prep allocations;
+//! * the *narrow license*: unproven programs must never select the
+//!   `i32` accumulation path, the untouched uniform paper model must be
+//!   fully licensed, and the license must survive the Session /
+//!   AsyncSession / ShardedBackend plumbing bit-identically.
 
+use ecnn_core::engine::{Backend, EcnnBackend, Workload};
+use ecnn_core::sharded::ShardedBackend;
 use ecnn_isa::compile::compile;
 use ecnn_isa::params::QuantizedModel;
 use ecnn_model::ernet::{ErNetSpec, ErNetTask};
 use ecnn_model::layer::{Activation, Layer, Op};
 use ecnn_model::model::{InferenceKind, Model};
+use ecnn_model::RealTimeSpec;
 use ecnn_sim::exec::{execute_with, quantize_input, BlockPlan, Kernels, PlanePool};
+use ecnn_sim::kernels::simd;
 use ecnn_tensor::conv::{conv1x1_fixed, conv3x3_fixed, FixedConvParams, Padding};
 use ecnn_tensor::{ImageKind, SyntheticImage};
 use proptest::prelude::*;
@@ -95,8 +107,23 @@ proptest! {
         let input = img.map(|v| qm.input_q.quantize(v));
 
         let plan = BlockPlan::new(&c.program, &c.leafs).unwrap();
+        let mut wide_plan = plan.clone();
+        wide_plan.force_wide();
         let mut pool = PlanePool::new();
-        let out = execute_with(&plan, &mut pool, &input, Kernels::Packed).unwrap();
+        let out = execute_with(&plan, &mut pool, &input, Kernels::Packed)
+            .unwrap()
+            .clone();
+        let mut simd_pool = PlanePool::new();
+        let simd_out = execute_with(&plan, &mut simd_pool, &input, Kernels::Simd)
+            .unwrap()
+            .clone();
+        let mut wide_pool = PlanePool::new();
+        let wide_out = execute_with(&wide_plan, &mut wide_pool, &input, Kernels::Simd)
+            .unwrap()
+            .clone();
+        // A cleared license means the SIMD path never enters the narrow
+        // i32 loops, whatever the verifier proved.
+        prop_assert_eq!(wide_pool.stats().narrow_instrs, 0);
 
         // Golden: hardware-padded 32ch input through the untouched
         // fixed-point reference kernels, layer by layer.
@@ -128,12 +155,15 @@ proptest! {
             },
             32,
         );
-        prop_assert_eq!(out, &golden);
+        prop_assert_eq!(&out, &golden);
+        prop_assert_eq!(&simd_out, &golden);
+        prop_assert_eq!(&wide_out, &golden);
     }
 
-    /// Random ERNet programs execute bit-identically on the packed and
-    /// reference kernel paths, with identical deterministic work counters,
-    /// and warm packed execution performs zero kernel-prep allocations.
+    /// Random ERNet programs execute bit-identically across the full
+    /// variant matrix (SIMD narrow-licensed, SIMD forced wide, packed,
+    /// reference), with identical deterministic work counters, and warm
+    /// packed execution performs zero kernel-prep allocations.
     #[test]
     fn packed_and_reference_paths_agree(
         seed in 0u64..1_000_000,
@@ -167,10 +197,12 @@ proptest! {
             .unwrap()
             .clone();
         let mut ref_pool = PlanePool::new();
-        let reference = execute_with(&plan, &mut ref_pool, &input, Kernels::Reference).unwrap();
+        let reference = execute_with(&plan, &mut ref_pool, &input, Kernels::Reference)
+            .unwrap()
+            .clone();
 
-        prop_assert_eq!(&fast, reference);
-        prop_assert_eq!(&warm, reference);
+        prop_assert_eq!(&fast, &reference);
+        prop_assert_eq!(&warm, &reference);
         // mac/traffic counters are invariant under the kernel selection.
         prop_assert_eq!(fast_pool.stats().delta_since(&warm_mark).work(), ref_pool.stats().work());
         // Steady state: the packed cache serves every instruction and the
@@ -179,5 +211,178 @@ proptest! {
         prop_assert_eq!(steady.planes_allocated, 0);
         prop_assert_eq!(steady.params_reused, c.program.instructions.len() as u64);
         prop_assert_eq!(ref_pool.stats().params_reused, 0);
+
+        // SIMD, both licensed and forced wide, joins the same equivalence
+        // class with the same work counters; the cleared license must pin
+        // the narrow counter to zero.
+        let golden = reference;
+        let golden_work = ref_pool.stats().work();
+        let mut wide_plan = plan.clone();
+        wide_plan.force_wide();
+        prop_assert_eq!(wide_plan.narrow_licensed(), 0);
+        for (vplan, label) in [(&plan, "simd"), (&wide_plan, "simd-wide")] {
+            let mut pool = PlanePool::new();
+            let out = execute_with(vplan, &mut pool, &input, Kernels::Simd)
+                .unwrap()
+                .clone();
+            prop_assert_eq!(&out, &golden);
+            prop_assert_eq!(pool.stats().work(), golden_work);
+            if label == "simd-wide" {
+                prop_assert_eq!(pool.stats().narrow_instrs, 0);
+            }
+        }
+    }
+}
+
+/// An instruction whose accumulator hull the verifier cannot fit in
+/// `i32` must never run narrow. Legal in-format codes on 32-channel
+/// stages can never overflow an `i32` accumulator (32·9·|w|·|src| stays
+/// under 2³¹ for 8-bit codes), so the regression forges a two-group
+/// (64-channel) conv and then maxes the compiled leaf weights directly:
+/// the wide stage's hull reaches ~2.4e9 > `i32::MAX` and loses its
+/// license while the narrow head stages keep theirs — the run must take
+/// the narrow path exactly on the licensed subset and still match the
+/// reference kernels bit-for-bit (the wide `i64` path is always exact).
+#[test]
+fn unproven_instructions_never_select_narrow() {
+    let m = Model::new(
+        "wide",
+        3,
+        32,
+        vec![
+            Layer::new(Op::Conv3x3 {
+                in_c: 3,
+                out_c: 64,
+                act: Activation::None,
+            }),
+            Layer::new(Op::Conv3x3 {
+                in_c: 64,
+                out_c: 32,
+                act: Activation::None,
+            }),
+        ],
+    )
+    .unwrap();
+    let qm = QuantizedModel::uniform(&m);
+    let mut c = compile(&qm, 32).unwrap();
+    for leafs in &mut c.leafs {
+        for leaf in leafs.iter_mut() {
+            for w in leaf.w3.iter_mut().chain(leaf.w1.iter_mut()) {
+                *w = i16::MAX;
+            }
+        }
+    }
+    let plan = BlockPlan::new(&c.program, &c.leafs).unwrap();
+    assert!(
+        plan.narrow_licensed() < c.program.instructions.len(),
+        "the forged two-group conv must lose its narrow license"
+    );
+    assert!(
+        plan.narrow_licensed() > 0,
+        "the in-bounds head stages keep theirs"
+    );
+
+    let img = SyntheticImage::new(ImageKind::Mixed, 7).rgb(32, 32);
+    let input = quantize_input(&img, &c.program);
+    let mut simd_pool = PlanePool::new();
+    let simd_out = execute_with(&plan, &mut simd_pool, &input, Kernels::Simd)
+        .unwrap()
+        .clone();
+    // Narrow executions track the license set exactly — never the
+    // unproven instruction.
+    assert_eq!(
+        simd_pool.stats().narrow_instrs,
+        plan.narrow_licensed() as u64
+    );
+    let mut ref_pool = PlanePool::new();
+    let reference = execute_with(&plan, &mut ref_pool, &input, Kernels::Reference).unwrap();
+    assert_eq!(&simd_out, reference);
+}
+
+/// The untouched uniform paper model is fully narrow-provable: every
+/// instruction carries a license, a SIMD frame takes the narrow path on
+/// each of them, and the stats are tagged with the dispatched level.
+#[test]
+fn paper_model_is_narrow_licensed_end_to_end() {
+    let m = ErNetSpec::new(ErNetTask::Sr2, 3, 1, 1).build().unwrap();
+    let qm = QuantizedModel::uniform(&m);
+    let c = compile(&qm, 32).unwrap();
+    let plan = BlockPlan::new(&c.program, &c.leafs).unwrap();
+    assert_eq!(
+        plan.narrow_licensed(),
+        c.program.instructions.len(),
+        "every instruction of the uniform paper model must prove narrow"
+    );
+
+    let img = SyntheticImage::new(ImageKind::Texture, 11).rgb(32, 32);
+    let input = quantize_input(&img, &c.program);
+    let mut pool = PlanePool::new();
+    execute_with(&plan, &mut pool, &input, Kernels::Simd).unwrap();
+    assert_eq!(
+        pool.stats().narrow_instrs,
+        plan.narrow_licensed() as u64,
+        "one narrow execution per licensed instruction per frame"
+    );
+    assert_eq!(
+        pool.stats().kernel_variant,
+        Kernels::Simd.variant(simd::detect())
+    );
+    assert!(pool.stats().kernel_variant.name().starts_with("simd"));
+}
+
+/// The kernel selection survives every execution surface bit-identically:
+/// for each `Kernels` choice, `Engine::run_image`, a two-worker
+/// `AsyncSession` and a two-shard `ShardedBackend` (over
+/// `EcnnBackend::with_kernels`) all agree with each other and across
+/// kernel choices, and the plumbing reports the choice it was given.
+#[test]
+fn kernel_choice_is_honored_across_session_pipeline_and_shards() {
+    let w = Workload::ernet(
+        ErNetSpec::new(ErNetTask::Dn, 2, 1, 0),
+        40,
+        RealTimeSpec::HD30,
+    )
+    .unwrap();
+    let img = SyntheticImage::new(ImageKind::Edges, 31).rgb(80, 80);
+
+    let mut baseline: Option<(ecnn_tensor::Tensor<f32>, u64)> = None;
+    for k in [Kernels::Reference, Kernels::Packed, Kernels::Simd] {
+        let backend = EcnnBackend::paper().with_kernels(k);
+        let engine = backend.engine(&w).unwrap();
+        assert_eq!(engine.kernels(), k);
+        assert_eq!(engine.session().kernels(), k);
+
+        let (out, stats) = engine.run_image(&img).unwrap();
+        let expect_variant = k.variant(simd::detect());
+        assert_eq!(stats.exec.kernel_variant, expect_variant, "{k:?} tag");
+        match &baseline {
+            None => baseline = Some((out.clone(), stats.exec.work().mac3)),
+            Some((ref_out, mac3)) => {
+                assert_eq!(&out, ref_out, "{k:?} run_image parity");
+                assert_eq!(stats.exec.work().mac3, *mac3, "{k:?} mac parity");
+            }
+        }
+        let ref_out = &baseline.as_ref().unwrap().0;
+
+        // Pipelined path: the async workers build sessions off the same
+        // engine and must inherit the choice.
+        let mut async_session = engine.async_session(2);
+        let t0 = async_session.submit(img.clone()).unwrap();
+        let t1 = async_session.submit(img.clone()).unwrap();
+        let frames = async_session.drain().unwrap();
+        assert_eq!(frames.len(), 2);
+        let _ = (t0, t1);
+        for (frame, fstats) in &frames {
+            assert_eq!(frame, ref_out, "{k:?} async parity");
+            assert_eq!(fstats.exec.kernel_variant, expect_variant);
+        }
+
+        // Sharded path: each shard worker sessions off an engine built by
+        // the backend, so `with_kernels` is the only way the choice can
+        // reach it.
+        let sharded = ShardedBackend::new(EcnnBackend::paper().with_kernels(k), 2);
+        let (sout, sstats) = sharded.run_image(&w, &img).unwrap();
+        assert_eq!(&sout, ref_out, "{k:?} sharded parity");
+        assert_eq!(sstats.exec.kernel_variant, expect_variant);
     }
 }
