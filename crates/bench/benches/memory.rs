@@ -1,0 +1,45 @@
+//! Coalesced vs keyed plane-layout cost on the paper's eSR-4K pick
+//! (SR4ERNet-B17R3N1 @ UHD30, block 128): warm block execution under
+//! both layouts — the throughput check that slot routing is free — plus
+//! the observed resident-plane peaks the planner proves (the coalesced
+//! layout halves the keyed footprint; `ecnn-lint --cost` prints the
+//! static side of the same numbers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecnn_isa::compile::compile;
+use ecnn_isa::params::QuantizedModel;
+use ecnn_model::ernet::{ErNetSpec, ErNetTask};
+use ecnn_sim::exec::{execute_with, quantize_input, BlockPlan, Kernels, PlanePool};
+use ecnn_tensor::{ImageKind, SyntheticImage};
+use std::hint::black_box;
+
+fn bench_memory_layouts(c: &mut Criterion) {
+    let m = ErNetSpec::new(ErNetTask::Sr4, 17, 3, 1).build().unwrap();
+    let qm = QuantizedModel::uniform(&m);
+    let compiled = compile(&qm, 128).unwrap();
+    let plan = BlockPlan::new(&compiled.program, &compiled.leafs).unwrap();
+    let mut keyed = plan.clone();
+    keyed.force_keyed();
+    let img = SyntheticImage::new(ImageKind::Mixed, 1).rgb(128, 128);
+    let codes = quantize_input(&img, &compiled.program);
+    for (name, p) in [
+        ("memory/esr4k_coalesced_warm_block128", &plan),
+        ("memory/esr4k_keyed_warm_block128", &keyed),
+    ] {
+        let mut pool = PlanePool::new();
+        execute_with(p, &mut pool, &codes, Kernels::Simd).unwrap();
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(execute_with(p, &mut pool, black_box(&codes), Kernels::Simd).unwrap());
+            })
+        });
+        println!(
+            "{name}: observed peak {} KB (planned {} KB)",
+            pool.peak_resident_bytes() / 1024,
+            p.planned_peak_bytes() / 1024
+        );
+    }
+}
+
+criterion_group!(benches, bench_memory_layouts);
+criterion_main!(benches);

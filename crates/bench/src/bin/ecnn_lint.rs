@@ -5,7 +5,17 @@
 //! over every compiled paper model: the Table 4 / Appendix A ERNet matrix
 //! and the Section 7.3 style-transfer pair.
 //!
-//! Exit codes (CI-friendly):
+//! Flags:
+//!
+//! * `--cost` — additionally run the `verify::memplan` static cost model:
+//!   per-model MAC / traffic totals (proven equal to one block execution's
+//!   observed work counters) and the keyed vs coalesced peak plane bytes.
+//! * `--json` — machine-readable output: one JSON document on stdout
+//!   (diagnostics embedded; with `--cost` also the cost/memory table) and
+//!   nothing else, for CI consumption. `BENCH_memory.json` is the checked-
+//!   in snapshot of `ecnn-lint --json --cost`.
+//!
+//! Exit codes (CI-friendly, independent of flags):
 //!
 //! * `0` — every program verifies clean (no errors, no lints),
 //! * `1` — lints only (warnings printed, hard guarantees hold),
@@ -13,9 +23,11 @@
 
 use ecnn_isa::compile::compile;
 use ecnn_isa::params::QuantizedModel;
+use ecnn_isa::verify::memplan::{cost_model, CostReport};
 use ecnn_isa::verify::{verify_compiled, DiagCode, Diagnostic, Severity, VerifyReport};
 use ecnn_model::zoo;
 use ecnn_sim::exec::{crosscheck_plan, BlockPlan};
+use std::fmt::Write as _;
 
 /// A program-level finding raised by the harness itself (compile or plan
 /// failure on a model the verifier should have been able to check).
@@ -28,16 +40,28 @@ fn harness_error(detail: String) -> Diagnostic {
     }
 }
 
-/// Verifies one compiled model and prints its findings; returns the report.
-fn lint_one(name: &str, qm: &QuantizedModel, block: usize) -> VerifyReport {
+/// One model's lint (and optional cost) results.
+struct ModelReport {
+    name: String,
+    instructions: usize,
+    report: VerifyReport,
+    cost: Option<CostReport>,
+}
+
+/// Verifies one compiled model, optionally running the static cost model.
+fn lint_one(name: &str, qm: &QuantizedModel, block: usize, want_cost: bool) -> ModelReport {
     let compiled = match compile(qm, block) {
         Ok(c) => c,
         Err(e) => {
-            println!("{name}: COMPILE ERROR: {e}");
             let mut rpt = VerifyReport::default();
             rpt.diagnostics
                 .push(harness_error(format!("compilation failed: {e}")));
-            return rpt;
+            return ModelReport {
+                name: name.to_string(),
+                instructions: 0,
+                report: rpt,
+                cost: None,
+            };
         }
     };
     let mut report = verify_compiled(&compiled);
@@ -51,23 +75,163 @@ fn lint_one(name: &str, qm: &QuantizedModel, block: usize) -> VerifyReport {
         ))),
     }
     report.rank();
-    let (ne, nl) = (report.errors().count(), report.lints().count());
+    let cost = want_cost.then(|| cost_model(&compiled.program, &report));
+    ModelReport {
+        name: name.to_string(),
+        instructions: compiled.program.instructions.len(),
+        report,
+        cost,
+    }
+}
+
+fn print_text(m: &ModelReport) {
+    let (ne, nl) = (m.report.errors().count(), m.report.lints().count());
     let verdict = match (ne, nl) {
         (0, 0) => "clean".to_string(),
         (0, l) => format!("{l} lint(s)"),
         (e, l) => format!("{e} error(s), {l} lint(s)"),
     };
-    println!(
-        "{name}: {} instr, {verdict}",
-        compiled.program.instructions.len()
-    );
-    for d in &report.diagnostics {
+    println!("{}: {} instr, {verdict}", m.name, m.instructions);
+    for d in &m.report.diagnostics {
         println!("  {d}");
     }
-    report
+    if let Some(cost) = &m.cost {
+        println!(
+            "  cost: mac3 {} mac1 {} bb_read {} bb_write {} di {} do {}",
+            cost.mac3,
+            cost.mac1,
+            cost.bb_read_bytes,
+            cost.bb_write_bytes,
+            cost.di_bytes,
+            cost.do_bytes
+        );
+        match &cost.memory {
+            Some(mem) => println!(
+                "  memory: keyed {} B, coalesced {} B over {} slot(s) ({} planes), saved {}.{}%",
+                mem.keyed_bytes,
+                mem.peak_bytes,
+                mem.slots(),
+                mem.plane_slots.len(),
+                mem.saved_permille() / 10,
+                mem.saved_permille() % 10,
+            ),
+            None => println!(
+                "  memory: keyed {} B, no coalescing license",
+                cost.keyed_peak_bytes
+            ),
+        }
+    }
+}
+
+/// Minimal JSON string escaping (the emitted names/details are ASCII).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Hand-rolled JSON (no serializer in the offline vendor set). Key order
+/// and formatting are deterministic so CI can diff the output against the
+/// checked-in `BENCH_memory.json` snapshot byte for byte.
+fn print_json(models: &[ModelReport], exit: i32) {
+    let mut out = String::new();
+    out.push_str("{\n  \"models\": [\n");
+    for (i, m) in models.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\n      \"name\": {},\n      \"instructions\": {},\n      \"errors\": {},\n      \"lints\": {},\n      \"diagnostics\": [",
+            json_str(&m.name),
+            m.instructions,
+            m.report.errors().count(),
+            m.report.lints().count(),
+        );
+        for (j, d) in m.report.diagnostics.iter().enumerate() {
+            let sev = match d.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            };
+            let _ = write!(
+                out,
+                "{}\n        {{\"code\": {}, \"severity\": \"{sev}\", \"instr\": {}, \"detail\": {}}}",
+                if j == 0 { "" } else { "," },
+                json_str(d.code.as_str()),
+                d.instr.map_or("null".to_string(), |n| n.to_string()),
+                json_str(&d.detail),
+            );
+        }
+        if !m.report.diagnostics.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push(']');
+        if let Some(cost) = &m.cost {
+            let _ = write!(
+                out,
+                ",\n      \"cost\": {{\n        \"mac3\": {},\n        \"mac1\": {},\n        \"bb_read\": {},\n        \"bb_write\": {},\n        \"di\": {},\n        \"do\": {},\n        \"instructions\": {}\n      }},\n      \"memory\": ",
+                cost.mac3,
+                cost.mac1,
+                cost.bb_read_bytes,
+                cost.bb_write_bytes,
+                cost.di_bytes,
+                cost.do_bytes,
+                cost.instructions,
+            );
+            match &cost.memory {
+                Some(mem) => {
+                    let _ = write!(
+                        out,
+                        "{{\n        \"keyed_bytes\": {},\n        \"coalesced_bytes\": {},\n        \"slots\": {},\n        \"planes\": {},\n        \"saved_permille\": {}\n      }}",
+                        mem.keyed_bytes,
+                        mem.peak_bytes,
+                        mem.slots(),
+                        mem.plane_slots.len(),
+                        mem.saved_permille(),
+                    );
+                }
+                None => {
+                    let _ = write!(
+                        out,
+                        "{{\n        \"keyed_bytes\": {},\n        \"coalesced_bytes\": null\n      }}",
+                        cost.keyed_peak_bytes
+                    );
+                }
+            }
+        }
+        let _ = write!(
+            out,
+            "\n    }}{}\n",
+            if i + 1 == models.len() { "" } else { "," }
+        );
+    }
+    let _ = write!(out, "  ],\n  \"exit\": {exit}\n}}");
+    println!("{out}");
 }
 
 fn main() {
+    let mut json = false;
+    let mut want_cost = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--cost" => want_cost = true,
+            other => {
+                eprintln!("ecnn-lint: unknown flag {other} (expected --json and/or --cost)");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let mut models: Vec<(String, QuantizedModel, usize)> = Vec::new();
     for (rt, spec, xi) in ecnn_bench::model_matrix()
         .into_iter()
@@ -93,18 +257,27 @@ fn main() {
         enc_do_side,
     ));
 
+    let mut reports = Vec::with_capacity(models.len());
     let mut worst: Option<Severity> = None;
     for (name, qm, xi) in &models {
-        let report = lint_one(name, qm, *xi);
-        for d in &report.diagnostics {
+        let m = lint_one(name, qm, *xi, want_cost);
+        for d in &m.report.diagnostics {
             worst = Some(worst.map_or(d.severity, |w| w.max(d.severity)));
         }
+        if !json {
+            print_text(&m);
+        }
+        reports.push(m);
     }
     let code = match worst {
         None => 0,
         Some(Severity::Warning) => 1,
         Some(Severity::Error) => 2,
     };
-    println!("ecnn-lint: {} model(s) checked, exit {code}", models.len());
+    if json {
+        print_json(&reports, code);
+    } else {
+        println!("ecnn-lint: {} model(s) checked, exit {code}", reports.len());
+    }
     std::process::exit(code);
 }

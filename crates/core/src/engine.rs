@@ -17,6 +17,7 @@ use crate::report::SystemReport;
 use ecnn_dram::{DramConfig, DramPowerModel};
 use ecnn_isa::compile::{compile, CompileError, CompiledProgram};
 use ecnn_isa::params::QuantizedModel;
+use ecnn_isa::verify::memplan::{cost_model, CostReport};
 use ecnn_isa::verify::{verify_compiled, VerifyMode, VerifyReport};
 use ecnn_model::ernet::ErNetSpec;
 use ecnn_model::{Model, ModelError, RealTimeSpec};
@@ -420,6 +421,7 @@ pub struct EngineBuilder {
     dram_power: Option<DramPowerModel>,
     verify: Option<VerifyMode>,
     kernels: Option<Kernels>,
+    coalesce: Option<bool>,
 }
 
 impl EngineBuilder {
@@ -501,6 +503,19 @@ impl EngineBuilder {
         self
     }
 
+    /// Whether sessions run the verifier-licensed coalesced plane layout
+    /// (lifetime-disjoint planes sharing physical slots; see
+    /// `BlockPlan::memory_plan`). Defaults to `true`; output is
+    /// bit-identical either way, only the pool's peak resident bytes
+    /// differ. `false` forces the keyed one-slot-per-plane layout — for
+    /// A/B measurement and as an ops escape hatch. Programs without an
+    /// error-free verification always run keyed, regardless of this
+    /// knob.
+    pub fn coalesce(mut self, on: bool) -> Self {
+        self.coalesce = Some(on);
+        self
+    }
+
     /// Compiles the workload and returns a runnable [`Engine`].
     ///
     /// # Errors
@@ -562,6 +577,7 @@ impl EngineBuilder {
             compiled,
             verify_report: report,
             kernels,
+            coalesce: self.coalesce.unwrap_or(true),
         })
     }
 }
@@ -577,6 +593,7 @@ pub struct Engine {
     compiled: CompiledProgram,
     verify_report: Option<VerifyReport>,
     kernels: Kernels,
+    coalesce: bool,
 }
 
 impl Engine {
@@ -611,6 +628,34 @@ impl Engine {
     /// executes with (see [`EngineBuilder::kernels`]).
     pub fn kernels(&self) -> Kernels {
         self.kernels
+    }
+
+    /// Whether sessions of this engine run the coalesced plane layout
+    /// (see [`EngineBuilder::coalesce`]). `true` only states intent — a
+    /// program without an error-free verification still falls back to
+    /// the keyed layout at plan time.
+    pub fn coalesced(&self) -> bool {
+        self.coalesce
+    }
+
+    /// The static cost model of the compiled program: exact per-block
+    /// MAC / traffic / instruction counts (proven equal to one block
+    /// execution's observed [`ExecStats`] work counters), the keyed peak
+    /// plane bytes, and — when verification licensed one — the coalesced
+    /// [`ecnn_isa::verify::memplan::MemoryPlan`]. Computed on demand from
+    /// the build-time verification report (re-verifying only when the
+    /// engine was built with [`VerifyMode::Off`]); this is the autotuner's
+    /// static ranking signal — no frame needs to run.
+    pub fn cost_report(&self) -> CostReport {
+        let fresh;
+        let report = match &self.verify_report {
+            Some(r) => r,
+            None => {
+                fresh = verify_compiled(&self.compiled);
+                &fresh
+            }
+        };
+        cost_model(&self.compiled.program, report)
     }
 
     /// The source model.
@@ -766,6 +811,11 @@ impl Engine {
     /// rebuilding the engine).
     pub fn frame_report_at(&self, spec: RealTimeSpec) -> FrameReport {
         let sr = self.system_report_at(spec);
+        let cost = self.cost_report();
+        let (mem_bytes, mem_mode) = match (&cost.memory, self.coalesce) {
+            (Some(m), true) => (m.peak_bytes, "coalesced"),
+            _ => (cost.keyed_peak_bytes, "keyed"),
+        };
         FrameReport {
             backend: "ecnn".into(),
             workload: self.workload.qm.model.name().to_string(),
@@ -780,7 +830,7 @@ impl Engine {
             tops: Some(sr.frame.achieved_tops),
             utilization: Some(sr.frame.lconv3_busy),
             note: format!(
-                "block {}x{}, NBR {:.2}, NCR {:.2}, DRAM {}, kernels {}",
+                "block {}x{}, NBR {:.2}, NCR {:.2}, DRAM {}, kernels {}, planes {}KB {}",
                 self.workload.block,
                 self.workload.block,
                 sr.frame.nbr,
@@ -789,6 +839,8 @@ impl Engine {
                 self.kernels
                     .variant(ecnn_sim::kernels::simd::detect())
                     .name(),
+                mem_bytes.div_ceil(1024),
+                mem_mode,
             ),
         }
     }
@@ -831,10 +883,14 @@ pub struct Session<'e> {
 impl<'e> Session<'e> {
     fn new(engine: &'e Engine) -> Self {
         let p = &engine.compiled.program;
+        let mut plan = BlockPlan::new(&engine.compiled.program, &engine.compiled.leafs)
+            .expect("engine build validated the plan");
+        if !engine.coalesce {
+            plan.force_keyed();
+        }
         Self {
             engine,
-            plan: BlockPlan::new(&engine.compiled.program, &engine.compiled.leafs)
-                .expect("engine build validated the plan"),
+            plan,
             pool: PlanePool::new(),
             block_f: Tensor::zeros(p.di_channels, p.di_side, p.di_side),
             codes: Tensor::zeros(p.di_channels, p.di_side, p.di_side),
@@ -1052,6 +1108,7 @@ pub struct EcnnBackend {
     power: PowerModel,
     dram_power: DramPowerModel,
     kernels: Option<Kernels>,
+    coalesce: Option<bool>,
 }
 
 impl EcnnBackend {
@@ -1062,6 +1119,7 @@ impl EcnnBackend {
             power: PowerModel::paper_40nm(),
             dram_power: DramPowerModel::DDR4_3200,
             kernels: None,
+            coalesce: None,
         }
     }
 
@@ -1073,6 +1131,16 @@ impl EcnnBackend {
     #[must_use]
     pub fn with_kernels(mut self, kernels: Kernels) -> Self {
         self.kernels = Some(kernels);
+        self
+    }
+
+    /// Pins the plane-layout choice (see [`EngineBuilder::coalesce`]) for
+    /// every engine this backend builds, so sharded and pipelined paths
+    /// that construct sessions internally honor it. Unset, engines take
+    /// the default: the verifier-licensed coalesced layout.
+    #[must_use]
+    pub fn with_coalesce(mut self, on: bool) -> Self {
+        self.coalesce = Some(on);
         self
     }
 
@@ -1092,6 +1160,9 @@ impl EcnnBackend {
             .dram_power(self.dram_power);
         if let Some(k) = self.kernels {
             b = b.kernels(k);
+        }
+        if let Some(on) = self.coalesce {
+            b = b.coalesce(on);
         }
         b.build()
     }

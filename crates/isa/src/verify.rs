@@ -27,6 +27,8 @@
 //! predicted [`InstrRange`]s — the property `tests/verify.rs` pins with
 //! the range-instrumented reference executor.
 
+pub mod memplan;
+
 use crate::compile::CompiledProgram;
 use crate::instr::{FeatLoc, Instruction, Opcode, LEAF_CH};
 use crate::params::LeafParams;

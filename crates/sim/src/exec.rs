@@ -37,6 +37,7 @@ use crate::kernels;
 use ecnn_isa::instr::{FeatLoc, Instruction, Opcode, LEAF_CH};
 use ecnn_isa::params::{LeafParams, PackedKernelParams};
 use ecnn_isa::program::Program;
+use ecnn_isa::verify::memplan::MemoryPlan;
 use ecnn_isa::verify::{DiagCode, Diagnostic, VerifyReport};
 use ecnn_model::layer::PoolKind;
 use ecnn_tensor::conv::align_code;
@@ -385,6 +386,30 @@ pub struct PlaneInfo {
     pub last_use: Option<usize>,
 }
 
+/// Operand plane indices (into `BlockPlan::planes`) of one instruction —
+/// or, after mapping through a licensed [`MemoryPlan`], the physical slot
+/// of each operand. The executor routes every checkout/read through these
+/// so coalesced execution needs no per-access table lookups.
+#[derive(Clone, Debug)]
+struct InstrSlots {
+    /// One entry per gathered source group, in group order.
+    src: Vec<usize>,
+    /// The srcS operand, when present.
+    src_s: Option<usize>,
+    /// The destination plane.
+    dst: usize,
+}
+
+/// Slot routing for one whole program under a licensed [`MemoryPlan`]:
+/// where each DI plane streams in, where each instruction's operands
+/// live, and where the output assembly reads the DO planes.
+#[derive(Clone, Debug)]
+struct SlotRoute {
+    di: Vec<usize>,
+    instr: Vec<InstrSlots>,
+    out: Vec<usize>,
+}
+
 /// The up-front execution plan for one [`Program`]: a single walk over the
 /// instruction stream that validates leaf bookkeeping and operand
 /// availability (write-before-read) and computes every plane's shape and
@@ -413,6 +438,14 @@ pub struct BlockPlan<'a> {
     /// The SIMD tier [`Kernels::Simd`] dispatches to, resolved once at
     /// plan time by runtime feature detection.
     simd: kernels::simd::SimdLevel,
+    /// The verifier-licensed coalesced memory layout, stamped at plan
+    /// time only when verification found no hard errors (mirroring the
+    /// `narrow_acc` license). `None` falls back to the keyed
+    /// one-slot-per-`(buffer, group)` layout.
+    memplan: Option<MemoryPlan>,
+    /// Operand→slot routing derived from `memplan`; present iff the plan
+    /// is licensed, absent in the keyed fallback.
+    route: Option<SlotRoute>,
 }
 
 impl<'a> BlockPlan<'a> {
@@ -464,7 +497,7 @@ impl<'a> BlockPlan<'a> {
                          loc: FeatLoc,
                          at: usize,
                          expect_side: Option<usize>|
-         -> Result<(), ExecError> {
+         -> Result<usize, ExecError> {
             if matches!(loc, FeatLoc::Do { .. }) {
                 return Err(ExecError::ReadFromDo);
             }
@@ -481,8 +514,13 @@ impl<'a> BlockPlan<'a> {
                 }
             }
             info.last_use = Some(at);
-            Ok(())
+            Ok(idx)
         };
+
+        // Plane-table indices of every instruction's operands, recorded on
+        // the same walk so a licensed memory plan can be turned into
+        // direct slot routing without a second resolution pass.
+        let mut bindings: Vec<InstrSlots> = Vec::with_capacity(program.instructions.len());
 
         for (i, (ins, leafset)) in program.instructions.iter().zip(leafs).enumerate() {
             // Structural invariants first, so the executor's `expect`
@@ -512,24 +550,31 @@ impl<'a> BlockPlan<'a> {
                     ins.leaf_modules()
                 )));
             }
+            let mut src_idx = Vec::with_capacity(ins.in_groups);
             for g in 0..ins.in_groups {
-                mark_read(
+                src_idx.push(mark_read(
                     &mut planes,
                     &live,
                     ins.src.offset(g),
                     i,
                     Some(ins.in_size.0),
-                )?;
+                )?);
             }
-            if let Some(srcs) = ins.src_s {
+            let srcs_idx = match ins.src_s {
                 // Geometry is checked at accumulation time (the srcS crop
                 // depends on the destination domain).
-                mark_read(&mut planes, &live, srcs, i, None)?;
-            }
+                Some(srcs) => Some(mark_read(&mut planes, &live, srcs, i, None)?),
+                None => None,
+            };
             if matches!(ins.dst, FeatLoc::Di { .. }) {
                 return Err(ExecError::Shape("cannot write to DI".into()));
             }
             let key = PlaneKey::from(ins.dst);
+            bindings.push(InstrSlots {
+                src: src_idx,
+                src_s: srcs_idx,
+                dst: planes.len(),
+            });
             live.insert(key, planes.len());
             planes.push(PlaneInfo {
                 key,
@@ -549,6 +594,7 @@ impl<'a> BlockPlan<'a> {
 
         let out_groups = program.do_channels.div_ceil(LEAF_CH);
         let end = program.instructions.len();
+        let mut do_idx = Vec::with_capacity(out_groups);
         for g in 0..out_groups {
             let key = PlaneKey::Do { group: g as u8 };
             let idx = *live
@@ -561,6 +607,7 @@ impl<'a> BlockPlan<'a> {
                 )));
             }
             planes[idx].last_use = Some(end);
+            do_idx.push(idx);
         }
 
         let mut packed: Vec<PackedKernelParams> = program
@@ -576,11 +623,30 @@ impl<'a> BlockPlan<'a> {
         // unanalyzable instruction, `ranges[i] == None`) leaves the flag
         // false — no proof, no narrow path.
         let report = ecnn_isa::verify::verify(program, leafs);
+        let mut memplan = None;
         if !report.has_errors() {
             for (p, r) in packed.iter_mut().zip(&report.ranges) {
                 p.narrow_acc = r.as_ref().is_some_and(|r| r.narrow_acc);
             }
+            // Coalesced plane layout, under the same license: only an
+            // error-free verification proves no two simultaneously-live
+            // planes share a slot. A divergent plane table (the verifier
+            // derived a different plane count than this walk) also drops
+            // the plan — no proof, no coalescing.
+            memplan = MemoryPlan::build(&report).filter(|m| m.plane_slots.len() == planes.len());
         }
+        let route = memplan.as_ref().map(|m| SlotRoute {
+            di: m.plane_slots[..di_groups].to_vec(),
+            instr: bindings
+                .iter()
+                .map(|b| InstrSlots {
+                    src: b.src.iter().map(|&i| m.plane_slots[i]).collect(),
+                    src_s: b.src_s.map(|i| m.plane_slots[i]),
+                    dst: m.plane_slots[b.dst],
+                })
+                .collect(),
+            out: do_idx.iter().map(|&i| m.plane_slots[i]).collect(),
+        });
         Ok(Self {
             program,
             leafs,
@@ -590,6 +656,8 @@ impl<'a> BlockPlan<'a> {
             out_groups,
             packed,
             simd: kernels::simd::detect(),
+            memplan,
+            route,
         })
     }
 
@@ -643,6 +711,59 @@ impl<'a> BlockPlan<'a> {
         }
     }
 
+    /// The verifier-licensed coalesced memory layout, when one was proven
+    /// at plan time (`None` means executions fall back to the keyed
+    /// one-slot-per-`(buffer, group)` layout).
+    pub fn memory_plan(&self) -> Option<&MemoryPlan> {
+        self.memplan.as_ref()
+    }
+
+    /// Whether executions of this plan run coalesced (a licensed
+    /// [`MemoryPlan`] routes every plane onto shared physical slots).
+    pub fn coalesced(&self) -> bool {
+        self.route.is_some()
+    }
+
+    /// Revokes the coalesced memory plan, forcing executions onto the
+    /// keyed one-slot-per-plane layout. For parity tests, benchmarks
+    /// isolating the coalescing effect, and `EngineBuilder::coalesce
+    /// (false)`.
+    pub fn force_keyed(&mut self) {
+        self.memplan = None;
+        self.route = None;
+    }
+
+    /// Peak plane bytes one block execution of *this* plan needs: the
+    /// proven coalesced peak when a [`MemoryPlan`] is licensed, the keyed
+    /// [`BlockPlan::peak_plane_bytes`] fallback otherwise. The pool's
+    /// observed high-water mark ([`PlanePool::peak_resident_bytes`])
+    /// never exceeds this.
+    pub fn planned_peak_bytes(&self) -> usize {
+        self.memplan
+            .as_ref()
+            .map_or_else(|| self.peak_plane_bytes(), |m| m.peak_bytes)
+    }
+
+    fn di_slot(&self, g: usize) -> Option<usize> {
+        self.route.as_ref().map(|r| r.di[g])
+    }
+
+    fn src_slots(&self, idx: usize) -> Option<&[usize]> {
+        self.route.as_ref().map(|r| r.instr[idx].src.as_slice())
+    }
+
+    fn srcs_slot(&self, idx: usize) -> Option<usize> {
+        self.route.as_ref().and_then(|r| r.instr[idx].src_s)
+    }
+
+    fn dst_slot(&self, idx: usize) -> Option<usize> {
+        self.route.as_ref().map(|r| r.instr[idx].dst)
+    }
+
+    fn do_slot(&self, g: usize) -> Option<usize> {
+        self.route.as_ref().map(|r| r.out[g])
+    }
+
     /// Peak bytes of *keyed* `(buffer, group)` plane storage one block
     /// execution needs. Scratch buffers (the gather input, the `i64`
     /// accumulators, the ER mid plane, the DNX2 pre-pool plane and the
@@ -662,14 +783,29 @@ impl<'a> BlockPlan<'a> {
     }
 }
 
-/// A reusable arena of feature planes (keyed by [`PlaneKey`]) and scratch
-/// accumulators. One pool serves one executor worker; after the first
-/// block has warmed every buffer to its peak size, [`execute`] performs
-/// zero allocations per block. The pool also owns the [`ExecStats`]
-/// counters its executions accumulate.
+/// The plane storage half of a [`PlanePool`], split out so the executor
+/// can borrow it alongside the scratch accumulators. Keyed executions
+/// store planes in the `(buffer, group)` map; coalesced executions (a
+/// licensed [`MemoryPlan`]) store them in the slot vector instead. The
+/// arena tracks a resident-bytes high-water mark across both, so the
+/// observed peak can be audited against the planner's proven peak.
+#[derive(Debug, Default)]
+struct PlaneArena {
+    planes: HashMap<PlaneKey, Tensor<i16>>,
+    slots: Vec<Option<Tensor<i16>>>,
+    resident_bytes: usize,
+    peak_resident_bytes: usize,
+}
+
+/// A reusable arena of feature planes (keyed by [`PlaneKey`] or, under a
+/// licensed [`MemoryPlan`], routed onto shared physical slots) and
+/// scratch accumulators. One pool serves one executor worker; after the
+/// first block has warmed every buffer to its peak size, [`execute`]
+/// performs zero allocations per block. The pool also owns the
+/// [`ExecStats`] counters its executions accumulate.
 #[derive(Debug, Default)]
 pub struct PlanePool {
-    planes: HashMap<PlaneKey, Tensor<i16>>,
+    arena: PlaneArena,
     /// Gathered (possibly multi-group) input scratch.
     wide: Option<Tensor<i16>>,
     /// Main full-precision accumulator.
@@ -743,52 +879,106 @@ fn ensure_overwrite<'s, T: Copy + Default>(
     t
 }
 
-/// Checks out the pooled plane for `key` at shape `c×h×w`, recycling its
-/// storage when capacity allows. `zero` selects whether recycled contents
-/// are cleared; pass `false` only when every element will be overwritten.
+/// Where a plane lives in the arena: a routed physical slot (a licensed
+/// coalesced layout) or its `(buffer, group)` key (the keyed fallback).
+#[derive(Clone, Copy, Debug)]
+enum Place {
+    Slot(usize),
+    Key(PlaneKey),
+}
+
+/// Checks out the pooled plane at `place` with shape `c×h×w`, recycling
+/// its storage when capacity allows, and maintaining the arena's
+/// resident-bytes high-water mark. `zero` selects whether recycled
+/// contents are cleared; pass `false` only when every element will be
+/// overwritten.
 fn checkout<'m>(
-    planes: &'m mut HashMap<PlaneKey, Tensor<i16>>,
+    arena: &'m mut PlaneArena,
     stats: &mut ExecStats,
-    key: PlaneKey,
+    place: Place,
     c: usize,
     h: usize,
     w: usize,
     zero: bool,
 ) -> &'m mut Tensor<i16> {
-    match planes.entry(key) {
-        Entry::Occupied(e) => {
-            let t = e.into_mut();
-            if t.capacity() < c * h * w {
+    let needed = c * h * w;
+    let displaced = match place {
+        Place::Slot(s) => arena
+            .slots
+            .get(s)
+            .and_then(Option::as_ref)
+            .map_or(0, Tensor::len),
+        Place::Key(key) => arena.planes.get(&key).map_or(0, Tensor::len),
+    };
+    arena.resident_bytes = arena.resident_bytes - displaced * std::mem::size_of::<i16>()
+        + needed * std::mem::size_of::<i16>();
+    arena.peak_resident_bytes = arena.peak_resident_bytes.max(arena.resident_bytes);
+    match place {
+        Place::Slot(s) => {
+            if arena.slots.len() <= s {
+                arena.slots.resize_with(s + 1, || None);
+            }
+            let entry = &mut arena.slots[s];
+            match entry {
+                Some(t) => {
+                    if t.capacity() < needed {
+                        stats.planes_allocated += 1;
+                    } else {
+                        stats.planes_reused += 1;
+                    }
+                    if zero {
+                        t.reset(c, h, w);
+                    } else {
+                        t.reset_no_fill(c, h, w);
+                    }
+                    t
+                }
+                None => {
+                    stats.planes_allocated += 1;
+                    entry.insert(Tensor::zeros(c, h, w))
+                }
+            }
+        }
+        Place::Key(key) => match arena.planes.entry(key) {
+            Entry::Occupied(e) => {
+                let t = e.into_mut();
+                if t.capacity() < needed {
+                    stats.planes_allocated += 1;
+                } else {
+                    stats.planes_reused += 1;
+                }
+                if zero {
+                    t.reset(c, h, w);
+                } else {
+                    t.reset_no_fill(c, h, w);
+                }
+                t
+            }
+            Entry::Vacant(v) => {
                 stats.planes_allocated += 1;
-            } else {
-                stats.planes_reused += 1;
+                v.insert(Tensor::zeros(c, h, w))
             }
-            if zero {
-                t.reset(c, h, w);
-            } else {
-                t.reset_no_fill(c, h, w);
-            }
-            t
-        }
-        Entry::Vacant(v) => {
-            stats.planes_allocated += 1;
-            v.insert(Tensor::zeros(c, h, w))
-        }
+        },
     }
 }
 
-/// Reads the pooled plane for `loc`, charging block-buffer read traffic.
+/// Reads the pooled plane for `loc` — from `slot` when the plan routes it
+/// (coalesced), from the key map otherwise — charging block-buffer read
+/// traffic.
 fn read_plane<'m>(
-    planes: &'m HashMap<PlaneKey, Tensor<i16>>,
+    arena: &'m PlaneArena,
     stats: &mut ExecStats,
     loc: FeatLoc,
+    slot: Option<usize>,
 ) -> Result<&'m Tensor<i16>, ExecError> {
     if matches!(loc, FeatLoc::Do { .. }) {
         return Err(ExecError::ReadFromDo);
     }
-    let plane = planes
-        .get(&PlaneKey::from(loc))
-        .ok_or(ExecError::MissingPlane(loc))?;
+    let plane = match slot {
+        Some(s) => arena.slots.get(s).and_then(Option::as_ref),
+        None => arena.planes.get(&PlaneKey::from(loc)),
+    }
+    .ok_or(ExecError::MissingPlane(loc))?;
     if matches!(loc, FeatLoc::Bb { .. }) {
         stats.bb_read_bytes += plane.len() as u64;
     }
@@ -813,9 +1003,9 @@ impl PlanePool {
         width: usize,
     ) -> &mut Tensor<i16> {
         checkout(
-            &mut self.planes,
+            &mut self.arena,
             &mut self.stats,
-            key,
+            Place::Key(key),
             channels,
             height,
             width,
@@ -823,9 +1013,11 @@ impl PlanePool {
         )
     }
 
-    /// The plane currently pooled for `key`, if any.
+    /// The plane currently pooled for `key`, if any. Coalesced executions
+    /// (a plan with a licensed [`MemoryPlan`]) store planes by slot, not
+    /// by key, so this only reflects keyed checkouts.
     pub fn plane(&self, key: PlaneKey) -> Option<&Tensor<i16>> {
-        self.planes.get(&key)
+        self.arena.planes.get(&key)
     }
 
     /// Counters accumulated by executions (and checkouts) on this pool.
@@ -833,15 +1025,34 @@ impl PlanePool {
         self.stats
     }
 
-    /// Number of pooled planes currently resident.
+    /// Number of pooled planes currently resident (keyed planes plus
+    /// occupied coalesced slots).
     pub fn resident_planes(&self) -> usize {
-        self.planes.len()
+        self.arena.planes.len() + self.arena.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Plane bytes currently resident (keyed planes plus occupied
+    /// coalesced slots, at their current logical shapes; scratch
+    /// accumulators are not counted).
+    pub fn resident_bytes(&self) -> usize {
+        self.arena.resident_bytes
+    }
+
+    /// High-water mark of [`PlanePool::resident_bytes`] over every
+    /// checkout this pool has served — the observed counterpart of
+    /// `BlockPlan::planned_peak_bytes`, which it provably never exceeds.
+    /// Survives [`PlanePool::clear`].
+    pub fn peak_resident_bytes(&self) -> usize {
+        self.arena.peak_resident_bytes
     }
 
     /// Drops every pooled buffer (planes, scratch and the assembled
-    /// output) while keeping the counters.
+    /// output) while keeping the counters and the resident-bytes
+    /// high-water mark.
     pub fn clear(&mut self) {
-        self.planes.clear();
+        self.arena.planes.clear();
+        self.arena.slots.clear();
+        self.arena.resident_bytes = 0;
         self.wide = None;
         self.acc_a = None;
         self.acc_b = None;
@@ -1008,7 +1219,7 @@ fn execute_inner<'p>(
         }
         pool.stats.instructions += 1;
     }
-    assemble_output(p, plan.out_groups, pool)
+    assemble_output(plan, pool)
 }
 
 /// Cross-checks the simulator's plan against the static verifier's
@@ -1083,9 +1294,10 @@ fn stream_input(plan: &BlockPlan<'_>, pool: &mut PlanePool, input: &Tensor<i16>)
     let in_ch = input.channels();
     for g in 0..plan.di_groups {
         let plane = checkout(
-            &mut pool.planes,
+            &mut pool.arena,
             &mut pool.stats,
-            PlaneKey::Di { group: g as u8 },
+            plan.di_slot(g)
+                .map_or(Place::Key(PlaneKey::Di { group: g as u8 }), Place::Slot),
             LEAF_CH,
             side,
             side,
@@ -1119,18 +1331,20 @@ fn stream_input(plan: &BlockPlan<'_>, pool: &mut PlanePool, input: &Tensor<i16>)
     }
 }
 
-/// Gathers `groups` consecutive planes into the pool's wide scratch.
+/// Gathers `groups` consecutive planes into the pool's wide scratch,
+/// resolving each group through `route` when the plan is coalesced.
 fn gather<'m>(
-    planes: &HashMap<PlaneKey, Tensor<i16>>,
+    arena: &PlaneArena,
     wide: &'m mut Option<Tensor<i16>>,
     stats: &mut ExecStats,
     base: FeatLoc,
     groups: usize,
     side: usize,
+    route: Option<&[usize]>,
 ) -> Result<&'m Tensor<i16>, ExecError> {
     let wide = ensure_overwrite(wide, stats, groups * LEAF_CH, side, side);
     for g in 0..groups {
-        let plane = read_plane(planes, stats, base.offset(g))?;
+        let plane = read_plane(arena, stats, base.offset(g), route.map(|r| r[g]))?;
         if plane.height() != side || plane.width() != side {
             return Err(ExecError::Shape(format!(
                 "plane {}x{} vs expected side {side}",
@@ -1171,12 +1385,13 @@ fn exec_conv3(
     let ins = &program.instructions[idx];
     let leafs = plan.leafs[idx].as_slice();
     let input = gather(
-        &pool.planes,
+        &pool.arena,
         &mut pool.wide,
         &mut pool.stats,
         ins.src,
         ins.in_groups,
         ins.in_size.0,
+        plan.src_slots(idx),
     )?;
     let prod_frac = ins.q.w3.frac() as i32 + ins.q.src.frac() as i32;
     // Leaf ordering (see compiler): UPX2 has one leaf per pre-shuffle
@@ -1260,7 +1475,7 @@ fn exec_conv3(
     if let Some(srcs) = ins.src_s {
         // INVARIANT: format presence validated by `BlockPlan::new`.
         let sq = ins.q.src_s.expect("plan validated srcS format");
-        let plane = read_plane(&pool.planes, &mut pool.stats, srcs)?;
+        let plane = read_plane(&pool.arena, &mut pool.stats, srcs, plan.srcs_slot(idx))?;
         check_srcs_domain(acc, plane)?;
         add_aligned(acc, plane, sq.frac() as i32, prod_frac);
     }
@@ -1293,9 +1508,9 @@ fn exec_conv3(
             )));
         }
         let dst = checkout(
-            &mut pool.planes,
+            &mut pool.arena,
             &mut pool.stats,
-            dst_key,
+            plan.dst_slot(idx).map_or(Place::Key(dst_key), Place::Slot),
             LEAF_CH,
             ins.out_size.1,
             ins.out_size.0,
@@ -1320,9 +1535,9 @@ fn exec_conv3(
             )));
         }
         let dst = checkout(
-            &mut pool.planes,
+            &mut pool.arena,
             &mut pool.stats,
-            dst_key,
+            plan.dst_slot(idx).map_or(Place::Key(dst_key), Place::Slot),
             ac,
             ins.out_size.1,
             ins.out_size.0,
@@ -1349,12 +1564,13 @@ fn exec_conv1(
     let ins = &program.instructions[idx];
     let leafs = plan.leafs[idx].as_slice();
     let input = gather(
-        &pool.planes,
+        &pool.arena,
         &mut pool.wide,
         &mut pool.stats,
         ins.src,
         ins.in_groups,
         ins.in_size.0,
+        plan.src_slots(idx),
     )?;
     // INVARIANT: format presence validated by `Instruction::check` in
     // `BlockPlan::new` (CONV1 requires the 1x1 formats).
@@ -1428,7 +1644,7 @@ fn exec_conv1(
     if let Some(srcs) = ins.src_s {
         // INVARIANT: format presence validated by `BlockPlan::new`.
         let sq = ins.q.src_s.expect("plan validated srcS format");
-        let plane = read_plane(&pool.planes, &mut pool.stats, srcs)?;
+        let plane = read_plane(&pool.arena, &mut pool.stats, srcs, plan.srcs_slot(idx))?;
         check_srcs_domain(acc, plane)?;
         add_aligned(acc, plane, sq.frac() as i32, prod_frac);
     }
@@ -1444,9 +1660,9 @@ fn exec_conv1(
     }
     let dst_key = PlaneKey::from(ins.dst);
     let dst = checkout(
-        &mut pool.planes,
+        &mut pool.arena,
         &mut pool.stats,
-        dst_key,
+        plan.dst_slot(idx).map_or(Place::Key(dst_key), Place::Slot),
         LEAF_CH,
         side,
         side,
@@ -1479,12 +1695,13 @@ fn exec_er(
     let prod1 = w1q.frac() as i32 + midq.frac() as i32;
     let (cw, chh) = ins.conv_out_size();
     let input = gather(
-        &pool.planes,
+        &pool.arena,
         &mut pool.wide,
         &mut pool.stats,
         ins.src,
         ins.in_groups,
         ins.in_size.0,
+        plan.src_slots(idx),
     )?;
     let packed = &plan.packed[idx];
     if kind == Kernels::Simd && packed.narrow_acc {
@@ -1593,7 +1810,7 @@ fn exec_er(
     if let Some(srcs) = ins.src_s {
         // INVARIANT: format presence validated by `BlockPlan::new`.
         let sq = ins.q.src_s.expect("plan validated srcS format");
-        let plane = read_plane(&pool.planes, &mut pool.stats, srcs)?;
+        let plane = read_plane(&pool.arena, &mut pool.stats, srcs, plan.srcs_slot(idx))?;
         check_srcs_domain(acc1, plane)?;
         add_aligned(acc1, plane, sq.frac() as i32, prod1);
     }
@@ -1602,9 +1819,9 @@ fn exec_er(
     }
     let dst_key = PlaneKey::from(ins.dst);
     let dst = checkout(
-        &mut pool.planes,
+        &mut pool.arena,
         &mut pool.stats,
-        dst_key,
+        plan.dst_slot(idx).map_or(Place::Key(dst_key), Place::Slot),
         LEAF_CH,
         chh,
         cw,
@@ -1621,10 +1838,10 @@ fn exec_er(
 
 /// Assembles the logical output block from the pooled DO planes.
 fn assemble_output<'p>(
-    program: &Program,
-    out_groups: usize,
+    plan: &BlockPlan<'_>,
     pool: &'p mut PlanePool,
 ) -> Result<&'p Tensor<i16>, ExecError> {
+    let program = plan.program;
     // Every (channel, y, x) is written below — the DO groups tile the
     // logical channel range — so stale contents need no clearing.
     let out = ensure_overwrite(
@@ -1634,11 +1851,12 @@ fn assemble_output<'p>(
         program.do_side,
         program.do_side,
     );
-    for g in 0..out_groups {
-        let plane = pool
-            .planes
-            .get(&PlaneKey::Do { group: g as u8 })
-            .ok_or(ExecError::MissingPlane(FeatLoc::Do { group: g as u8 }))?;
+    for g in 0..plan.out_groups {
+        let plane = match plan.do_slot(g) {
+            Some(s) => pool.arena.slots.get(s).and_then(Option::as_ref),
+            None => pool.arena.planes.get(&PlaneKey::Do { group: g as u8 }),
+        }
+        .ok_or(ExecError::MissingPlane(FeatLoc::Do { group: g as u8 }))?;
         if plane.height() != program.do_side || plane.width() != program.do_side {
             return Err(ExecError::Shape(format!(
                 "DO plane {}x{} vs side {}",

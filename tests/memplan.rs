@@ -1,0 +1,482 @@
+//! The verified memory planner's contract, pinned from three sides:
+//!
+//! * **differential cost model** — the static [`cost_model`] totals must
+//!   equal the observed `ExecStats` work counters of one block execution
+//!   exactly, on every shipped paper model (the Table 4 / Appendix A
+//!   matrix plus the style-transfer pair);
+//! * **peak audit** — the pool's observed resident-plane high-water mark
+//!   never exceeds the planner's proven peak, in both the coalesced and
+//!   the keyed layout, and the coalesced saving is realized at runtime
+//!   (not just on paper);
+//! * **coalescing safety** — coalesced execution is bit-identical to
+//!   keyed execution across random scrambled/sparsified ERNet programs,
+//!   both inference kinds, all kernel variants and shard counts 1/2/4;
+//!   and forged programs with overlapping lifetimes (or outright alias
+//!   hazards) never get their planes merged.
+
+use ecnn_core::engine::{Backend, EcnnBackend, Workload};
+use ecnn_core::sharded::ShardedBackend;
+use ecnn_isa::compile::compile;
+use ecnn_isa::instr::{FeatLoc, Instruction, Opcode, QSpec};
+use ecnn_isa::params::{LeafParams, QuantizedModel};
+use ecnn_isa::program::Program;
+use ecnn_isa::verify::memplan::{cost_model, MemoryPlan};
+use ecnn_isa::verify::{verify, verify_compiled};
+use ecnn_model::ernet::{ErNetSpec, ErNetTask};
+use ecnn_model::model::InferenceKind;
+use ecnn_model::zoo;
+use ecnn_model::RealTimeSpec;
+use ecnn_sim::exec::{execute_with, quantize_input, BlockPlan, Kernels, PlanePool};
+use ecnn_tensor::{ImageKind, QFormat, SyntheticImage, Tensor};
+use proptest::prelude::*;
+
+/// Overwrites every parameter of `qm` with seeded pseudo-random codes in
+/// `[-8, 8]`, zeroing roughly `sparsity_pct`% of them (same generator as
+/// the kernel-parity suite).
+fn scramble(qm: &mut QuantizedModel, seed: u64, sparsity_pct: u64) {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as i64
+    };
+    for p in qm.layers.iter_mut().flatten() {
+        for w in
+            p.w3.iter_mut()
+                .chain(p.w1.iter_mut())
+                .chain(p.b3.iter_mut())
+                .chain(p.b1.iter_mut())
+        {
+            let r = next();
+            *w = if r.unsigned_abs() % 100 < sparsity_pct {
+                0
+            } else {
+                (r.rem_euclid(17) - 8) as i16
+            };
+        }
+    }
+}
+
+fn image_kind(sel: u64) -> ImageKind {
+    match sel % 4 {
+        0 => ImageKind::Smooth,
+        1 => ImageKind::Edges,
+        2 => ImageKind::Texture,
+        _ => ImageKind::Mixed,
+    }
+}
+
+/// The 14 shipped paper models, exactly as `ecnn-lint` enumerates them:
+/// the nine Table 4 ERNet picks, the three Appendix A DnERNet-12ch
+/// picks, and the Section 7.3 style-transfer pair.
+fn paper_models() -> Vec<(String, QuantizedModel, usize)> {
+    let mut models = Vec::new();
+    for (rt, spec, xi) in ecnn_bench::model_matrix()
+        .into_iter()
+        .chain(ecnn_bench::dn12_matrix())
+    {
+        let model = spec.build().expect("paper matrix specs are valid");
+        models.push((
+            format!("{spec} @ {}", rt.name),
+            QuantizedModel::uniform(&model),
+            xi,
+        ));
+    }
+    let (enc, dec) = zoo::style_transfer();
+    let qenc = QuantizedModel::uniform(&enc);
+    let enc_do_side = compile(&qenc, 256)
+        .expect("style encoder compiles")
+        .program
+        .do_side;
+    models.push(("style-encoder".into(), qenc, 256));
+    models.push((
+        "style-decoder".into(),
+        QuantizedModel::uniform(&dec),
+        enc_do_side,
+    ));
+    models
+}
+
+/// A deterministic valid input block for `program`, compiled at block
+/// size `xi`: a synthetic RGB block for camera-facing models (the
+/// executor pixel-unshuffles internally where the program asks for it),
+/// pseudo-random in-format codes for feature-space inputs like the style
+/// decoder's.
+fn input_for(program: &Program, xi: usize, seed: u64) -> Tensor<i16> {
+    if program.di_channels == 3 || program.input_unshuffle.is_some() {
+        let img = SyntheticImage::new(image_kind(seed), seed % 89).rgb(xi, xi);
+        quantize_input(&img, program)
+    } else {
+        let mut state = seed | 1;
+        Tensor::from_fn(
+            program.di_channels,
+            program.di_side,
+            program.di_side,
+            |_, _, _| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                program
+                    .di_q
+                    .quantize(((state >> 40) & 0xff_ffff) as f32 / (1 << 24) as f32)
+            },
+        )
+    }
+}
+
+/// Differential oracle for the static cost model: on every shipped paper
+/// model the [`cost_model`] totals equal the observed work counters of
+/// one block execution field by field, the verifier-side keyed-peak
+/// estimate equals the simulator-side [`BlockPlan::peak_plane_bytes`],
+/// the observed resident peak stays under the proven coalesced peak, and
+/// the eSR-4K pick saves at least the 25% the plan promises.
+#[test]
+fn static_cost_model_matches_observed_work_on_the_paper_matrix() {
+    let mut checked_esr4k = false;
+    for (i, (name, qm, xi)) in paper_models().into_iter().enumerate() {
+        let c = compile(&qm, xi).expect(&name);
+        let report = verify_compiled(&c);
+        assert!(!report.has_errors(), "{name}: {:?}", report.diagnostics);
+        let cost = cost_model(&c.program, &report);
+        let plan = BlockPlan::new(&c.program, &c.leafs).expect(&name);
+        assert!(plan.coalesced(), "{name}: clean model must coalesce");
+        let mem = plan.memory_plan().expect("clean model licenses a plan");
+        assert_eq!(
+            mem.keyed_bytes,
+            plan.peak_plane_bytes(),
+            "{name}: keyed audit"
+        );
+        assert_eq!(cost.keyed_peak_bytes, mem.keyed_bytes, "{name}");
+        assert_eq!(cost.memory.as_ref(), Some(mem), "{name}");
+        assert!(mem.peak_bytes < mem.keyed_bytes, "{name}: no saving");
+        if name.starts_with("SR4ERNet-B17R3N1") {
+            // The acceptance bar: >= 25% peak plane bytes saved on eSR-4K.
+            assert!(
+                mem.saved_permille() >= 250,
+                "eSR-4K saves only {}permille",
+                mem.saved_permille()
+            );
+            checked_esr4k = true;
+        }
+
+        let input = input_for(&c.program, xi, 0x5eed ^ i as u64);
+        let mut pool = PlanePool::new();
+        execute_with(&plan, &mut pool, &input, Kernels::Simd).expect(&name);
+        let work = pool.stats().work();
+        assert_eq!(cost.mac3, work.mac3, "{name}: mac3");
+        assert_eq!(cost.mac1, work.mac1, "{name}: mac1");
+        assert_eq!(cost.bb_read_bytes, work.bb_read_bytes, "{name}: bb_read");
+        assert_eq!(cost.bb_write_bytes, work.bb_write_bytes, "{name}: bb_write");
+        assert_eq!(cost.di_bytes, work.di_bytes, "{name}: di");
+        assert_eq!(cost.do_bytes, work.do_bytes, "{name}: do");
+        assert_eq!(cost.instructions, work.instructions, "{name}: instructions");
+        // The per-instruction breakdown is consistent with the totals.
+        let mac3: u64 = cost.per_instr.iter().map(|ic| ic.mac3).sum();
+        let bb_read: u64 = cost.per_instr.iter().map(|ic| ic.bb_read_bytes).sum();
+        assert_eq!(mac3, cost.mac3, "{name}: per-instr mac3");
+        assert_eq!(bb_read, cost.bb_read_bytes, "{name}: per-instr bb_read");
+        // Peak audit: the observed high-water mark respects the proof.
+        assert!(
+            pool.peak_resident_bytes() <= plan.planned_peak_bytes(),
+            "{name}: observed {} > planned {}",
+            pool.peak_resident_bytes(),
+            plan.planned_peak_bytes()
+        );
+    }
+    assert!(checked_esr4k, "the eSR-4K pick must be in the matrix");
+}
+
+/// The peak invariant holds in *both* layouts of the same program, the
+/// two layouts produce bit-identical output with identical work
+/// counters, and the coalesced saving shows up in the pool's observed
+/// footprint — not just in the plan.
+#[test]
+fn observed_peak_never_exceeds_planned_in_either_layout() {
+    let spec = ErNetSpec::new(ErNetTask::Dn, 3, 1, 0);
+    let qm = QuantizedModel::uniform(&spec.build().unwrap());
+    let c = compile(&qm, 128).unwrap();
+    let plan = BlockPlan::new(&c.program, &c.leafs).unwrap();
+    let mut keyed = plan.clone();
+    keyed.force_keyed();
+    assert!(plan.coalesced());
+    assert!(!keyed.coalesced());
+    assert!(keyed.memory_plan().is_none());
+    assert!(plan.planned_peak_bytes() < keyed.planned_peak_bytes());
+
+    let input = input_for(&c.program, 128, 7);
+    let mut cpool = PlanePool::new();
+    let cout = execute_with(&plan, &mut cpool, &input, Kernels::Packed)
+        .unwrap()
+        .clone();
+    let mut kpool = PlanePool::new();
+    let kout = execute_with(&keyed, &mut kpool, &input, Kernels::Packed)
+        .unwrap()
+        .clone();
+    assert_eq!(cout, kout, "layouts must be bit-identical");
+    assert_eq!(cpool.stats().work(), kpool.stats().work());
+    assert!(cpool.peak_resident_bytes() <= plan.planned_peak_bytes());
+    assert!(kpool.peak_resident_bytes() <= keyed.planned_peak_bytes());
+    assert!(
+        cpool.peak_resident_bytes() < kpool.peak_resident_bytes(),
+        "the proven saving must be realized at runtime"
+    );
+}
+
+/// The layout choice survives the engine / sharding plumbing
+/// bit-identically: a coalesced engine, a keyed engine
+/// (`with_coalesce(false)`) and sharded backends of both layouts at
+/// shard counts 1/2/4 all produce the same image, and the engine's cost
+/// report surfaces both layouts' peaks.
+#[test]
+fn layout_choice_survives_engines_and_shards_bit_identically() {
+    let w = Workload::ernet(
+        ErNetSpec::new(ErNetTask::Dn, 2, 1, 0),
+        40,
+        RealTimeSpec::HD30,
+    )
+    .unwrap();
+    let img = SyntheticImage::new(ImageKind::Edges, 31).rgb(80, 80);
+
+    let ce = EcnnBackend::paper().engine(&w).unwrap();
+    let ke = EcnnBackend::paper()
+        .with_coalesce(false)
+        .engine(&w)
+        .unwrap();
+    assert!(ce.coalesced());
+    assert!(!ke.coalesced());
+    let (cout, _) = ce.run_image(&img).unwrap();
+    let (kout, _) = ke.run_image(&img).unwrap();
+    assert_eq!(cout, kout, "run_image layout parity");
+
+    for shards in [1usize, 2, 4] {
+        let sc = ShardedBackend::new(EcnnBackend::paper(), shards);
+        let (a, _) = sc.run_image(&w, &img).unwrap();
+        assert_eq!(a, cout, "coalesced x{shards} parity");
+        let sk = ShardedBackend::new(EcnnBackend::paper().with_coalesce(false), shards);
+        let (b, _) = sk.run_image(&w, &img).unwrap();
+        assert_eq!(b, cout, "keyed x{shards} parity");
+    }
+
+    // Both engines agree on the static picture: one licensed plan, the
+    // keyed fallback peak identical across layout choices.
+    let cost = ce.cost_report();
+    let mem = cost
+        .memory
+        .as_ref()
+        .expect("clean workload licenses a plan");
+    assert!(mem.peak_bytes < cost.keyed_peak_bytes);
+    assert_eq!(ke.cost_report().keyed_peak_bytes, cost.keyed_peak_bytes);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random scrambled/sparsified ERNet programs execute bit-identically
+    /// coalesced and keyed, over both inference kinds and the full kernel
+    /// variant matrix (packed, reference, SIMD licensed, SIMD forced
+    /// wide), with identical work counters and the peak invariant holding
+    /// on every run.
+    #[test]
+    fn coalesced_execution_is_bit_identical_to_keyed(
+        seed in 0u64..1_000_000,
+        b in 1usize..4,
+        r in 1usize..3,
+        sel in 0usize..4,
+        sparsity in 0u64..70,
+        padded_sel in 0u64..2,
+    ) {
+        let task = match sel {
+            0 => ErNetTask::Dn,
+            1 => ErNetTask::Sr2,
+            2 => ErNetTask::Sr4,
+            _ => ErNetTask::Dn12,
+        };
+        let inference = if padded_sel == 1 {
+            InferenceKind::ZeroPadded
+        } else {
+            InferenceKind::TruncatedPyramid
+        };
+        let n = if b > 1 { 1 } else { 0 };
+        let m = ErNetSpec::new(task, b, r, n)
+            .build()
+            .unwrap()
+            .with_inference(inference);
+        let mut qm = QuantizedModel::uniform(&m);
+        scramble(&mut qm, seed, sparsity);
+        let side = if task == ErNetTask::Dn12 { 48 } else { 32 };
+        let c = compile(&qm, side).unwrap();
+        let img = SyntheticImage::new(image_kind(seed), seed % 89).rgb(side, side);
+        let input = quantize_input(&img, &c.program);
+
+        let plan = BlockPlan::new(&c.program, &c.leafs).unwrap();
+        // Scrambled-but-legal parameters must not cost the license: the
+        // plan is a function of the program's structure, not its values.
+        prop_assert!(plan.coalesced());
+        let mut keyed = plan.clone();
+        keyed.force_keyed();
+        let mut wide = plan.clone();
+        wide.force_wide();
+        let mut wide_keyed = keyed.clone();
+        wide_keyed.force_wide();
+
+        for (a, bq, k) in [
+            (&plan, &keyed, Kernels::Packed),
+            (&plan, &keyed, Kernels::Reference),
+            (&plan, &keyed, Kernels::Simd),
+            (&wide, &wide_keyed, Kernels::Simd),
+        ] {
+            let mut cpool = PlanePool::new();
+            let cout = execute_with(a, &mut cpool, &input, k).unwrap().clone();
+            let mut kpool = PlanePool::new();
+            let kout = execute_with(bq, &mut kpool, &input, k).unwrap().clone();
+            prop_assert_eq!(&cout, &kout);
+            prop_assert_eq!(cpool.stats().work(), kpool.stats().work());
+            prop_assert!(cpool.peak_resident_bytes() <= a.planned_peak_bytes());
+            prop_assert!(kpool.peak_resident_bytes() <= bq.planned_peak_bytes());
+        }
+    }
+}
+
+// --- Forged programs: the pass must refuse unsafe sharing -------------
+
+/// One leaf whose only tap is `w` at the 3×3 center of channel 0 (same
+/// fixture as the verifier suite).
+fn identity_leaf(w: i16) -> LeafParams {
+    let mut leaf = LeafParams::zero();
+    leaf.w3[4] = w;
+    leaf
+}
+
+/// A minimal DI → DO single-CONV program (truncated pyramid, 16 → 14)
+/// that verifies completely clean.
+fn single_conv() -> (Program, Vec<Vec<LeafParams>>) {
+    let dst_q = QFormat::signed(5);
+    let ins = Instruction {
+        opcode: Opcode::Conv,
+        inference: InferenceKind::TruncatedPyramid,
+        src: FeatLoc::di(),
+        dst: FeatLoc::dout(),
+        src_s: None,
+        in_groups: 1,
+        out_groups: 1,
+        expansion: 1,
+        in_size: (16, 16),
+        out_size: (14, 14),
+        relu: false,
+        pool: None,
+        pool_factor: 1,
+        q: QSpec {
+            src: QFormat::unsigned(8),
+            dst: dst_q,
+            src_s: None,
+            mid: None,
+            w3: QFormat::signed(7),
+            b3: QFormat::signed(7),
+            w1: None,
+            b1: None,
+        },
+        param_restart: 0,
+        layer: 0,
+    };
+    let program = Program {
+        name: "single-conv".into(),
+        instructions: vec![ins],
+        inference: InferenceKind::TruncatedPyramid,
+        di_side: 16,
+        di_channels: 1,
+        di_q: QFormat::unsigned(8),
+        do_side: 14,
+        do_channels: 1,
+        do_q: dst_q,
+        input_unshuffle: None,
+        bb_overflow: false,
+    };
+    (program, vec![vec![identity_leaf(1)]])
+}
+
+/// A forged (clean) program whose `BB0` plane is still live when `BB1`
+/// is born: head DI→BB0, mid BB0→BB1 (a dead store — lint, not error),
+/// tail BB0→DO. The planner must give the two overlapping planes
+/// different slots while still folding the disjoint ones together, and
+/// both layouts must execute identically.
+#[test]
+fn forged_overlapping_lifetimes_refuse_to_share_a_slot() {
+    let (mut p, mut l) = single_conv();
+    let q5 = QFormat::signed(5);
+    let mut head = p.instructions[0].clone();
+    head.dst = FeatLoc::bb(0);
+    let mut mid = head.clone();
+    mid.src = FeatLoc::bb(0);
+    mid.dst = FeatLoc::bb(1);
+    mid.in_size = (14, 14);
+    mid.out_size = (12, 12);
+    mid.q.src = q5;
+    let mut tail = mid.clone();
+    tail.dst = FeatLoc::dout();
+    p.instructions = vec![head, mid, tail];
+    p.do_side = 12;
+    l = vec![l[0].clone(), vec![identity_leaf(1)], vec![identity_leaf(1)]];
+
+    let report = verify(&p, &l);
+    assert!(!report.has_errors(), "{:?}", report.diagnostics);
+    let m = MemoryPlan::build(&report).expect("lints alone do not cost the license");
+    // Plane table order: [DI, BB0, BB1, DO].
+    assert_eq!(m.plane_slots.len(), 4);
+    assert_ne!(
+        m.plane_slots[1], m.plane_slots[2],
+        "BB1 is born while BB0 is live — sharing would corrupt the tail read"
+    );
+    assert!(m.slots() < 4, "the disjoint planes must still coalesce");
+
+    let plan = BlockPlan::new(&p, &l).unwrap();
+    assert!(plan.coalesced());
+    let mut keyed = plan.clone();
+    keyed.force_keyed();
+    let input = input_for(&p, 16, 3);
+    let mut cpool = PlanePool::new();
+    let cout = execute_with(&plan, &mut cpool, &input, Kernels::Reference)
+        .unwrap()
+        .clone();
+    let mut kpool = PlanePool::new();
+    let kout = execute_with(&keyed, &mut kpool, &input, Kernels::Reference)
+        .unwrap()
+        .clone();
+    assert_eq!(cout, kout);
+}
+
+/// An alias-hazard program (in-place BB0→BB0 convolution) carries a hard
+/// error: the planner refuses to emit any layout at all, and the
+/// simulator's plan — if it constructs — falls back to keyed.
+#[test]
+fn alias_hazard_suppresses_the_coalescing_license() {
+    let (mut p, mut l) = single_conv();
+    let q5 = QFormat::signed(5);
+    let mut head = p.instructions[0].clone();
+    head.dst = FeatLoc::bb(0);
+    let mut mid = head.clone();
+    mid.src = FeatLoc::bb(0);
+    mid.dst = FeatLoc::bb(0);
+    mid.in_size = (14, 14);
+    mid.out_size = (12, 12);
+    mid.q.src = q5;
+    let mut tail = mid.clone();
+    tail.src = FeatLoc::bb(0);
+    tail.dst = FeatLoc::dout();
+    tail.in_size = (12, 12);
+    tail.out_size = (10, 10);
+    p.instructions = vec![head, mid, tail];
+    p.do_side = 10;
+    l = vec![l[0].clone(), vec![identity_leaf(1)], vec![identity_leaf(1)]];
+
+    let report = verify(&p, &l);
+    assert!(report.has_errors());
+    assert!(
+        MemoryPlan::build(&report).is_none(),
+        "an erroneous report licenses no plan"
+    );
+    if let Ok(plan) = BlockPlan::new(&p, &l) {
+        assert!(!plan.coalesced(), "unproven programs must stay keyed");
+        assert!(plan.memory_plan().is_none());
+    }
+}
