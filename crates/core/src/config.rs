@@ -1,0 +1,304 @@
+//! The canonical plan-time configuration surface: one serializable
+//! [`EngineConfig`] holding every knob the paper tuned by hand.
+//!
+//! Before this module the knobs were scattered — block size on the
+//! builder, kernel family on `EngineBuilder::kernels` /
+//! `EcnnBackend::with_kernels` / the `ECNN_KERNELS` env var, plane
+//! layout on `coalesce`, worker counts as ad-hoc per-call arguments.
+//! [`EngineConfig`] consolidates them into a single value that
+//!
+//! * the [`EngineBuilder`](crate::engine::EngineBuilder) setters are thin
+//!   sugar over (and [`Engine::config`](crate::engine::Engine::config)
+//!   returns resolved),
+//! * the plan-time autotuner ([`crate::tune`]) searches over and embeds
+//!   verbatim in its [`TuningRecord`](crate::tune::TuningRecord),
+//! * the documented `ECNN_*` environment namespace overrides in exactly
+//!   one place ([`EngineConfig::from_env_overrides`]).
+//!
+//! # Environment overrides
+//!
+//! A deployed binary can be steered onto a known-good path without a
+//! rebuild through the `ECNN_*` namespace, parsed once at
+//! [`EngineBuilder::build`](crate::engine::EngineBuilder::build):
+//!
+//! | variable        | values                          | overrides            |
+//! |-----------------|---------------------------------|----------------------|
+//! | `ECNN_KERNELS`  | `simd` \| `packed` \| `reference` | [`EngineConfig::kernels`]  |
+//! | `ECNN_COALESCE` | `1`/`true` \| `0`/`false`       | [`EngineConfig::coalesce`] |
+//! | `ECNN_WORKERS`  | positive integer                | [`EngineConfig::workers`]  |
+//! | `ECNN_VERIFY`   | `off` \| `lints` \| `strict`    | [`EngineConfig::verify`]   |
+//!
+//! Values are case-insensitive; invalid values are ignored (never
+//! fatal) but recorded, and every applied or ignored override is
+//! surfaced in the engine's `FrameReport` note so an overridden fleet
+//! is observable.
+
+use crate::json::{escape, Json};
+use ecnn_isa::verify::VerifyMode;
+use ecnn_sim::Kernels;
+use std::fmt;
+
+/// Every plan-time knob of an eCNN engine, in one serializable value.
+///
+/// `PartialEq`/`Eq` make resolved configs directly comparable (the
+/// tuning-record round-trip test relies on it); the JSON form is
+/// deterministic and stable across releases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Input block side (`xi`) the program is compiled for.
+    pub block: usize,
+    /// Worker parallelism sessions of this engine are meant to run at:
+    /// the shard count of `Engine::run_image_auto` and the pool size of
+    /// `Engine::async_session_auto`. `1` means serial; must be nonzero.
+    pub workers: usize,
+    /// Accumulation kernel family every execution path runs.
+    pub kernels: Kernels,
+    /// Whether sessions run the verifier-licensed coalesced plane
+    /// layout. Incoherent with [`VerifyMode::Off`] (no license without a
+    /// verification): explicitly asking for both is a build error.
+    pub coalesce: bool,
+    /// Static-verification mode run at build time.
+    pub verify: VerifyMode,
+}
+
+impl EngineConfig {
+    /// The default configuration at a given block size: serial, SIMD
+    /// kernels, coalesced layout, lint-level verification — exactly what
+    /// an un-tuned `Engine::builder().block(xi)` resolves to.
+    pub fn new(block: usize) -> Self {
+        Self {
+            block,
+            workers: 1,
+            kernels: Kernels::Simd,
+            coalesce: true,
+            verify: VerifyMode::default(),
+        }
+    }
+
+    /// Deterministic single-line JSON encoding, stable key order.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"block\": {}, \"workers\": {}, \"kernels\": {}, \"coalesce\": {}, \"verify\": {}}}",
+            self.block,
+            self.workers,
+            escape(self.kernels.as_str()),
+            self.coalesce,
+            escape(self.verify.as_str()),
+        )
+    }
+
+    /// Parses the [`EngineConfig::to_json`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed field.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        Self::from_json_value(&Json::parse(text)?)
+    }
+
+    pub(crate) fn from_json_value(v: &Json) -> Result<Self, String> {
+        let block = v.require("block")?.as_usize()?;
+        let kernels = v.require("kernels")?.as_str()?;
+        let verify = v.require("verify")?.as_str()?;
+        Ok(Self {
+            block,
+            workers: v.require("workers")?.as_usize()?,
+            kernels: Kernels::parse(kernels)
+                .ok_or_else(|| format!("unknown kernels {kernels:?}"))?,
+            coalesce: v.require("coalesce")?.as_bool()?,
+            verify: VerifyMode::parse(verify)
+                .ok_or_else(|| format!("unknown verify mode {verify:?}"))?,
+        })
+    }
+
+    /// Reads the unified `ECNN_*` override namespace from the process
+    /// environment — the single place these variables are parsed (see
+    /// the [module docs](self) for the table).
+    pub fn from_env_overrides() -> EnvOverrides {
+        EnvOverrides::parse(
+            [
+                "ECNN_KERNELS",
+                "ECNN_COALESCE",
+                "ECNN_WORKERS",
+                "ECNN_VERIFY",
+            ]
+            .into_iter()
+            .filter_map(|name| std::env::var(name).ok().map(|v| (name, v))),
+        )
+    }
+}
+
+impl fmt::Display for EngineConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "block {} workers {} kernels {} {} verify {}",
+            self.block,
+            self.workers,
+            self.kernels.as_str(),
+            if self.coalesce { "coalesced" } else { "keyed" },
+            self.verify.as_str(),
+        )
+    }
+}
+
+/// The parsed `ECNN_*` environment overrides: which knobs were set, and
+/// a note per variable seen (applied or ignored) for report surfacing.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EnvOverrides {
+    /// `ECNN_KERNELS`, when set to a valid kernel name.
+    pub kernels: Option<Kernels>,
+    /// `ECNN_COALESCE`, when set to a valid boolean.
+    pub coalesce: Option<bool>,
+    /// `ECNN_WORKERS`, when set to a positive integer.
+    pub workers: Option<usize>,
+    /// `ECNN_VERIFY`, when set to a valid mode name.
+    pub verify: Option<VerifyMode>,
+    /// One human-readable note per `ECNN_*` variable observed, e.g.
+    /// `"ECNN_KERNELS=packed"` or `"ECNN_WORKERS=zero ignored (invalid)"`.
+    pub notes: Vec<String>,
+}
+
+impl EnvOverrides {
+    /// Parses `(name, value)` pairs from the `ECNN_*` namespace. Pure —
+    /// [`EngineConfig::from_env_overrides`] feeds it the real
+    /// environment; tests feed it literals. Unknown names and invalid
+    /// values are never fatal: they are recorded in
+    /// [`EnvOverrides::notes`] and otherwise ignored, preserving the
+    /// historical `ECNN_KERNELS` tolerance.
+    pub fn parse<'a, I>(vars: I) -> Self
+    where
+        I: IntoIterator<Item = (&'a str, String)>,
+    {
+        let mut o = Self::default();
+        for (name, value) in vars {
+            let applied = match name {
+                "ECNN_KERNELS" => {
+                    o.kernels = Kernels::parse(&value);
+                    o.kernels.is_some()
+                }
+                "ECNN_COALESCE" => {
+                    o.coalesce = parse_bool(&value);
+                    o.coalesce.is_some()
+                }
+                "ECNN_WORKERS" => {
+                    o.workers = value.parse::<usize>().ok().filter(|&n| n > 0);
+                    o.workers.is_some()
+                }
+                "ECNN_VERIFY" => {
+                    o.verify = VerifyMode::parse(&value);
+                    o.verify.is_some()
+                }
+                _ => false,
+            };
+            if applied {
+                o.notes
+                    .push(format!("{name}={}", value.to_ascii_lowercase()));
+            } else {
+                o.notes.push(format!("{name}={value} ignored (invalid)"));
+            }
+        }
+        o
+    }
+
+    /// Whether any override knob is set.
+    pub fn any(&self) -> bool {
+        self.kernels.is_some()
+            || self.coalesce.is_some()
+            || self.workers.is_some()
+            || self.verify.is_some()
+    }
+
+    /// Applies the set knobs onto `cfg` (env beats everything else —
+    /// the ops escape hatch).
+    pub fn apply(&self, cfg: &mut EngineConfig) {
+        if let Some(k) = self.kernels {
+            cfg.kernels = k;
+        }
+        if let Some(c) = self.coalesce {
+            cfg.coalesce = c;
+        }
+        if let Some(w) = self.workers {
+            cfg.workers = w;
+        }
+        if let Some(v) = self.verify {
+            cfg.verify = v;
+        }
+    }
+}
+
+fn parse_bool(value: &str) -> Option<bool> {
+    match value.to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" | "yes" => Some(true),
+        "0" | "false" | "off" | "no" => Some(false),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_json_round_trips() {
+        let cfg = EngineConfig {
+            block: 128,
+            workers: 4,
+            kernels: Kernels::Packed,
+            coalesce: false,
+            verify: VerifyMode::Strict,
+        };
+        let json = cfg.to_json();
+        assert_eq!(EngineConfig::from_json(&json).unwrap(), cfg);
+        // Default shape too.
+        let d = EngineConfig::new(64);
+        assert_eq!(EngineConfig::from_json(&d.to_json()).unwrap(), d);
+    }
+
+    #[test]
+    fn config_json_rejects_unknown_tokens() {
+        let bad = "{\"block\": 64, \"workers\": 1, \"kernels\": \"cuda\", \
+                   \"coalesce\": true, \"verify\": \"lints\"}";
+        assert!(EngineConfig::from_json(bad).unwrap_err().contains("cuda"));
+        assert!(EngineConfig::from_json("{}").unwrap_err().contains("block"));
+    }
+
+    #[test]
+    fn env_overrides_parse_the_unified_namespace() {
+        let o = EnvOverrides::parse([
+            ("ECNN_KERNELS", "Reference".to_string()),
+            ("ECNN_COALESCE", "0".to_string()),
+            ("ECNN_WORKERS", "4".to_string()),
+            ("ECNN_VERIFY", "strict".to_string()),
+        ]);
+        assert_eq!(o.kernels, Some(Kernels::Reference));
+        assert_eq!(o.coalesce, Some(false));
+        assert_eq!(o.workers, Some(4));
+        assert_eq!(o.verify, Some(VerifyMode::Strict));
+        assert!(o.any());
+        assert_eq!(o.notes.len(), 4);
+
+        let mut cfg = EngineConfig::new(128);
+        o.apply(&mut cfg);
+        assert_eq!(cfg.kernels, Kernels::Reference);
+        assert!(!cfg.coalesce);
+        assert_eq!(cfg.workers, 4);
+        assert_eq!(cfg.verify, VerifyMode::Strict);
+    }
+
+    #[test]
+    fn env_overrides_tolerate_invalid_values() {
+        let o = EnvOverrides::parse([
+            ("ECNN_KERNELS", "cuda".to_string()),
+            ("ECNN_WORKERS", "0".to_string()),
+            ("ECNN_VERIFY", "paranoid".to_string()),
+        ]);
+        assert!(!o.any());
+        assert_eq!(o.notes.len(), 3);
+        assert!(o.notes.iter().all(|n| n.contains("ignored")));
+        let mut cfg = EngineConfig::new(128);
+        let before = cfg;
+        o.apply(&mut cfg);
+        assert_eq!(cfg, before, "invalid overrides must not change anything");
+    }
+}

@@ -13,7 +13,9 @@
 //! * [`EngineError`] is the one structured error type for the whole
 //!   surface, with [`std::error::Error::source`] chaining.
 
+use crate::config::EngineConfig;
 use crate::report::SystemReport;
+use crate::tune::{Fingerprint, TuningRecord};
 use ecnn_dram::{DramConfig, DramPowerModel};
 use ecnn_isa::compile::{compile, CompileError, CompiledProgram};
 use ecnn_isa::params::QuantizedModel;
@@ -114,6 +116,17 @@ pub enum EngineError {
     /// Static verification rejected the program (see
     /// [`mod@ecnn_isa::verify`]); the report carries the ranked diagnostics.
     Verify(Box<VerifyReport>),
+    /// The resolved [`EngineConfig`] is incoherent (zero workers, a
+    /// coalesced layout with verification off, a tuning record whose
+    /// fingerprint does not match the model/resolution, …): a structured
+    /// build-time rejection instead of a silent fallback.
+    Config {
+        /// Which knob is at fault (`"workers"`, `"coalesce"`,
+        /// `"tuning-record"`, …).
+        param: &'static str,
+        /// Human-readable description of the conflict.
+        detail: String,
+    },
     /// The image cannot be processed by this deployment.
     Image(ImageMismatch),
     /// The backend does not implement the requested capability.
@@ -189,6 +202,9 @@ impl fmt::Display for EngineError {
                     ),
                     None => write!(f, "verify: rejected"),
                 }
+            }
+            EngineError::Config { param, detail } => {
+                write!(f, "config: {param}: {detail}")
             }
             EngineError::Image(m) => write!(f, "image: {m}"),
             EngineError::Unsupported {
@@ -408,20 +424,35 @@ pub trait Backend {
 /// Fluent constructor for [`Engine`]: model spec → quantization → block
 /// size → real-time spec → machine/power/DRAM models, with paper defaults
 /// for everything but the model and block size.
+///
+/// Every plan-time knob — block size, worker count, kernel family, plane
+/// layout, verification mode — resolves into one canonical
+/// [`EngineConfig`]; the per-knob setters below are thin sugar over it.
+/// Resolution order, weakest first: defaults, a
+/// [`TuningRecord`] from
+/// [`EngineBuilder::tuned`], the explicit setters (or
+/// [`EngineBuilder::engine_config`]), and the `ECNN_*` environment
+/// overrides (see [`crate::config`]). [`Engine::config`] returns the
+/// resolved value.
 #[derive(Clone, Debug, Default)]
 pub struct EngineBuilder {
-    ernet: Option<ErNetSpec>,
-    model: Option<Model>,
-    qm: Option<QuantizedModel>,
-    block: Option<usize>,
-    spec: Option<RealTimeSpec>,
+    pub(crate) ernet: Option<ErNetSpec>,
+    pub(crate) model: Option<Model>,
+    pub(crate) qm: Option<QuantizedModel>,
+    pub(crate) block: Option<usize>,
+    pub(crate) spec: Option<RealTimeSpec>,
     feature_bits: Option<u32>,
-    config: Option<EcnnConfig>,
+    machine: Option<EcnnConfig>,
     power: Option<PowerModel>,
     dram_power: Option<DramPowerModel>,
     verify: Option<VerifyMode>,
     kernels: Option<Kernels>,
     coalesce: Option<bool>,
+    workers: Option<usize>,
+    record: Option<TuningRecord>,
+    /// Candidate builds inside the autotuner must be exact: they bypass
+    /// the `ECNN_*` environment overrides.
+    pub(crate) skip_env: bool,
 }
 
 impl EngineBuilder {
@@ -462,9 +493,12 @@ impl EngineBuilder {
         self
     }
 
-    /// Machine configuration; defaults to [`EcnnConfig::paper`].
-    pub fn config(mut self, config: EcnnConfig) -> Self {
-        self.config = Some(config);
+    /// Machine (hardware) configuration; defaults to
+    /// [`EcnnConfig::paper`]. Distinct from the plan-time
+    /// [`EngineConfig`]: this describes the modelled silicon, not the
+    /// software execution strategy.
+    pub fn machine(mut self, config: EcnnConfig) -> Self {
+        self.machine = Some(config);
         self
     }
 
@@ -516,11 +550,50 @@ impl EngineBuilder {
         self
     }
 
+    /// Worker parallelism the engine's auto paths run at:
+    /// [`Engine::run_image_auto`] shards by it,
+    /// [`Engine::async_session_auto`] sizes its pool with it, and the
+    /// autotuner searches over it. Defaults to `1` (serial); zero is a
+    /// structured [`EngineError::Config`] at build.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = Some(n);
+        self
+    }
+
+    /// Sets every plan-time knob at once from a resolved
+    /// [`EngineConfig`] — equivalent to calling [`EngineBuilder::block`],
+    /// [`EngineBuilder::workers`], [`EngineBuilder::kernels`],
+    /// [`EngineBuilder::coalesce`] and [`EngineBuilder::verify`]
+    /// explicitly.
+    pub fn engine_config(mut self, cfg: EngineConfig) -> Self {
+        self.block = Some(cfg.block);
+        self.workers = Some(cfg.workers);
+        self.kernels = Some(cfg.kernels);
+        self.coalesce = Some(cfg.coalesce);
+        self.verify = Some(cfg.verify);
+        self
+    }
+
+    /// Replays a pinned autotuning result: the record's embedded
+    /// [`EngineConfig`] becomes the baseline (explicit setters and
+    /// `ECNN_*` overrides still win), and [`EngineBuilder::build`]
+    /// rejects the build with [`EngineError::Config`] unless the
+    /// record's fingerprint matches the resolved model, quantized
+    /// parameters and real-time resolution — a record tuned for one
+    /// deployment cannot silently misconfigure another.
+    pub fn tuned(mut self, record: TuningRecord) -> Self {
+        self.record = Some(record);
+        self
+    }
+
     /// Compiles the workload and returns a runnable [`Engine`].
     ///
     /// # Errors
     ///
     /// [`EngineError::Missing`] without a model or block size;
+    /// [`EngineError::Config`] for an incoherent resolved
+    /// [`EngineConfig`] (zero block or workers, `coalesce(true)` with
+    /// [`VerifyMode::Off`]) or a tuning-record fingerprint mismatch;
     /// [`EngineError::Model`] / [`EngineError::Compile`] for invalid specs
     /// or infeasible geometry; [`EngineError::Verify`] when the static
     /// verifier rejects the compiled program under the selected
@@ -532,16 +605,83 @@ impl EngineBuilder {
             (None, None, Some(spec)) => QuantizedModel::uniform(&spec.build()?),
             (None, None, None) => return Err(EngineError::Missing("model")),
         };
-        let block = self.block.ok_or(EngineError::Missing("block size"))?;
-        let mut workload = Workload::new(qm, block, self.spec.unwrap_or(RealTimeSpec::UHD30));
+        // Resolve the canonical plan-time config: defaults ← tuning
+        // record ← explicit setters ← ECNN_* environment overrides (the
+        // ops escape hatch, so a deployed binary can be steered onto a
+        // known-good path without a rebuild).
+        let base = self.record.as_ref().map(|r| r.config);
+        let block = self
+            .block
+            .or(base.map(|c| c.block))
+            .ok_or(EngineError::Missing("block size"))?;
+        let mut cfg = EngineConfig {
+            block,
+            workers: self.workers.or(base.map(|c| c.workers)).unwrap_or(1),
+            kernels: self
+                .kernels
+                .or(base.map(|c| c.kernels))
+                .unwrap_or(Kernels::Simd),
+            coalesce: true, // resolved below, against the verify mode
+            verify: self.verify.or(base.map(|c| c.verify)).unwrap_or_default(),
+        };
+        let mut coalesce = self.coalesce.or(base.map(|c| c.coalesce));
+        let env = if self.skip_env {
+            crate::config::EnvOverrides::default()
+        } else {
+            EngineConfig::from_env_overrides()
+        };
+        env.apply(&mut cfg);
+        if let Some(c) = env.coalesce {
+            coalesce = Some(c);
+        }
+        // Coherence checks: reject contradictions instead of silently
+        // falling back.
+        if cfg.block == 0 {
+            return Err(EngineError::Config {
+                param: "block",
+                detail: "block size must be nonzero".into(),
+            });
+        }
+        if cfg.workers == 0 {
+            return Err(EngineError::Config {
+                param: "workers",
+                detail: "worker count must be nonzero (1 = serial)".into(),
+            });
+        }
+        cfg.coalesce = match (coalesce, cfg.verify) {
+            (Some(true), VerifyMode::Off) => {
+                return Err(EngineError::Config {
+                    param: "coalesce",
+                    detail: "the coalesced plane layout requires a verification license; \
+                             use verify(Lints|Strict) or coalesce(false)"
+                        .into(),
+                })
+            }
+            // Unset coalesce with the verifier off resolves to the keyed
+            // layout: there is no license to coalesce under.
+            (None, VerifyMode::Off) => false,
+            (explicit, _) => explicit.unwrap_or(true),
+        };
+        let mut workload = Workload::new(qm, cfg.block, self.spec.unwrap_or(RealTimeSpec::UHD30));
         if let Some(bits) = self.feature_bits {
             workload = workload.with_feature_bits(bits);
         }
+        if let Some(record) = &self.record {
+            let fp = Fingerprint::of(&workload.qm, workload.spec);
+            if fp != record.fingerprint {
+                return Err(EngineError::Config {
+                    param: "tuning-record",
+                    detail: format!(
+                        "fingerprint mismatch: record tuned for {}, building {}",
+                        record.fingerprint, fp
+                    ),
+                });
+            }
+        }
         let compiled = compile(&workload.qm, workload.block)?;
-        let mode = self.verify.unwrap_or_default();
         // Static verification before planning: a rejected program never
         // reaches the executor.
-        let mut report = (mode != VerifyMode::Off).then(|| verify_compiled(&compiled));
+        let mut report = (cfg.verify != VerifyMode::Off).then(|| verify_compiled(&compiled));
         if let Some(rpt) = &report {
             if rpt.has_errors() {
                 return Err(EngineError::Verify(Box::new(rpt.clone())));
@@ -556,28 +696,20 @@ impl EngineBuilder {
             if let Some(rpt) = report.as_mut() {
                 let divergences = ecnn_sim::exec::crosscheck_plan(&plan, rpt);
                 rpt.diagnostics.extend(divergences);
-                if !rpt.passes(mode) {
+                if !rpt.passes(cfg.verify) {
                     return Err(EngineError::Verify(Box::new(rpt.clone())));
                 }
             }
         }
-        // Env override beats the builder so a deployed binary can be
-        // steered onto a known-good path without a rebuild; unknown
-        // values are ignored rather than fatal.
-        let kernels = std::env::var("ECNN_KERNELS")
-            .ok()
-            .and_then(|v| Kernels::parse(&v))
-            .or(self.kernels)
-            .unwrap_or(Kernels::Simd);
         Ok(Engine {
-            config: self.config.unwrap_or_else(EcnnConfig::paper),
+            machine: self.machine.unwrap_or_else(EcnnConfig::paper),
             power: self.power.unwrap_or_else(PowerModel::paper_40nm),
             dram_power: self.dram_power.unwrap_or(DramPowerModel::DDR4_3200),
             workload,
             compiled,
             verify_report: report,
-            kernels,
-            coalesce: self.coalesce.unwrap_or(true),
+            resolved: cfg,
+            env_notes: env.notes,
         })
     }
 }
@@ -586,14 +718,14 @@ impl EngineBuilder {
 /// unified entry point replacing `Accelerator::deploy` + `Deployment`.
 #[derive(Clone, Debug)]
 pub struct Engine {
-    config: EcnnConfig,
+    machine: EcnnConfig,
     power: PowerModel,
     dram_power: DramPowerModel,
     workload: Workload,
     compiled: CompiledProgram,
     verify_report: Option<VerifyReport>,
-    kernels: Kernels,
-    coalesce: bool,
+    resolved: EngineConfig,
+    env_notes: Vec<String>,
 }
 
 impl Engine {
@@ -602,9 +734,26 @@ impl Engine {
         EngineBuilder::default()
     }
 
-    /// Machine configuration.
-    pub fn config(&self) -> &EcnnConfig {
-        &self.config
+    /// The resolved plan-time [`EngineConfig`] this engine runs under —
+    /// every knob after defaults, tuning record, explicit setters and
+    /// `ECNN_*` overrides were folded together. This is the value a
+    /// [`TuningRecord`] embeds verbatim.
+    pub fn config(&self) -> &EngineConfig {
+        &self.resolved
+    }
+
+    /// Machine (hardware) configuration — the modelled silicon, distinct
+    /// from the plan-time [`Engine::config`].
+    pub fn machine(&self) -> &EcnnConfig {
+        &self.machine
+    }
+
+    /// The `ECNN_*` environment overrides observed at build time (one
+    /// note per variable seen, applied or ignored); empty when the
+    /// environment set none. Also surfaced in the
+    /// [`FrameReport`] note.
+    pub fn env_overrides(&self) -> &[String] {
+        &self.env_notes
     }
 
     /// The workload this engine was built for.
@@ -627,7 +776,7 @@ impl Engine {
     /// The kernel selection every session/worker/shard of this engine
     /// executes with (see [`EngineBuilder::kernels`]).
     pub fn kernels(&self) -> Kernels {
-        self.kernels
+        self.resolved.kernels
     }
 
     /// Whether sessions of this engine run the coalesced plane layout
@@ -635,7 +784,14 @@ impl Engine {
     /// program without an error-free verification still falls back to
     /// the keyed layout at plan time.
     pub fn coalesced(&self) -> bool {
-        self.coalesce
+        self.resolved.coalesce
+    }
+
+    /// The resolved worker parallelism ([`EngineBuilder::workers`]):
+    /// what [`Engine::run_image_auto`] and
+    /// [`Engine::async_session_auto`] run at.
+    pub fn workers(&self) -> usize {
+        self.resolved.workers
     }
 
     /// The static cost model of the compiled program: exact per-block
@@ -683,6 +839,14 @@ impl Engine {
         crate::pipe::AsyncSession::new(self, workers)
     }
 
+    /// Opens a pipelined session sized by the engine's resolved worker
+    /// count ([`EngineBuilder::workers`], a replayed tuning record, or
+    /// `ECNN_WORKERS`) — [`Engine::async_session`] at
+    /// [`Engine::workers`].
+    pub fn async_session_auto(&self) -> crate::pipe::AsyncSession {
+        self.async_session(self.resolved.workers)
+    }
+
     /// Runs a single image through the block pipeline (partition →
     /// recompute → stitch) on the bit-exact simulator.
     ///
@@ -714,7 +878,7 @@ impl Engine {
         let frame = simulate_frame(
             &self.compiled,
             &self.workload.qm.model,
-            &self.config,
+            &self.machine,
             spec.width,
             spec.height,
         );
@@ -812,9 +976,14 @@ impl Engine {
     pub fn frame_report_at(&self, spec: RealTimeSpec) -> FrameReport {
         let sr = self.system_report_at(spec);
         let cost = self.cost_report();
-        let (mem_bytes, mem_mode) = match (&cost.memory, self.coalesce) {
+        let (mem_bytes, mem_mode) = match (&cost.memory, self.resolved.coalesce) {
             (Some(m), true) => (m.peak_bytes, "coalesced"),
             _ => (cost.keyed_peak_bytes, "keyed"),
+        };
+        let env_note = if self.env_notes.is_empty() {
+            String::new()
+        } else {
+            format!(", env [{}]", self.env_notes.join(", "))
         };
         FrameReport {
             backend: "ecnn".into(),
@@ -825,22 +994,24 @@ impl Engine {
             dram_bytes_per_frame: (sr.frame.di_bytes_per_frame + sr.frame.do_bytes_per_frame)
                 as f64,
             dram_bps: sr.dram_bandwidth_bps(),
-            feature_sram_bytes: self.config.total_bb_bytes() as f64,
+            feature_sram_bytes: self.machine.total_bb_bytes() as f64,
             power_w: Some(sr.power.total_w() + sr.dram_power.total_mw() / 1e3),
             tops: Some(sr.frame.achieved_tops),
             utilization: Some(sr.frame.lconv3_busy),
             note: format!(
-                "block {}x{}, NBR {:.2}, NCR {:.2}, DRAM {}, kernels {}, planes {}KB {}",
+                "block {}x{}, NBR {:.2}, NCR {:.2}, DRAM {}, kernels {}, planes {}KB {}{}",
                 self.workload.block,
                 self.workload.block,
                 sr.frame.nbr,
                 sr.frame.ncr,
                 sr.dram_config.map_or("(none fits)", |c| c.name),
-                self.kernels
+                self.resolved
+                    .kernels
                     .variant(ecnn_sim::kernels::simd::detect())
                     .name(),
                 mem_bytes.div_ceil(1024),
                 mem_mode,
+                env_note,
             ),
         }
     }
@@ -885,7 +1056,7 @@ impl<'e> Session<'e> {
         let p = &engine.compiled.program;
         let mut plan = BlockPlan::new(&engine.compiled.program, &engine.compiled.leafs)
             .expect("engine build validated the plan");
-        if !engine.coalesce {
+        if !engine.resolved.coalesce {
             plan.force_keyed();
         }
         Self {
@@ -901,7 +1072,7 @@ impl<'e> Session<'e> {
             last_block: None,
             last_stats: ImageRunStats::default(),
             totals: ImageRunStats::default(),
-            kernels: engine.kernels,
+            kernels: engine.resolved.kernels,
         }
     }
 
@@ -1155,7 +1326,7 @@ impl EcnnBackend {
             .block(workload.block)
             .realtime(workload.spec)
             .feature_bits(workload.feature_bits)
-            .config(self.config)
+            .machine(self.config)
             .power(self.power)
             .dram_power(self.dram_power);
         if let Some(k) = self.kernels {

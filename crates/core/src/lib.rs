@@ -50,12 +50,16 @@
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
+pub mod config;
 pub mod engine;
+mod json;
 pub mod pipe;
 pub mod pipeline;
 pub mod report;
 pub mod sharded;
+pub mod tune;
 
+pub use config::{EngineConfig, EnvOverrides};
 pub use ecnn_isa::verify::{VerifyMode, VerifyReport};
 pub use ecnn_sim::{KernelVariant, Kernels, SimdLevel};
 pub use engine::{
@@ -68,3 +72,4 @@ pub use pipeline::PipelineError;
 pub use pipeline::{Accelerator, Deployment};
 pub use report::SystemReport;
 pub use sharded::{partition_rows, BlockParallel, ShardedBackend};
+pub use tune::{TuneOptions, TuneReport, TuneSpace, TuningRecord};

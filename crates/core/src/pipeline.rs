@@ -133,7 +133,7 @@ impl Accelerator {
     /// Custom configuration.
     #[deprecated(
         since = "0.1.0",
-        note = "use `Engine::builder().config(..).power(..).dram_power(..)` instead"
+        note = "use `Engine::builder().machine(..).power(..).dram_power(..)` instead"
     )]
     pub fn new(config: EcnnConfig, power: PowerModel, dram_power: DramPowerModel) -> Self {
         Self {
@@ -158,7 +158,7 @@ impl Accelerator {
         let engine = Engine::builder()
             .quantized(qm.clone())
             .block(xi)
-            .config(self.config)
+            .machine(self.config)
             .power(self.power)
             .dram_power(self.dram_power)
             .build()

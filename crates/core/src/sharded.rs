@@ -47,6 +47,23 @@ impl BlockParallel for EcnnBackend {
 }
 
 impl Engine {
+    /// Runs one image at the engine's resolved worker count
+    /// ([`EngineBuilder::workers`](crate::engine::EngineBuilder::workers),
+    /// a replayed tuning record, or `ECNN_WORKERS`): serial
+    /// [`Engine::run_image`] at `workers == 1`, otherwise
+    /// [`Engine::run_image_sharded`] at that count. Bit-identical pixels
+    /// either way.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::run_image_sharded`].
+    pub fn run_image_auto(
+        &self,
+        image: &Tensor<f32>,
+    ) -> Result<(Tensor<f32>, ImageRunStats), EngineError> {
+        self.run_image_sharded(image, self.config().workers)
+    }
+
     /// Runs one image with the frame's block grid partitioned row-wise
     /// across `shards` worker threads, each executing on its own plane
     /// pool; bands are stitched in deterministic block order and the

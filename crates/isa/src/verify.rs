@@ -51,6 +51,31 @@ pub enum VerifyMode {
     Strict,
 }
 
+impl VerifyMode {
+    /// Stable lowercase name (`"off"`, `"lints"`, `"strict"`) — the
+    /// serialization token used by `EngineConfig` records and the
+    /// `ECNN_VERIFY` environment override; inverse of
+    /// [`VerifyMode::parse`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            VerifyMode::Off => "off",
+            VerifyMode::Lints => "lints",
+            VerifyMode::Strict => "strict",
+        }
+    }
+
+    /// Parses a mode from its case-insensitive [`VerifyMode::as_str`]
+    /// name; `None` for anything else.
+    pub fn parse(name: &str) -> Option<VerifyMode> {
+        match name.to_ascii_lowercase().as_str() {
+            "off" => Some(VerifyMode::Off),
+            "lints" => Some(VerifyMode::Lints),
+            "strict" => Some(VerifyMode::Strict),
+            _ => None,
+        }
+    }
+}
+
 /// Diagnostic severity: [`Severity::Error`] marks programs the executor
 /// would corrupt, panic on, or reject; [`Severity::Warning`] marks legal
 /// but wasteful or suspicious constructs.

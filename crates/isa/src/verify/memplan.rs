@@ -203,6 +203,52 @@ pub struct CostReport {
     pub memory: Option<MemoryPlan>,
 }
 
+impl CostReport {
+    /// Total multiply-accumulates per block across both engines — the
+    /// dominant term of the autotuner's static ranking.
+    pub fn block_macs(&self) -> u64 {
+        self.mac3.saturating_add(self.mac1)
+    }
+
+    /// Total traffic elements per block (block-buffer reads and writes
+    /// plus both stream directions), the secondary ranking term.
+    pub fn block_traffic(&self) -> u64 {
+        self.bb_read_bytes
+            .saturating_add(self.bb_write_bytes)
+            .saturating_add(self.di_bytes)
+            .saturating_add(self.do_bytes)
+    }
+
+    /// Peak plane bytes the executor would hold under the given layout
+    /// intent: the coalesced plan's bytes when one was licensed *and*
+    /// `coalesce` asks for it, the keyed fallback otherwise — exactly
+    /// the resolution the plan-time executor applies.
+    pub fn planned_peak_bytes(&self, coalesce: bool) -> usize {
+        match (&self.memory, coalesce) {
+            (Some(m), true) => m.peak_bytes,
+            _ => self.keyed_peak_bytes,
+        }
+    }
+
+    /// Static ranking score for the plan-time autotuner: estimated work
+    /// per frame, in MAC-equivalent units. Per-block cost is
+    /// [`CostReport::block_macs`] plus [`CostReport::block_traffic`]
+    /// charged at a quarter MAC per element (traffic is cheap relative
+    /// to a multiply but not free), multiplied by the frame's block
+    /// count and divided by the worker count (ideal-scaling
+    /// approximation — the micro-bench shortlist, not this score,
+    /// decides between closely ranked configs). Lower is better; the
+    /// score orders candidates, it does not predict wall time.
+    pub fn rank_score(&self, blocks_per_frame: u64, workers: u64) -> u128 {
+        let per_block = (self.block_macs() as u128)
+            .saturating_add((self.block_traffic() as u128).checked_div(4).unwrap_or(0));
+        per_block
+            .saturating_mul(blocks_per_frame.max(1) as u128)
+            .checked_div(workers.max(1) as u128)
+            .unwrap_or(u128::MAX)
+    }
+}
+
 /// Computes the static cost model for `program` from the verifier's
 /// plane table. The traffic formulas re-derive, per instruction, exactly
 /// what the executor charges: every `Bb` source-group and `srcS` read is

@@ -1086,6 +1086,21 @@ pub enum Kernels {
 }
 
 impl Kernels {
+    /// Every selectable kernel family, fastest first — the default
+    /// search axis of the plan-time autotuner.
+    pub const ALL: [Kernels; 3] = [Kernels::Simd, Kernels::Packed, Kernels::Reference];
+
+    /// Stable lowercase name (`"simd"`, `"packed"`, `"reference"`), the
+    /// inverse of [`Kernels::parse`] — the serialization token used by
+    /// `EngineConfig` records and the `ECNN_KERNELS` override.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Kernels::Packed => "packed",
+            Kernels::Reference => "reference",
+            Kernels::Simd => "simd",
+        }
+    }
+
     /// Parses a `Kernels` from a case-insensitive name as used by the
     /// `ECNN_KERNELS` env override and `bench_kernels --variant`
     /// (`"packed"`, `"simd"`, `"reference"`).

@@ -20,11 +20,13 @@ pub use ecnn_tensor as tensor;
 /// an engine, streaming frames and comparing backends.
 pub mod prelude {
     pub use ecnn_baselines::registry;
+    pub use ecnn_core::config::{EngineConfig, EnvOverrides};
     pub use ecnn_core::engine::{
         Backend, EcnnBackend, Engine, EngineBuilder, EngineError, FrameReport, Session, Workload,
     };
     pub use ecnn_core::pipe::{AsyncSession, FramePoll, FrameTicket};
     pub use ecnn_core::sharded::ShardedBackend;
+    pub use ecnn_core::tune::{TuneOptions, TuneReport, TuneSpace, TuningRecord};
     pub use ecnn_core::SystemReport;
     pub use ecnn_isa::params::QuantizedModel;
     pub use ecnn_isa::verify::{VerifyMode, VerifyReport};
