@@ -1,0 +1,215 @@
+//! `fault_matrix` — seeded fault-injection acceptance runs for the
+//! supervised pipeline.
+//!
+//! Builds one engine with a deterministic [`FaultPlan`] and an identical
+//! fault-free twin, streams the same synthetic frames through both (the
+//! twin serially, the faulty engine through a supervised
+//! [`AsyncSession`]), and verifies the supervised outputs are
+//! **bit-identical** to the fault-free reference — the failure-semantics
+//! contract under panics, injected corruption, stragglers and ladder
+//! degradation. Prints the session's
+//! [`SupervisionReport`](ecnn_core::report::SupervisionReport) and exits
+//! non-zero on any divergence, so CI can run a seed × fault-kind matrix.
+//!
+//! Flags (all optional):
+//!
+//! * `--seed <u64>` — fault-plan seed (default 42). CI sweeps several.
+//! * `--kind panic|delay|corrupt|mixed|ladder` — which plan to inject
+//!   (default `mixed`: panic@12% + corrupt@13% of band dispatches).
+//!   `ladder` uses persistent kernel-/layout-scoped corruption to force
+//!   the full Simd -> Packed -> Reference -> keyed degradation walk and
+//!   asserts every rung was visited.
+//! * `--spec small|esr4k` — workload: `small` (default) is the tiny
+//!   denoiser on 56x56 frames, milliseconds per frame, right for CI;
+//!   `esr4k` is the paper's eSR-4K headline (SR x4 to UHD, 960x540
+//!   inputs) — run release and expect minutes per frame.
+//! * `--frames <n>` — frames to stream (default 6 small / 2 esr4k).
+//! * `--workers <n>` — supervised worker pool size (default 2; `ladder`
+//!   forces 1 so the walk is a strict sequence).
+//!
+//! Exit codes: `0` all frames bit-identical (and, for `ladder`, the full
+//! walk observed); `1` divergence, unexpected frame failure, or a ladder
+//! that did not reach the bottom rung.
+
+use ecnn_core::engine::Engine;
+use ecnn_core::pipe::AsyncSession;
+use ecnn_core::{FaultPlan, SupervisorPolicy};
+use ecnn_model::ernet::{ErNetSpec, ErNetTask};
+use ecnn_model::RealTimeSpec;
+use ecnn_tensor::{ImageKind, SyntheticImage, Tensor};
+use std::time::Duration;
+
+struct Args {
+    seed: u64,
+    kind: String,
+    spec: String,
+    frames: Option<usize>,
+    workers: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fault_matrix [--seed N] [--kind panic|delay|corrupt|mixed|ladder] \
+         [--spec small|esr4k] [--frames N] [--workers N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        seed: 42,
+        kind: "mixed".to_string(),
+        spec: "small".to_string(),
+        frames: None,
+        workers: 2,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--seed" => out.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--kind" => out.kind = value().to_ascii_lowercase(),
+            "--spec" => out.spec = value().to_ascii_lowercase(),
+            "--frames" => out.frames = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--workers" => out.workers = value().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    if !matches!(
+        out.kind.as_str(),
+        "panic" | "delay" | "corrupt" | "mixed" | "ladder"
+    ) || !matches!(out.spec.as_str(), "small" | "esr4k")
+        || out.workers == 0
+    {
+        usage();
+    }
+    out
+}
+
+/// The injection plan for one matrix cell. Rates are per-mille of band
+/// dispatches; every non-ladder plan stays at or under the 25% the
+/// supervised session must absorb without a visible failure.
+fn plan_grammar(kind: &str, seed: u64) -> String {
+    match kind {
+        "panic" => format!("seed={seed};panic@200"),
+        "delay" => format!("seed={seed};delay@300:ms=2"),
+        "corrupt" => format!("seed={seed};corrupt@250"),
+        "mixed" => format!("seed={seed};panic@120;corrupt@130"),
+        // Persistent corruption scoped to each rung in turn: the only way
+        // through is to walk the whole ladder.
+        "ladder" => format!(
+            "seed={seed};corrupt@1000:persistent:kernels=simd\
+             ;corrupt@1000:persistent:kernels=packed\
+             ;corrupt@1000:persistent:layout=coalesced"
+        ),
+        _ => unreachable!("kind validated in parse_args"),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let (model, block, rt, side, n_frames) = match args.spec.as_str() {
+        "small" => (
+            ErNetSpec::new(ErNetTask::Dn, 2, 1, 0),
+            40usize,
+            RealTimeSpec::HD30,
+            (56usize, 56usize),
+            args.frames.unwrap_or(6),
+        ),
+        _ => (
+            ErNetSpec::new(ErNetTask::Sr4, 17, 3, 1),
+            128,
+            RealTimeSpec::UHD30,
+            (960, 540),
+            args.frames.unwrap_or(2),
+        ),
+    };
+    let workers = if args.kind == "ladder" {
+        1
+    } else {
+        args.workers
+    };
+    let plan = FaultPlan::parse(&plan_grammar(&args.kind, args.seed)).expect("plan grammar");
+    println!(
+        "fault_matrix: {model} block {block} @ {rt} | {n_frames} frames {}x{} | \
+         {workers} workers | plan [{plan}]",
+        side.0, side.1
+    );
+
+    let builder = || Engine::builder().ernet(model).block(block).realtime(rt);
+    let clean = builder().build().expect("fault-free engine builds");
+    let faulty = builder()
+        .faults(plan)
+        .build()
+        .expect("faulty engine builds");
+
+    let frames: Vec<Tensor<f32>> = (0..n_frames)
+        .map(|s| SyntheticImage::new(ImageKind::Mixed, 90 + s as u64).rgb(side.0, side.1))
+        .collect();
+    let reference = clean
+        .session()
+        .run_frames(frames.iter())
+        .expect("fault-free reference run");
+
+    let policy = if args.kind == "ladder" {
+        SupervisorPolicy {
+            max_attempts: 6,
+            degrade_after: 1,
+            backoff_base: Duration::from_micros(100),
+            ..SupervisorPolicy::default()
+        }
+    } else {
+        SupervisorPolicy {
+            max_attempts: 8,
+            backoff_base: Duration::from_micros(200),
+            backoff_cap: Duration::from_millis(2),
+            ..SupervisorPolicy::default()
+        }
+    };
+    let mut session = AsyncSession::with_policy(&faulty, workers, 4, policy);
+    for f in &frames {
+        session.submit(f.clone()).expect("submit");
+    }
+    let results = match session.drain() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("FAIL: supervised session lost a frame: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut mismatches = 0usize;
+    for (i, (out, _)) in results.iter().enumerate() {
+        if out != &reference[i] {
+            eprintln!("FAIL: frame {i} diverges from the fault-free reference");
+            mismatches += 1;
+        }
+    }
+    let report = session.supervision_report();
+    println!("{report}");
+
+    if args.kind == "ladder" {
+        let bottom = report.ladder.len() - 1;
+        if report.stats.rung != bottom || report.stats.degradations.len() != bottom {
+            eprintln!(
+                "FAIL: ladder walk incomplete: rung {}/{bottom}, {} degradations",
+                report.stats.rung,
+                report.stats.degradations.len()
+            );
+            std::process::exit(1);
+        }
+        for ev in &report.stats.degradations {
+            println!("  walked: {ev}");
+        }
+    }
+    if mismatches > 0 {
+        std::process::exit(1);
+    }
+    println!(
+        "OK: {n_frames}/{n_frames} frames bit-identical under [{}]",
+        faulty
+            .fault_plan()
+            .map(|p| p.to_string())
+            .unwrap_or_default()
+    );
+}

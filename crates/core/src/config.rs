@@ -27,12 +27,14 @@
 //! | `ECNN_COALESCE` | `1`/`true` \| `0`/`false`       | [`EngineConfig::coalesce`] |
 //! | `ECNN_WORKERS`  | positive integer                | [`EngineConfig::workers`]  |
 //! | `ECNN_VERIFY`   | `off` \| `lints` \| `strict`    | [`EngineConfig::verify`]   |
+//! | `ECNN_FAULTS`   | [fault-plan grammar](crate::faults) \| `off` | [`EngineConfig::faults`] |
 //!
 //! Values are case-insensitive; invalid values are ignored (never
 //! fatal) but recorded, and every applied or ignored override is
 //! surfaced in the engine's `FrameReport` note so an overridden fleet
 //! is observable.
 
+use crate::faults::FaultPlan;
 use crate::json::{escape, Json};
 use ecnn_isa::verify::VerifyMode;
 use ecnn_sim::Kernels;
@@ -43,7 +45,7 @@ use std::fmt;
 /// `PartialEq`/`Eq` make resolved configs directly comparable (the
 /// tuning-record round-trip test relies on it); the JSON form is
 /// deterministic and stable across releases.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Input block side (`xi`) the program is compiled for.
     pub block: usize,
@@ -59,6 +61,11 @@ pub struct EngineConfig {
     pub coalesce: bool,
     /// Static-verification mode run at build time.
     pub verify: VerifyMode,
+    /// Deterministic fault-injection plan the supervision layer runs
+    /// under (see [`crate::faults`]). `None` — the default, and what
+    /// every production config should carry — injects nothing and is
+    /// skipped entirely on the dispatch path.
+    pub faults: Option<FaultPlan>,
 }
 
 impl EngineConfig {
@@ -72,18 +79,26 @@ impl EngineConfig {
             kernels: Kernels::Simd,
             coalesce: true,
             verify: VerifyMode::default(),
+            faults: None,
         }
     }
 
-    /// Deterministic single-line JSON encoding, stable key order.
+    /// Deterministic single-line JSON encoding, stable key order. The
+    /// `faults` key is emitted only when a plan is set, so records
+    /// written before fault injection existed stay byte-identical.
     pub fn to_json(&self) -> String {
+        let faults = match &self.faults {
+            Some(plan) => format!(", \"faults\": {}", escape(&plan.to_string())),
+            None => String::new(),
+        };
         format!(
-            "{{\"block\": {}, \"workers\": {}, \"kernels\": {}, \"coalesce\": {}, \"verify\": {}}}",
+            "{{\"block\": {}, \"workers\": {}, \"kernels\": {}, \"coalesce\": {}, \"verify\": {}{}}}",
             self.block,
             self.workers,
             escape(self.kernels.as_str()),
             self.coalesce,
             escape(self.verify.as_str()),
+            faults,
         )
     }
 
@@ -108,6 +123,10 @@ impl EngineConfig {
             coalesce: v.require("coalesce")?.as_bool()?,
             verify: VerifyMode::parse(verify)
                 .ok_or_else(|| format!("unknown verify mode {verify:?}"))?,
+            faults: match v.get("faults") {
+                Some(j) => Some(FaultPlan::parse(j.as_str()?).map_err(|e| format!("faults: {e}"))?),
+                None => None,
+            },
         })
     }
 
@@ -121,6 +140,7 @@ impl EngineConfig {
                 "ECNN_COALESCE",
                 "ECNN_WORKERS",
                 "ECNN_VERIFY",
+                "ECNN_FAULTS",
             ]
             .into_iter()
             .filter_map(|name| std::env::var(name).ok().map(|v| (name, v))),
@@ -138,7 +158,11 @@ impl fmt::Display for EngineConfig {
             self.kernels.as_str(),
             if self.coalesce { "coalesced" } else { "keyed" },
             self.verify.as_str(),
-        )
+        )?;
+        if let Some(plan) = self.faults.as_ref().filter(|p| !p.is_empty()) {
+            write!(f, " faults[{plan}]")?;
+        }
+        Ok(())
     }
 }
 
@@ -154,6 +178,11 @@ pub struct EnvOverrides {
     pub workers: Option<usize>,
     /// `ECNN_VERIFY`, when set to a valid mode name.
     pub verify: Option<VerifyMode>,
+    /// `ECNN_FAULTS`, when set to a valid fault-plan string. `off` /
+    /// `none` / the empty string parse to `Some(empty plan)`, which
+    /// *overrides* (clears) a plan configured elsewhere — the ops
+    /// kill switch for a fault-injection canary.
+    pub faults: Option<FaultPlan>,
     /// One human-readable note per `ECNN_*` variable observed, e.g.
     /// `"ECNN_KERNELS=packed"` or `"ECNN_WORKERS=zero ignored (invalid)"`.
     pub notes: Vec<String>,
@@ -189,6 +218,10 @@ impl EnvOverrides {
                     o.verify = VerifyMode::parse(&value);
                     o.verify.is_some()
                 }
+                "ECNN_FAULTS" => {
+                    o.faults = FaultPlan::parse(&value).ok();
+                    o.faults.is_some()
+                }
                 _ => false,
             };
             if applied {
@@ -207,6 +240,7 @@ impl EnvOverrides {
             || self.coalesce.is_some()
             || self.workers.is_some()
             || self.verify.is_some()
+            || self.faults.is_some()
     }
 
     /// Applies the set knobs onto `cfg` (env beats everything else —
@@ -223,6 +257,11 @@ impl EnvOverrides {
         }
         if let Some(v) = self.verify {
             cfg.verify = v;
+        }
+        if let Some(p) = &self.faults {
+            // An explicitly empty plan ("ECNN_FAULTS=off") clears a plan
+            // configured elsewhere; Engine::fault_plan treats it as none.
+            cfg.faults = Some(p.clone());
         }
     }
 }
@@ -247,12 +286,24 @@ mod tests {
             kernels: Kernels::Packed,
             coalesce: false,
             verify: VerifyMode::Strict,
+            faults: None,
         };
         let json = cfg.to_json();
+        assert!(
+            !json.contains("faults"),
+            "no faults key without a plan (pre-existing records must stay parseable)"
+        );
         assert_eq!(EngineConfig::from_json(&json).unwrap(), cfg);
         // Default shape too.
         let d = EngineConfig::new(64);
         assert_eq!(EngineConfig::from_json(&d.to_json()).unwrap(), d);
+        // With a plan, the key round-trips through the plan grammar.
+        let mut with_plan = EngineConfig::new(64);
+        with_plan.faults = Some(FaultPlan::parse("seed=9;panic@250").unwrap());
+        let json = with_plan.to_json();
+        assert!(json.contains("\"faults\": \"seed=9;panic@250\""));
+        assert_eq!(EngineConfig::from_json(&json).unwrap(), with_plan);
+        assert!(with_plan.to_string().contains("faults[seed=9;panic@250]"));
     }
 
     #[test]
@@ -261,6 +312,11 @@ mod tests {
                    \"coalesce\": true, \"verify\": \"lints\"}";
         assert!(EngineConfig::from_json(bad).unwrap_err().contains("cuda"));
         assert!(EngineConfig::from_json("{}").unwrap_err().contains("block"));
+        let bad_plan = "{\"block\": 64, \"workers\": 1, \"kernels\": \"simd\", \
+                        \"coalesce\": true, \"verify\": \"lints\", \"faults\": \"explode@1\"}";
+        assert!(EngineConfig::from_json(bad_plan)
+            .unwrap_err()
+            .contains("faults"));
     }
 
     #[test]
@@ -270,13 +326,18 @@ mod tests {
             ("ECNN_COALESCE", "0".to_string()),
             ("ECNN_WORKERS", "4".to_string()),
             ("ECNN_VERIFY", "strict".to_string()),
+            ("ECNN_FAULTS", "seed=5;delay@100:ms=3".to_string()),
         ]);
         assert_eq!(o.kernels, Some(Kernels::Reference));
         assert_eq!(o.coalesce, Some(false));
         assert_eq!(o.workers, Some(4));
         assert_eq!(o.verify, Some(VerifyMode::Strict));
+        assert_eq!(
+            o.faults,
+            Some(FaultPlan::parse("seed=5;delay@100:ms=3").unwrap())
+        );
         assert!(o.any());
-        assert_eq!(o.notes.len(), 4);
+        assert_eq!(o.notes.len(), 5);
 
         let mut cfg = EngineConfig::new(128);
         o.apply(&mut cfg);
@@ -284,6 +345,7 @@ mod tests {
         assert!(!cfg.coalesce);
         assert_eq!(cfg.workers, 4);
         assert_eq!(cfg.verify, VerifyMode::Strict);
+        assert!(cfg.faults.is_some());
     }
 
     #[test]
@@ -292,13 +354,28 @@ mod tests {
             ("ECNN_KERNELS", "cuda".to_string()),
             ("ECNN_WORKERS", "0".to_string()),
             ("ECNN_VERIFY", "paranoid".to_string()),
+            ("ECNN_FAULTS", "explode@10".to_string()),
         ]);
         assert!(!o.any());
-        assert_eq!(o.notes.len(), 3);
+        assert_eq!(o.notes.len(), 4);
         assert!(o.notes.iter().all(|n| n.contains("ignored")));
         let mut cfg = EngineConfig::new(128);
-        let before = cfg;
+        let before = cfg.clone();
         o.apply(&mut cfg);
         assert_eq!(cfg, before, "invalid overrides must not change anything");
+    }
+
+    #[test]
+    fn env_faults_off_clears_a_configured_plan() {
+        let o = EnvOverrides::parse([("ECNN_FAULTS", "off".to_string())]);
+        assert!(o.any(), "an explicit off is an override, not a no-op");
+        let mut cfg = EngineConfig::new(128);
+        cfg.faults = Some(FaultPlan::parse("seed=1;panic@1000").unwrap());
+        o.apply(&mut cfg);
+        assert_eq!(
+            cfg.faults.as_ref().map(FaultPlan::is_empty),
+            Some(true),
+            "off must clear the plan"
+        );
     }
 }

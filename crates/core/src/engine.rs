@@ -14,7 +14,9 @@
 //!   surface, with [`std::error::Error::source`] chaining.
 
 use crate::config::EngineConfig;
+use crate::faults::FaultPlan;
 use crate::report::SystemReport;
+use crate::supervise::{DegradeRung, SupervisorCounters};
 use crate::tune::{Fingerprint, TuningRecord};
 use ecnn_dram::{DramConfig, DramPowerModel};
 use ecnn_isa::compile::{compile, CompileError, CompiledProgram};
@@ -150,6 +152,20 @@ pub enum EngineError {
     Worker {
         /// Worker index within the sharded backend.
         shard: usize,
+        /// The panic payload, when it was a `&str` / `String` message —
+        /// so post-mortems name the actual panic.
+        message: Option<String>,
+    },
+    /// A band's output failed an integrity check — the corruption-class
+    /// failure the supervision layer's degradation ladder reacts to
+    /// (today produced only by [`crate::faults`] injection; a real
+    /// detector would raise the same variant). The band is never pasted,
+    /// so a frame that eventually completes stays bit-identical.
+    Corrupt {
+        /// First block row of the band whose output was corrupt.
+        band: usize,
+        /// Kernel family that produced the corrupt output.
+        kernels: &'static str,
     },
     /// A pipelined frame failed in flight; carries the frame's submission
     /// index, the worker (shard) that hit the failure and the failing
@@ -220,7 +236,16 @@ impl fmt::Display for EngineError {
             } => {
                 write!(f, "shard {shard} failed at block {block}: {source}")
             }
-            EngineError::Worker { shard } => write!(f, "shard {shard} worker panicked"),
+            EngineError::Worker { shard, message } => match message {
+                Some(msg) => write!(f, "shard {shard} worker panicked: {msg}"),
+                None => write!(f, "shard {shard} worker panicked"),
+            },
+            EngineError::Corrupt { band, kernels } => {
+                write!(
+                    f,
+                    "corrupt band output detected at block row {band} ({kernels} kernels)"
+                )
+            }
             EngineError::Frame {
                 frame,
                 shard,
@@ -288,6 +313,10 @@ pub struct ImageRunStats {
     pub blocks: usize,
     /// Aggregated executor counters.
     pub exec: ExecStats,
+    /// Supervision counters for this frame (retries, respawns, deadline
+    /// hits, degradations, per-band attempt histogram). All-zero on the
+    /// unsupervised paths (serial session, sharded one-shot).
+    pub supervisor: SupervisorCounters,
 }
 
 impl ImageRunStats {
@@ -299,6 +328,7 @@ impl ImageRunStats {
     /// Adds another run's counters into this one (sharded-band merging).
     pub fn merge(&mut self, other: &ImageRunStats) {
         self.absorb(other.exec, other.blocks);
+        self.supervisor.absorb(&other.supervisor);
     }
 }
 
@@ -449,6 +479,7 @@ pub struct EngineBuilder {
     kernels: Option<Kernels>,
     coalesce: Option<bool>,
     workers: Option<usize>,
+    faults: Option<FaultPlan>,
     record: Option<TuningRecord>,
     /// Candidate builds inside the autotuner must be exact: they bypass
     /// the `ECNN_*` environment overrides.
@@ -560,17 +591,27 @@ impl EngineBuilder {
         self
     }
 
+    /// Deterministic fault-injection plan the supervision layer runs
+    /// under (see [`crate::faults`]); default none. The `ECNN_FAULTS`
+    /// environment variable overrides whatever is set here (and
+    /// `ECNN_FAULTS=off` clears it), like the other `ECNN_*` knobs.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Sets every plan-time knob at once from a resolved
     /// [`EngineConfig`] — equivalent to calling [`EngineBuilder::block`],
     /// [`EngineBuilder::workers`], [`EngineBuilder::kernels`],
-    /// [`EngineBuilder::coalesce`] and [`EngineBuilder::verify`]
-    /// explicitly.
+    /// [`EngineBuilder::coalesce`], [`EngineBuilder::verify`] and
+    /// [`EngineBuilder::faults`] explicitly.
     pub fn engine_config(mut self, cfg: EngineConfig) -> Self {
         self.block = Some(cfg.block);
         self.workers = Some(cfg.workers);
         self.kernels = Some(cfg.kernels);
         self.coalesce = Some(cfg.coalesce);
         self.verify = Some(cfg.verify);
+        self.faults = cfg.faults;
         self
     }
 
@@ -609,7 +650,7 @@ impl EngineBuilder {
         // record ← explicit setters ← ECNN_* environment overrides (the
         // ops escape hatch, so a deployed binary can be steered onto a
         // known-good path without a rebuild).
-        let base = self.record.as_ref().map(|r| r.config);
+        let base = self.record.as_ref().map(|r| &r.config);
         let block = self
             .block
             .or(base.map(|c| c.block))
@@ -623,6 +664,10 @@ impl EngineBuilder {
                 .unwrap_or(Kernels::Simd),
             coalesce: true, // resolved below, against the verify mode
             verify: self.verify.or(base.map(|c| c.verify)).unwrap_or_default(),
+            faults: self
+                .faults
+                .clone()
+                .or_else(|| base.and_then(|c| c.faults.clone())),
         };
         let mut coalesce = self.coalesce.or(base.map(|c| c.coalesce));
         let env = if self.skip_env {
@@ -794,6 +839,13 @@ impl Engine {
         self.resolved.workers
     }
 
+    /// The active fault-injection plan, when one is configured and
+    /// non-empty (see [`crate::faults`]). `None` — the production case —
+    /// means supervised dispatch skips injection entirely.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.resolved.faults.as_ref().filter(|p| !p.is_empty())
+    }
+
     /// The static cost model of the compiled program: exact per-block
     /// MAC / traffic / instruction counts (proven equal to one block
     /// execution's observed [`ExecStats`] work counters), the keyed peak
@@ -828,6 +880,16 @@ impl Engine {
     /// frames — the hot path for multi-frame traffic.
     pub fn session(&self) -> Session<'_> {
         Session::new(self)
+    }
+
+    /// Opens a session executing on an explicit degradation rung —
+    /// kernels and plane layout overridden per session, everything else
+    /// (program, plan geometry, quantization) unchanged. This is how the
+    /// supervisor's workers fall Simd → Packed → Reference and coalesced
+    /// → keyed without rebuilding the engine; every rung is
+    /// verifier-licensed and bit-identical.
+    pub fn session_at(&self, rung: DegradeRung) -> Session<'_> {
+        Session::new_with(self, rung.kernels, rung.coalesce)
     }
 
     /// Opens a pipelined session on `workers` long-lived worker threads:
@@ -985,6 +1047,10 @@ impl Engine {
         } else {
             format!(", env [{}]", self.env_notes.join(", "))
         };
+        let fault_note = match self.fault_plan() {
+            Some(plan) => format!(", faults [{plan}]"),
+            None => String::new(),
+        };
         FrameReport {
             backend: "ecnn".into(),
             workload: self.workload.qm.model.name().to_string(),
@@ -999,7 +1065,7 @@ impl Engine {
             tops: Some(sr.frame.achieved_tops),
             utilization: Some(sr.frame.lconv3_busy),
             note: format!(
-                "block {}x{}, NBR {:.2}, NCR {:.2}, DRAM {}, kernels {}, planes {}KB {}{}",
+                "block {}x{}, NBR {:.2}, NCR {:.2}, DRAM {}, kernels {}, planes {}KB {}{}{}",
                 self.workload.block,
                 self.workload.block,
                 sr.frame.nbr,
@@ -1011,6 +1077,7 @@ impl Engine {
                     .name(),
                 mem_bytes.div_ceil(1024),
                 mem_mode,
+                fault_note,
                 env_note,
             ),
         }
@@ -1053,10 +1120,14 @@ pub struct Session<'e> {
 
 impl<'e> Session<'e> {
     fn new(engine: &'e Engine) -> Self {
+        Self::new_with(engine, engine.resolved.kernels, engine.resolved.coalesce)
+    }
+
+    fn new_with(engine: &'e Engine, kernels: Kernels, coalesce: bool) -> Self {
         let p = &engine.compiled.program;
         let mut plan = BlockPlan::new(&engine.compiled.program, &engine.compiled.leafs)
             .expect("engine build validated the plan");
-        if !engine.resolved.coalesce {
+        if !coalesce {
             plan.force_keyed();
         }
         Self {
@@ -1072,7 +1143,7 @@ impl<'e> Session<'e> {
             last_block: None,
             last_stats: ImageRunStats::default(),
             totals: ImageRunStats::default(),
-            kernels: engine.resolved.kernels,
+            kernels,
         }
     }
 

@@ -1,0 +1,471 @@
+//! Deterministic band-granular fault injection: the seeded, serializable
+//! [`FaultPlan`] the supervision layer ([`crate::supervise`]) is proven
+//! against.
+//!
+//! Production serving needs the failure paths — retry, respawn, deadline
+//! resubmission, kernel degradation — exercised as rigorously as the
+//! success path, and reproducibly: a flaky chaos test is worse than none.
+//! A `FaultPlan` injects three failure classes at band granularity,
+//! purely as a function of *where* the band sits, never of wall-clock or
+//! thread scheduling:
+//!
+//! * [`FaultKind::Panic`] — the worker thread panics before touching the
+//!   band (exercises worker respawn and re-dispatch),
+//! * [`FaultKind::Delay`] — the band stalls for a configured duration
+//!   (exercises per-frame deadlines and straggler resubmission),
+//! * [`FaultKind::Corrupt`] — the band reports a detected-corruption
+//!   [`EngineError::Corrupt`](crate::engine::EngineError::Corrupt)
+//!   instead of executing (exercises the degradation ladder; the band is
+//!   never pasted, so successful frames stay bit-identical).
+//!
+//! # Determinism
+//!
+//! Every injection decision hashes `(seed, rule, frame, band, attempt)`
+//! through a SplitMix64-style mixer and compares against the rule's
+//! per-mille rate. Two runs of the same plan over the same stream make
+//! identical decisions regardless of worker count or scheduling; a
+//! `persistent` rule ignores the attempt counter, so retrying the same
+//! band can never outrun it (that is what forces the supervisor down the
+//! degradation ladder).
+//!
+//! # Grammar
+//!
+//! The plan serializes to a single line, also accepted by the
+//! `ECNN_FAULTS` environment override:
+//!
+//! ```text
+//! seed=<u64>;<kind>@<permille>[:frames=<a>..<b>][:band=<n>][:ms=<n>]
+//!                              [:kernels=<name>][:layout=<coalesced|keyed>][:persistent]
+//! ```
+//!
+//! e.g. `seed=42;panic@250;corrupt@1000:frames=0..8:kernels=simd:persistent`
+//! — panic on 25% of band dispatches, and always report corruption for
+//! frames 0–7 while the SIMD kernels are selected (so degrading off them
+//! clears the fault). `off`, `none` and the empty string parse to the
+//! empty plan. Rules are evaluated in order; the first one whose site
+//! matches *and* whose dice land under the rate fires.
+//!
+//! The plan lives in [`EngineConfig`](crate::config::EngineConfig) and is
+//! interrogated only by the supervision layer in `ecnn-core` — kernel
+//! crates never see it (CI greps for that), and an engine whose plan is
+//! empty skips injection entirely: one `Option` check per band dispatch.
+
+use ecnn_sim::Kernels;
+use std::fmt;
+use std::time::Duration;
+
+/// Failure class a [`FaultRule`] injects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The worker thread panics before executing the band.
+    Panic,
+    /// The band stalls for [`FaultRule::delay_ms`] before executing.
+    Delay,
+    /// The band reports a detected-corruption error instead of executing.
+    Corrupt,
+}
+
+impl FaultKind {
+    /// Stable lowercase name, as used by the plan grammar.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Delay => "delay",
+            FaultKind::Corrupt => "corrupt",
+        }
+    }
+
+    /// Parses [`FaultKind::as_str`] (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "panic" => Some(FaultKind::Panic),
+            "delay" => Some(FaultKind::Delay),
+            "corrupt" => Some(FaultKind::Corrupt),
+            _ => None,
+        }
+    }
+}
+
+/// Milliseconds a [`FaultKind::Delay`] rule stalls when the grammar names
+/// no `ms=` qualifier.
+pub const DEFAULT_DELAY_MS: u64 = 10;
+
+/// One injection rule: a failure kind, a firing rate and the site filter
+/// selecting which band dispatches it applies to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultRule {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Firing rate out of 1000 matching dispatches (`1000` = always).
+    pub rate_permille: u16,
+    /// Frame range `[start, end)` the rule applies to; `end == None`
+    /// leaves it open.
+    pub frames: (usize, Option<usize>),
+    /// Restrict to one band index of the frame's partition (`None` =
+    /// every band).
+    pub band: Option<usize>,
+    /// Stall duration for [`FaultKind::Delay`] rules.
+    pub delay_ms: u64,
+    /// Restrict to dispatches running this kernel family — a
+    /// kernel-scoped corruption clears once the supervisor degrades off
+    /// the family, which is what lets a ladder walk terminate.
+    pub kernels: Option<Kernels>,
+    /// Restrict to dispatches running the coalesced (`true`) or keyed
+    /// (`false`) plane layout; scopes faults to one rung of the
+    /// layout-degradation step.
+    pub layout: Option<bool>,
+    /// Ignore the attempt counter in the dice: the fault re-fires on
+    /// every retry of the same band (until a scope qualifier stops
+    /// matching).
+    pub persistent: bool,
+}
+
+impl FaultRule {
+    /// A rule of `kind` firing on `rate_permille`/1000 of all dispatches.
+    pub fn new(kind: FaultKind, rate_permille: u16) -> Self {
+        Self {
+            kind,
+            rate_permille: rate_permille.min(1000),
+            frames: (0, None),
+            band: None,
+            delay_ms: DEFAULT_DELAY_MS,
+            kernels: None,
+            layout: None,
+            persistent: false,
+        }
+    }
+
+    /// Whether the rule's site filter matches this dispatch.
+    fn matches(&self, frame: usize, band: usize, kernels: Kernels, coalesced: bool) -> bool {
+        let (start, end) = self.frames;
+        frame >= start
+            && end.is_none_or(|e| frame < e)
+            && self.band.is_none_or(|b| b == band)
+            && self.kernels.is_none_or(|k| k == kernels)
+            && self.layout.is_none_or(|c| c == coalesced)
+    }
+}
+
+impl fmt::Display for FaultRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.kind.as_str(), self.rate_permille)?;
+        match self.frames {
+            (0, None) => {}
+            (start, Some(end)) => write!(f, ":frames={start}..{end}")?,
+            (start, None) => write!(f, ":frames={start}..")?,
+        }
+        if let Some(b) = self.band {
+            write!(f, ":band={b}")?;
+        }
+        if self.kind == FaultKind::Delay && self.delay_ms != DEFAULT_DELAY_MS {
+            write!(f, ":ms={}", self.delay_ms)?;
+        }
+        if let Some(k) = self.kernels {
+            write!(f, ":kernels={}", k.as_str())?;
+        }
+        if let Some(c) = self.layout {
+            write!(f, ":layout={}", if c { "coalesced" } else { "keyed" })?;
+        }
+        if self.persistent {
+            write!(f, ":persistent")?;
+        }
+        Ok(())
+    }
+}
+
+/// The injection decision for one band dispatch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic the worker thread.
+    Panic,
+    /// Stall for the duration, then execute normally.
+    Delay(Duration),
+    /// Report detected corruption instead of executing.
+    Corrupt,
+}
+
+/// A seeded, serializable set of [`FaultRule`]s. The empty plan (the
+/// default) injects nothing and costs nothing on the hot path.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed mixed into every injection decision.
+    pub seed: u64,
+    /// Rules, evaluated in order; the first firing rule wins.
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// A plan with one rule.
+    pub fn single(seed: u64, rule: FaultRule) -> Self {
+        Self {
+            seed,
+            rules: vec![rule],
+        }
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Parses the [module-level grammar](self). `""`, `"off"` and
+    /// `"none"` yield the empty plan.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed clause.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let text = text.trim();
+        if text.is_empty() || text.eq_ignore_ascii_case("off") || text.eq_ignore_ascii_case("none")
+        {
+            return Ok(Self::default());
+        }
+        let mut plan = Self::default();
+        for clause in text.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            if let Some(seed) = clause.strip_prefix("seed=") {
+                plan.seed = seed
+                    .parse()
+                    .map_err(|_| format!("bad seed {seed:?} (want u64)"))?;
+                continue;
+            }
+            plan.rules.push(parse_rule(clause)?);
+        }
+        Ok(plan)
+    }
+
+    /// The injection decision for one band dispatch, as a pure function
+    /// of the site — identical across runs, worker counts and schedules.
+    /// `attempt` is the band's 1-based dispatch counter; `kernels` and
+    /// `coalesced` describe the execution rung the dispatch runs on.
+    pub fn roll(
+        &self,
+        frame: usize,
+        band: usize,
+        attempt: u32,
+        kernels: Kernels,
+        coalesced: bool,
+    ) -> Option<Fault> {
+        for (index, rule) in self.rules.iter().enumerate() {
+            if !rule.matches(frame, band, kernels, coalesced) {
+                continue;
+            }
+            let att = if rule.persistent {
+                0
+            } else {
+                u64::from(attempt)
+            };
+            let mut h = splitmix64(self.seed ^ 0xECC5_FA17_5EED_0001);
+            h = splitmix64(h ^ (frame as u64));
+            h = splitmix64(h ^ ((band as u64) << 8) ^ att);
+            h = splitmix64(h ^ (index as u64));
+            if h % 1000 < u64::from(rule.rate_permille) {
+                return Some(match rule.kind {
+                    FaultKind::Panic => Fault::Panic,
+                    FaultKind::Delay => Fault::Delay(Duration::from_millis(rule.delay_ms)),
+                    FaultKind::Corrupt => Fault::Corrupt,
+                });
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "off");
+        }
+        write!(f, "seed={}", self.seed)?;
+        for rule in &self.rules {
+            write!(f, ";{rule}")?;
+        }
+        Ok(())
+    }
+}
+
+fn parse_rule(clause: &str) -> Result<FaultRule, String> {
+    let mut parts = clause.split(':');
+    let head = parts.next().expect("split yields at least one part");
+    let (kind, rate) = head
+        .split_once('@')
+        .ok_or_else(|| format!("bad rule {head:?} (want kind@permille)"))?;
+    let kind = FaultKind::parse(kind).ok_or_else(|| format!("unknown fault kind {kind:?}"))?;
+    let rate: u16 = rate
+        .parse()
+        .ok()
+        .filter(|&r| r <= 1000)
+        .ok_or_else(|| format!("bad rate {rate:?} (want 0..=1000)"))?;
+    let mut rule = FaultRule::new(kind, rate);
+    for qual in parts {
+        match qual.split_once('=') {
+            None if qual.eq_ignore_ascii_case("persistent") => rule.persistent = true,
+            Some(("frames", range)) => {
+                let (start, end) = range
+                    .split_once("..")
+                    .ok_or_else(|| format!("bad frames range {range:?} (want a..b)"))?;
+                let start = start
+                    .parse()
+                    .map_err(|_| format!("bad frames start {start:?}"))?;
+                let end = if end.is_empty() {
+                    None
+                } else {
+                    Some(end.parse().map_err(|_| format!("bad frames end {end:?}"))?)
+                };
+                if end.is_some_and(|e| e <= start) {
+                    return Err(format!("empty frames range {range:?}"));
+                }
+                rule.frames = (start, end);
+            }
+            Some(("band", b)) => {
+                rule.band = Some(b.parse().map_err(|_| format!("bad band {b:?}"))?);
+            }
+            Some(("ms", ms)) => {
+                rule.delay_ms = ms.parse().map_err(|_| format!("bad ms {ms:?}"))?;
+            }
+            Some(("kernels", k)) => {
+                rule.kernels =
+                    Some(Kernels::parse(k).ok_or_else(|| format!("unknown kernels {k:?}"))?);
+            }
+            Some(("layout", l)) => {
+                rule.layout = Some(match l.to_ascii_lowercase().as_str() {
+                    "coalesced" => true,
+                    "keyed" => false,
+                    _ => return Err(format!("unknown layout {l:?} (want coalesced|keyed)")),
+                });
+            }
+            _ => return Err(format!("unknown qualifier {qual:?}")),
+        }
+    }
+    Ok(rule)
+}
+
+/// SplitMix64 finalizer: the PRNG behind every injection decision (the
+/// vendored `rand` stub uses the same mixer for seeding).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_round_trips() {
+        for text in [
+            "seed=42;panic@250",
+            "seed=7;delay@400:ms=25;corrupt@1000:frames=2..8:band=1:kernels=simd:persistent",
+            "seed=1;corrupt@1000:frames=3..:layout=coalesced",
+            "seed=0;panic@1000:persistent",
+        ] {
+            let plan = FaultPlan::parse(text).unwrap();
+            let printed = plan.to_string();
+            assert_eq!(FaultPlan::parse(&printed).unwrap(), plan, "{text}");
+            assert_eq!(printed, text, "canonical form is stable");
+        }
+        for empty in ["", "off", "none", "  OFF "] {
+            assert!(FaultPlan::parse(empty).unwrap().is_empty(), "{empty:?}");
+        }
+        assert_eq!(FaultPlan::default().to_string(), "off");
+    }
+
+    #[test]
+    fn grammar_rejects_malformed_clauses() {
+        for bad in [
+            "seed=x",
+            "explode@10",
+            "panic@1001",
+            "panic@10:frames=5..2",
+            "panic@10:frames=5",
+            "delay@10:ms=abc",
+            "corrupt@10:kernels=cuda",
+            "corrupt@10:layout=diagonal",
+            "panic@10:wat=1",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn roll_is_deterministic_and_rate_bounded() {
+        let plan = FaultPlan::parse("seed=9;panic@250").unwrap();
+        let mut fired = 0usize;
+        let total = 4000usize;
+        for i in 0..total {
+            let a = plan.roll(i, i % 4, 1, Kernels::Simd, true);
+            let b = plan.roll(i, i % 4, 1, Kernels::Simd, true);
+            assert_eq!(a, b, "same site must roll the same");
+            fired += usize::from(a.is_some());
+        }
+        // 25% nominal rate: accept a generous band, determinism means
+        // this can never flake.
+        let rate = fired as f64 / total as f64;
+        assert!((0.18..0.32).contains(&rate), "observed rate {rate}");
+        // Rate 0 never fires; rate 1000 always fires.
+        let never = FaultPlan::parse("seed=9;panic@0").unwrap();
+        let always = FaultPlan::parse("seed=9;corrupt@1000").unwrap();
+        for i in 0..64 {
+            assert_eq!(never.roll(i, 0, 1, Kernels::Simd, true), None);
+            assert_eq!(
+                always.roll(i, 0, 1, Kernels::Simd, true),
+                Some(Fault::Corrupt)
+            );
+        }
+    }
+
+    #[test]
+    fn site_filters_scope_the_rule() {
+        let plan =
+            FaultPlan::parse("seed=3;corrupt@1000:frames=2..4:band=1:kernels=packed:layout=keyed")
+                .unwrap();
+        let hit = |frame, band, k, c| plan.roll(frame, band, 1, k, c).is_some();
+        assert!(hit(2, 1, Kernels::Packed, false));
+        assert!(hit(3, 1, Kernels::Packed, false));
+        assert!(!hit(1, 1, Kernels::Packed, false), "below frame range");
+        assert!(!hit(4, 1, Kernels::Packed, false), "past frame range");
+        assert!(!hit(2, 0, Kernels::Packed, false), "wrong band");
+        assert!(!hit(2, 1, Kernels::Simd, false), "wrong kernels");
+        assert!(!hit(2, 1, Kernels::Packed, true), "wrong layout");
+    }
+
+    #[test]
+    fn persistent_rules_ignore_the_attempt_counter() {
+        // A 50% transient rule decides per attempt; the persistent twin
+        // repeats its first decision forever.
+        let transient = FaultPlan::parse("seed=11;delay@500").unwrap();
+        let persistent = FaultPlan::parse("seed=11;delay@500:persistent").unwrap();
+        let mut transient_varies = false;
+        for band in 0..32 {
+            let first = persistent.roll(0, band, 1, Kernels::Simd, true);
+            for attempt in 2..6 {
+                assert_eq!(
+                    persistent.roll(0, band, attempt, Kernels::Simd, true),
+                    first,
+                    "persistent decision must not depend on attempt"
+                );
+                if transient.roll(0, band, attempt, Kernels::Simd, true)
+                    != transient.roll(0, band, 1, Kernels::Simd, true)
+                {
+                    transient_varies = true;
+                }
+            }
+        }
+        assert!(transient_varies, "transient rules must re-roll per attempt");
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let plan = FaultPlan::parse("seed=1;delay@1000:band=0;panic@1000").unwrap();
+        assert_eq!(
+            plan.roll(0, 0, 1, Kernels::Simd, true),
+            Some(Fault::Delay(Duration::from_millis(DEFAULT_DELAY_MS)))
+        );
+        assert_eq!(plan.roll(0, 1, 1, Kernels::Simd, true), Some(Fault::Panic));
+    }
+}

@@ -52,11 +52,13 @@
 #![deny(missing_docs)]
 pub mod config;
 pub mod engine;
+pub mod faults;
 mod json;
 pub mod pipe;
 pub mod pipeline;
 pub mod report;
 pub mod sharded;
+pub mod supervise;
 pub mod tune;
 
 pub use config::{EngineConfig, EnvOverrides};
@@ -66,10 +68,15 @@ pub use engine::{
     Backend, EcnnBackend, Engine, EngineBuilder, EngineError, FrameReport, ImageMismatch,
     ImageRunStats, Session, Workload,
 };
+pub use faults::{Fault, FaultKind, FaultPlan, FaultRule};
 pub use pipe::{AsyncSession, FramePoll, FrameTicket};
 pub use pipeline::PipelineError;
 #[allow(deprecated)]
 pub use pipeline::{Accelerator, Deployment};
-pub use report::SystemReport;
+pub use report::{SupervisionReport, SystemReport};
 pub use sharded::{partition_rows, BlockParallel, ShardedBackend};
+pub use supervise::{
+    ladder, DegradeEvent, DegradeRung, FailureClass, SupervisorCounters, SupervisorPolicy,
+    SupervisorStats,
+};
 pub use tune::{TuneOptions, TuneReport, TuneSpace, TuningRecord};

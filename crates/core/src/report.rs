@@ -1,5 +1,7 @@
-//! Combined system reports: compute + on-chip power + DRAM.
+//! Combined system reports: compute + on-chip power + DRAM, plus the
+//! supervision snapshot a pipelined session exposes.
 
+use crate::supervise::{DegradeRung, SupervisorPolicy, SupervisorStats};
 use ecnn_dram::{DramConfig, DramPower};
 use ecnn_model::RealTimeSpec;
 use ecnn_sim::cost::PowerReport;
@@ -69,6 +71,48 @@ impl fmt::Display for SystemReport {
     }
 }
 
+/// Snapshot of a pipelined session's supervision state: the policy it
+/// runs under, the verifier-licensed degradation ladder, and everything
+/// the supervisor did over the session's lifetime. Obtain via
+/// [`AsyncSession::supervision_report`](crate::pipe::AsyncSession::supervision_report).
+#[derive(Clone, Debug)]
+pub struct SupervisionReport {
+    /// The policy the session supervises under.
+    pub policy: SupervisorPolicy,
+    /// The degradation ladder, fastest rung first (index 0 = the
+    /// configured rung); every rung is bit-identical by construction.
+    pub ladder: Vec<DegradeRung>,
+    /// Session-lifetime outcomes: counters, ladder steps, current rung.
+    pub stats: SupervisorStats,
+    /// Worker threads in the pool (constant — respawn replaces a dead
+    /// worker, the pool never shrinks).
+    pub workers: usize,
+}
+
+impl fmt::Display for SupervisionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "supervision: {} workers | <= {} attempts/band, backoff {:?}..{:?} | deadline {}",
+            self.workers,
+            self.policy.max_attempts,
+            self.policy.backoff_base,
+            self.policy.backoff_cap,
+            match self.policy.frame_deadline {
+                Some(d) => format!("{d:?}"),
+                None => "off".to_string(),
+            },
+        )?;
+        write!(f, "  ladder:")?;
+        for (i, rung) in self.ladder.iter().enumerate() {
+            let here = if i == self.stats.rung { "*" } else { "" };
+            write!(f, " {rung}{here}")?;
+        }
+        writeln!(f)?;
+        write!(f, "  {}", self.stats)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,5 +133,20 @@ mod tests {
         assert!(s.contains("fps"));
         assert!(s.contains("DDR-400"));
         assert!(r.energy_per_frame_mj() > 0.0);
+    }
+
+    #[test]
+    fn supervision_report_displays_policy_ladder_and_stats() {
+        let r = SupervisionReport {
+            policy: SupervisorPolicy::default(),
+            ladder: crate::supervise::ladder(&crate::config::EngineConfig::new(64)),
+            stats: SupervisorStats::default(),
+            workers: 2,
+        };
+        let s = r.to_string();
+        assert!(s.contains("2 workers"), "{s}");
+        assert!(s.contains("simd+coalesced*"), "{s}");
+        assert!(s.contains("reference+keyed"), "{s}");
+        assert!(s.contains("retries 0"), "{s}");
     }
 }

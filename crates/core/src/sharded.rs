@@ -140,7 +140,12 @@ impl Engine {
                         source: Box::new(e),
                     })
                 }
-                Err(_panic) => return Err(EngineError::Worker { shard }),
+                Err(panic) => {
+                    return Err(EngineError::Worker {
+                        shard,
+                        message: crate::supervise::panic_message(&*panic),
+                    })
+                }
             }
         }
         Ok((frame, stats))

@@ -277,6 +277,9 @@ impl TuneSpace {
                             kernels,
                             coalesce,
                             verify: VerifyMode::Strict,
+                            // Tuning never embeds a fault plan: records
+                            // describe production configs.
+                            faults: None,
                         });
                     }
                 }
@@ -506,7 +509,7 @@ impl EngineBuilder {
             ..EngineConfig::new(base_block)
         };
         if !configs.contains(&default_cfg) {
-            configs.push(default_cfg);
+            configs.push(default_cfg.clone());
         }
         if configs.is_empty() {
             return Err(tune_error("empty tuning space".into()));
@@ -519,7 +522,7 @@ impl EngineBuilder {
         let mut engines: Vec<Option<Engine>> = Vec::with_capacity(enumerated);
         let mut rejected = 0usize;
         for cfg in configs {
-            let mut b = self.clone().engine_config(cfg).realtime(spec);
+            let mut b = self.clone().engine_config(cfg.clone()).realtime(spec);
             b.skip_env = true;
             match b.build() {
                 Ok(engine) => {
@@ -608,7 +611,7 @@ impl EngineBuilder {
         let engine = engines[win].take().expect("winner is admitted");
         let record = TuningRecord {
             fingerprint: Fingerprint::of(engine.quantized_model(), spec),
-            config: candidates[win].config,
+            config: candidates[win].config.clone(),
             cost: CostDigest::of(&engine.cost_report(), candidates[win].config.coalesce),
             measured_ns_per_frame: win_ns,
         };
@@ -647,6 +650,7 @@ mod tests {
                 kernels: Kernels::Packed,
                 coalesce: true,
                 verify: VerifyMode::Strict,
+                faults: None,
             },
             cost: CostDigest {
                 macs: 123_456_789,

@@ -229,6 +229,7 @@ fn resolved_config_reflects_every_knob() {
         kernels: Kernels::Reference,
         coalesce: false,
         verify: VerifyMode::Strict,
+        faults: None,
     };
     let via_setters = tiny_builder()
         .workers(3)
@@ -240,7 +241,7 @@ fn resolved_config_reflects_every_knob() {
     let via_struct = Engine::builder()
         .ernet(ErNetSpec::new(ErNetTask::Dn, 1, 1, 0))
         .realtime(TINY)
-        .engine_config(cfg)
+        .engine_config(cfg.clone())
         .build()
         .unwrap();
     assert_eq!(via_setters.config(), &cfg);

@@ -264,4 +264,107 @@ mod tests {
         assert_eq!(rx.recv(), Ok(3));
         assert_eq!(rx.recv(), Err(RecvError));
     }
+
+    /// A receiver parked inside `recv` on an empty queue must be woken
+    /// when the last sender is dropped from another thread — not stay
+    /// parked forever waiting for a message that can no longer arrive.
+    #[test]
+    fn sender_dropped_while_receiver_parked_in_recv() {
+        let (tx, rx) = unbounded::<u8>();
+        let waiter = std::thread::spawn(move || rx.recv());
+        // Give the receiver time to park on `not_empty`.
+        std::thread::sleep(Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(waiter.join().unwrap(), Err(RecvError));
+    }
+
+    /// A sender parked inside `send` on a full bounded channel must be
+    /// woken when the last receiver is dropped, and get its message back
+    /// in the `SendError` rather than losing it.
+    #[test]
+    fn receiver_dropped_while_sender_parked_in_send() {
+        let (tx, rx) = bounded::<u8>(1);
+        tx.send(1).unwrap();
+        let sender = std::thread::spawn(move || tx.send(2));
+        // Give the sender time to park on `not_full`.
+        std::thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(sender.join().unwrap(), Err(SendError(2)));
+    }
+
+    /// Abrupt worker death: a thread that panics while holding a Sender
+    /// clone still runs the Sender's `Drop`, so parked receivers observe
+    /// the disconnect exactly as on a clean exit. This is the invariant
+    /// the supervised pipeline's respawn path leans on.
+    #[test]
+    fn panicking_sender_thread_still_disconnects_receivers() {
+        let (tx, rx) = unbounded::<u8>();
+        let worker = std::thread::spawn(move || {
+            tx.send(9).unwrap();
+            panic!("simulated worker death");
+        });
+        assert_eq!(rx.recv(), Ok(9));
+        assert!(worker.join().is_err(), "worker must have panicked");
+        // Queue drained, every sender gone (unwound): recv must error,
+        // not hang.
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    /// Disconnect only fires once the *last* clone drops: with one
+    /// sender clone dead (worker crashed) and one alive, receivers keep
+    /// receiving; the channel errors only after the survivor leaves too.
+    #[test]
+    fn disconnect_requires_every_sender_clone_to_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        let tx2 = tx.clone();
+        let crashed = std::thread::spawn(move || {
+            drop(tx2); // abrupt death of one producer
+        });
+        crashed.join().unwrap();
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv(), Ok(5));
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    /// Several senders parked on a full bounded channel: each slot the
+    /// receiver frees must wake a parked sender (no lost wakeups), and
+    /// every message must arrive exactly once.
+    #[test]
+    fn bounded_wakeups_drain_multiple_parked_senders() {
+        let (tx, rx) = bounded::<usize>(1);
+        tx.send(0).unwrap();
+        let senders: Vec<_> = (1..=4)
+            .map(|v| {
+                let tx = tx.clone();
+                std::thread::spawn(move || tx.send(v).unwrap())
+            })
+            .collect();
+        // Let all four park on the full channel.
+        std::thread::sleep(Duration::from_millis(20));
+        drop(tx);
+        let mut got = Vec::new();
+        for _ in 0..5 {
+            got.push(rx.recv().unwrap());
+        }
+        for s in senders {
+            s.join().unwrap();
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    /// A receiver clone dying abruptly must not disconnect senders while
+    /// another receiver is still alive and consuming.
+    #[test]
+    fn disconnect_requires_every_receiver_clone_to_drop() {
+        let (tx, rx) = bounded::<u8>(1);
+        let rx2 = rx.clone();
+        drop(rx2); // abrupt death of one consumer
+        tx.send(8).unwrap();
+        assert_eq!(rx.recv(), Ok(8));
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
 }
